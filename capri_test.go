@@ -1,0 +1,225 @@
+package capri
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"capri/internal/isa"
+)
+
+// buildDemo builds a small program through the public facade: a loop that
+// accumulates into memory and emits the final sum.
+func buildDemo(n int64) *Program {
+	bd := NewBuilder("demo")
+	f := bd.Func("main")
+	entry := f.Block()
+	header := f.Block()
+	body := f.Block()
+	exit := f.Block()
+
+	f.SetBlock(entry)
+	f.MovI(isa.SP, int64(StackBase(0)))
+	f.MovI(8, 0)
+	f.MovI(9, n)
+	f.MovI(10, int64(HeapBase))
+	f.MovI(11, 0)
+	f.Br(header)
+	f.SetBlock(header)
+	f.BrIf(8, isa.CondGE, 9, exit, body)
+	f.SetBlock(body)
+	f.Add(11, 11, 8)
+	f.Store(10, 0, 11)
+	f.AddI(8, 8, 1)
+	f.Br(header)
+	f.SetBlock(exit)
+	f.Emit(11)
+	f.Halt()
+	bd.SetThreadEntries(f)
+	return bd.Program()
+}
+
+func TestPublicAPICompileRun(t *testing.T) {
+	p := buildDemo(100)
+	res, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Regions == 0 || res.Stats.CkptsInserted == 0 {
+		t.Errorf("compile stats empty: %+v", res.Stats)
+	}
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	m, err := NewMachine(res.Program, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(100 * 99 / 2)
+	if out := m.Output(0); len(out) != 1 || out[0] != want {
+		t.Errorf("output = %v, want [%d]", out, want)
+	}
+}
+
+func TestPublicAPICrashRecover(t *testing.T) {
+	p := buildDemo(200)
+	res, err := Compile(p, OptionsForLevel(LevelLICM, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	cfg.Threshold = 32
+
+	golden, err := NewMachine(res.Program, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ := NewMachine(res.Program, cfg)
+	if err := m.RunUntil(700); err != nil {
+		t.Fatal(err)
+	}
+	if m.Done() {
+		t.Skip("program finished before crash point")
+	}
+	img, err := m.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, rep, err := Recover(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CoresResumed != 1 {
+		t.Errorf("resumed %d cores", rep.CoresResumed)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Output(0), golden.Output(0)) {
+		t.Errorf("recovered output %v, golden %v", r.Output(0), golden.Output(0))
+	}
+}
+
+func TestOptionLevels(t *testing.T) {
+	o := OptionsForLevel(LevelRegion, 64)
+	if o.InsertCheckpoints {
+		t.Error("LevelRegion must not checkpoint")
+	}
+	o = OptionsForLevel(LevelLICM, 64)
+	if !(o.InsertCheckpoints && o.Unroll && o.Prune && o.LICM) {
+		t.Errorf("LevelLICM = %+v", o)
+	}
+}
+
+// collector implements OutputDevice for the facade test.
+type collector struct{ vals []uint64 }
+
+func (c *collector) Output(core int, v uint64) { c.vals = append(c.vals, v) }
+
+func TestPublicAPIImageAndDevices(t *testing.T) {
+	p := buildDemo(150)
+	res, err := Compile(p, OptionsForLevel(LevelLICM, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	cfg.Threshold = 32
+
+	golden, _ := NewMachine(res.Program, cfg)
+	if err := golden.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := golden.Output(0)
+
+	m, _ := NewMachine(res.Program, cfg)
+	dev := &collector{}
+	m.AttachOutputDevice(dev)
+	if err := m.RunUntil(400); err != nil {
+		t.Fatal(err)
+	}
+	if m.Done() {
+		t.Skip("finished before crash")
+	}
+	img, err := m.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip the image through the serialization API.
+	path := t.TempDir() + "/img"
+	if err := SaveImage(path, img); err != nil {
+		t.Fatal(err)
+	}
+	img2, err := LoadImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, rep, err := RecoverWithDevices(img2, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CoresResumed != 1 {
+		t.Errorf("report: %+v", rep)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Output(0)) != len(want) || r.Output(0)[0] != want[0] {
+		t.Errorf("output = %v, want %v", r.Output(0), want)
+	}
+	// Device: exactly-once across the serialized crash.
+	if len(dev.vals) != len(want) || dev.vals[0] != want[0] {
+		t.Errorf("device = %v, want %v", dev.vals, want)
+	}
+}
+
+func TestPublicAPIWriteReadImage(t *testing.T) {
+	p := buildDemo(100)
+	res, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	m, _ := NewMachine(res.Program, cfg)
+	if err := m.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	img, err := m.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	img2, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img2.Seq != img.Seq {
+		t.Error("image seq lost in round trip")
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if StackBase(0) == StackBase(1) {
+		t.Error("thread stacks overlap")
+	}
+	if HeapBase == 0 {
+		t.Error("heap base zero")
+	}
+	o := DefaultOptions()
+	if o.Threshold != 256 || !o.InsertCheckpoints {
+		t.Errorf("default options = %+v", o)
+	}
+}

@@ -1,0 +1,113 @@
+// Command capribench regenerates the paper's evaluation artifacts over the
+// synthetic benchmark suites: Figure 8 (threshold sweep), Figure 9
+// (cumulative compiler optimizations), Figures 10/11 (region shape), the
+// §6.2 headline numbers, and Table 1.
+//
+// Usage:
+//
+//	capribench -fig 8            # one figure
+//	capribench -all              # everything
+//	capribench -headline         # suite geomeans only
+//	capribench -list             # benchmark inventory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capri/internal/figures"
+	"capri/internal/machine"
+	"capri/internal/stats"
+	"capri/internal/workload"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate: 8, 9, 10 or 11")
+		all      = flag.Bool("all", false, "regenerate every figure and the headline")
+		headline = flag.Bool("headline", false, "print the §6.2 headline overheads")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		chart    = flag.String("chart", "", "additionally render one column as an ASCII bar chart (e.g. \"256\" for fig 8, \"+licm\" for fig 9)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range append(workload.All(), workload.Micros()...) {
+			fmt.Printf("%-18s %-8s threads=%d\n", b.Name, b.Suite, b.Threads)
+		}
+		return
+	}
+
+	h := figures.NewHarness(*scale)
+
+	if *all || *fig == 0 && !*headline {
+		fmt.Print(machine.DefaultConfig().Table1())
+		fmt.Println()
+	}
+
+	show := func(tbl *stats.Table, baseline float64) {
+		fmt.Println(tbl)
+		if *chart != "" {
+			fmt.Println(tbl.Chart(*chart, baseline, 50))
+		}
+	}
+	runFig := func(n int) {
+		switch n {
+		case 8:
+			tbl, err := h.Fig8(nil)
+			check(err)
+			show(tbl, 1.0)
+		case 9:
+			tbl, err := h.Fig9()
+			check(err)
+			show(tbl, 1.0)
+		case 10:
+			tbl, err := h.Fig10()
+			check(err)
+			show(tbl, 0)
+		case 11:
+			tbl, err := h.Fig11()
+			check(err)
+			show(tbl, 0)
+		case 12: // not a paper figure: the §6.2 NVM-endurance claim as a table
+			tbl, err := h.NVMWrites()
+			check(err)
+			show(tbl, 0)
+		default:
+			check(fmt.Errorf("capribench: unknown figure %d (have 8-11, 12 = NVM writes)", n))
+		}
+	}
+
+	switch {
+	case *all:
+		for _, n := range []int{8, 9, 10, 11, 12} {
+			runFig(n)
+		}
+		printHeadline(h)
+	case *headline:
+		printHeadline(h)
+	case *fig != 0:
+		runFig(*fig)
+	default:
+		flag.Usage()
+	}
+}
+
+func printHeadline(h *figures.Harness) {
+	hd, err := h.Headline()
+	check(err)
+	fmt.Println("Headline overheads at threshold 256, all optimizations (paper §6.2):")
+	fmt.Printf("  SPEC CPU2017   %+6.1f%%   (paper:  0.0%%)\n", 100*hd.SPEC)
+	fmt.Printf("  STAMP          %+6.1f%%   (paper: 12.4%%)\n", 100*hd.STAMP)
+	fmt.Printf("  Splash-3       %+6.1f%%   (paper:  9.1%%)\n", 100*hd.Splash)
+	fmt.Printf("  overall        %+6.1f%%   (paper:  5.1%%)\n", 100*hd.Overall)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

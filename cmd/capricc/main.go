@@ -1,0 +1,111 @@
+// Command capricc runs the Capri compiler over a named benchmark workload
+// and reports the static region formation: boundaries, checkpoint stores,
+// pruning and unrolling activity, and (optionally) the disassembly.
+//
+// Usage:
+//
+//	capricc -bench ssca2 -threshold 256 -level +licm [-dump] [-scale 1]
+//	capricc -file prog.casm [-o compiled.casm]   # assemble + compile a text program
+//	capricc -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capri/internal/asm"
+	"capri/internal/compile"
+	"capri/internal/prog"
+	"capri/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "ssca2", "benchmark to compile (see -list)")
+		threshold = flag.Int("threshold", compile.DefaultThreshold, "region store threshold")
+		levelName = flag.String("level", "+licm", "optimization level: region, +ckpt, +unrolling, +pruning, +licm")
+		dump      = flag.Bool("dump", false, "print the compiled program disassembly")
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		file      = flag.String("file", "", "assemble and compile a .casm text program instead of a benchmark")
+		out       = flag.String("o", "", "write the compiled program as assembly to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range append(workload.All(), workload.Micros()...) {
+			fmt.Printf("%-18s %-8s threads=%d shortloops=%v\n", b.Name, b.Suite, b.Threads, b.ShortLoops)
+		}
+		return
+	}
+
+	level, err := parseLevel(*levelName)
+	if err != nil {
+		fatal(err)
+	}
+	var p *prog.Program
+	var srcName string
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		p, err = asm.Parse(*file, string(data))
+		if err != nil {
+			fatal(err)
+		}
+		srcName = *file
+	} else {
+		b, err := workload.ByName(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		p = b.Build(*scale)
+		srcName = fmt.Sprintf("%s (%s, %d threads)", b.Name, b.Suite, b.Threads)
+	}
+	in := p.Stats()
+
+	res, err := compile.Compile(p, compile.OptionsForLevel(level, *threshold))
+	if err != nil {
+		fatal(err)
+	}
+	st := res.Stats
+
+	fmt.Printf("input program    %s\n", srcName)
+	fmt.Printf("level            %s  threshold %d\n", level, *threshold)
+	fmt.Printf("input            %d funcs, %d blocks, %d insts, %d stores\n",
+		in.Funcs, in.Blocks, in.Insts, in.Stores)
+	fmt.Printf("output           %d blocks, %d insts, %d stores, %d ckpt stores\n",
+		st.Static.Blocks, st.Static.Insts, st.Static.Stores, st.Static.Ckpts)
+	fmt.Printf("regions          %d static boundaries\n", st.Regions)
+	fmt.Printf("checkpoints      %d inserted, %d pruned (recovery slices), %d hoisted by LICM\n",
+		st.CkptsInserted, st.CkptsPruned, st.CkptsHoisted)
+	fmt.Printf("unrolling        %d loops unrolled, %d body copies\n",
+		st.LoopsUnrolled, st.UnrollCopies)
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(asm.Format(res.Program)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote            %s\n", *out)
+	}
+	if *dump {
+		fmt.Println()
+		fmt.Print(asm.Format(res.Program))
+	}
+}
+
+func parseLevel(s string) (compile.Level, error) {
+	for _, l := range compile.Levels {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("capricc: unknown level %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command caprisim runs one benchmark on the simulated Capri machine and
+// reports cycles, the slowdown versus the volatile baseline, and the
+// persistence machinery's counters.
+//
+// Usage:
+//
+//	caprisim -bench water-spatial -threshold 256 [-scale 1]
+//	caprisim -file prog.casm    # simulate a text program instead
+//	caprisim -config            # print the paper's Table 1 configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capri/internal/asm"
+	"capri/internal/compile"
+	"capri/internal/figures"
+	"capri/internal/machine"
+	"capri/internal/prog"
+	"capri/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "genome", "benchmark to run (see capricc -list)")
+		threshold = flag.Int("threshold", compile.DefaultThreshold, "region store threshold")
+		levelName = flag.String("level", "+licm", "optimization level")
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		config    = flag.Bool("config", false, "print the Table 1 machine configuration and exit")
+		file      = flag.String("file", "", "simulate a .casm text program instead of a benchmark")
+	)
+	flag.Parse()
+
+	if *config {
+		fmt.Print(machine.DefaultConfig().Table1())
+		return
+	}
+
+	var level compile.Level = compile.LevelLICM
+	for _, l := range compile.Levels {
+		if l.String() == *levelName {
+			level = l
+		}
+	}
+
+	var b workload.Benchmark
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := asm.Parse(*file, string(data))
+		if err != nil {
+			fatal(err)
+		}
+		b = workload.Benchmark{
+			Name: *file, Suite: "casm", Threads: p.NumThreads(),
+			Build: func(int) *prog.Program { return p },
+		}
+	} else {
+		var err error
+		b, err = workload.ByName(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	h := figures.NewHarness(*scale)
+	base, err := h.Baseline(b)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := h.Run(b, level, *threshold)
+	if err != nil {
+		fatal(err)
+	}
+	s := r.Machine
+
+	fmt.Printf("benchmark          %s (%s, %d threads), level %s, threshold %d\n",
+		b.Name, b.Suite, b.Threads, level, *threshold)
+	fmt.Printf("baseline cycles    %d\n", base)
+	fmt.Printf("capri cycles       %d  (normalized %.3f)\n", s.Cycles, r.Norm)
+	fmt.Printf("instructions       %d retired (%d stores, %d ckpt stores, %d boundaries)\n",
+		s.Instret, s.Stores, s.Ckpts, s.Boundaries)
+	fmt.Printf("regions            %d dynamic; avg %.1f insts, %.1f stores per region\n",
+		s.Regions, s.AvgRegionInsts, s.AvgRegionStores)
+	fmt.Printf("front-end proxy    %d allocs, %d merges, %d stalls, %d boundary entries (%d elided)\n",
+		s.FrontAllocs, s.FrontMerges, s.FrontStalls, s.BoundaryEntries, s.ElidedBds)
+	fmt.Printf("stale-read guard   %d scan hits, %d window hits, %d seq-guard drops\n",
+		s.ScanHits, s.WindowHits, s.NVMStaleSkips)
+	fmt.Printf("NVM                %d write ops, %d word writes\n", s.NVMWrites, s.NVMWordWrites)
+	fmt.Printf("caches             L1 %d/%d hit/miss, L2 %d/%d, DRAM$ %d/%d\n",
+		s.L1Hits, s.L1Misses, s.L2Hits, s.L2Misses, s.DRAMHits, s.DRAMMisses)
+	fmt.Printf("stall cycles       %d\n", s.StallCycles)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// crashlab: a systematic study of the recovery protocol. It runs a small
+// program that interleaves bursty stores with hot-line rewrites (the access
+// pattern that provokes the paper's Figure 6/7 writeback-vs-proxy races),
+// crashes it at *every* instruction boundary, recovers each image, and
+// reports aggregate statistics about what recovery had to do: how many
+// regions were redone, how many entries rolled back via undo data, and how
+// many pruned checkpoints were reconstructed by recovery slices.
+//
+//	go run ./examples/crashlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"capri"
+	"capri/internal/isa"
+)
+
+func buildHotCold() *capri.Program {
+	bd := capri.NewBuilder("hotcold")
+	f := bd.Func("main")
+	entry := f.Block()
+	header := f.Block()
+	body := f.Block()
+	exit := f.Block()
+
+	const (
+		rI    = isa.Reg(8)
+		rN    = isa.Reg(9)
+		rBase = isa.Reg(10)
+		rHot  = isa.Reg(11)
+		rV    = isa.Reg(12)
+		rOff  = isa.Reg(13)
+	)
+
+	f.SetBlock(entry)
+	f.MovI(isa.SP, int64(capri.StackBase(0)))
+	f.MovI(rI, 0)
+	f.MovI(rN, 300)
+	f.MovI(rBase, int64(capri.HeapBase))
+	f.MovI(rHot, int64(capri.HeapBase)+8192)
+	f.MovI(rV, 1)
+	f.Br(header)
+
+	f.SetBlock(header)
+	f.BrIf(rI, isa.CondGE, rN, exit, body)
+
+	f.SetBlock(body)
+	// Hot line: rewritten every iteration (merge + writeback-race food).
+	f.Add(rV, rV, rI)
+	f.Store(rHot, 0, rV)
+	f.Store(rHot, 8, rI)
+	// Cold stream: a fresh address each iteration.
+	f.OpI(isa.OpShlI, rOff, rI, 3)
+	f.Add(rOff, rOff, rBase)
+	f.Store(rOff, 0, rV)
+	f.AddI(rI, rI, 1)
+	f.Br(header)
+
+	f.SetBlock(exit)
+	f.Emit(rV)
+	f.Halt()
+	bd.SetThreadEntries(f)
+	return bd.Program()
+}
+
+func main() {
+	p := buildHotCold()
+	res, err := capri.Compile(p, capri.OptionsForLevel(capri.LevelLICM, 32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := capri.DefaultConfig()
+	cfg.Cores = 1
+	cfg.Threshold = 32
+
+	golden, err := capri.NewMachine(res.Program, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := golden.Run(); err != nil {
+		log.Fatal(err)
+	}
+	want := golden.Output(0)[0]
+	total := golden.Instret()
+	fmt.Printf("hotcold: %d instructions, golden value %d\n", total, want)
+	fmt.Printf("sweeping every crash point 1..%d ...\n", total-1)
+
+	var (
+		points, redone, undone, undoApplied, slices int
+		maxUndone                                   int
+	)
+	for crashAt := uint64(1); crashAt < total; crashAt++ {
+		m, _ := capri.NewMachine(res.Program, cfg)
+		if err := m.RunUntil(crashAt); err != nil {
+			log.Fatal(err)
+		}
+		if m.Done() {
+			break
+		}
+		img, err := m.Crash()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, rep, err := capri.Recover(img)
+		if err != nil {
+			log.Fatalf("crash@%d: %v", crashAt, err)
+		}
+		if err := r.Run(); err != nil {
+			log.Fatalf("crash@%d resume: %v", crashAt, err)
+		}
+		if got := r.Output(0)[0]; got != want {
+			log.Fatalf("crash@%d: recovered %d, want %d", crashAt, got, want)
+		}
+		points++
+		redone += rep.RegionsRedone
+		undone += rep.EntriesUndone
+		undoApplied += rep.UndoneApplied
+		slices += rep.SlicesExecuted
+		if rep.EntriesUndone > maxUndone {
+			maxUndone = rep.EntriesUndone
+		}
+	}
+
+	fmt.Printf("\nall %d crash points recovered to the golden value\n", points)
+	fmt.Printf("  committed regions replayed from proxy buffers: %d\n", redone)
+	fmt.Printf("  interrupted-region entries examined for undo:  %d (max %d in one crash)\n", undone, maxUndone)
+	fmt.Printf("  undo restores actually applied to NVM:         %d\n", undoApplied)
+	fmt.Printf("  recovery slices executed (pruned checkpoints): %d\n", slices)
+	fmt.Println("\ninvariant held: recovery always lands exactly on a region boundary,")
+	fmt.Println("regardless of how writebacks and proxy drains interleaved before the crash.")
+}

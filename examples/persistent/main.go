@@ -1,0 +1,131 @@
+// persistent: whole-system persistence across process lifetimes. The
+// program's "NVM and battery-backed proxy buffers" live in a state file;
+// each invocation of this example simulates a machine losing power partway
+// through a long computation, and the next invocation recovers from the
+// file and continues — until the job completes. No run ever repeats work
+// that already committed.
+//
+//	go run ./examples/persistent            # run until done (self-driving)
+//	go run ./examples/persistent -once      # one power cycle, then exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"capri"
+	"capri/internal/isa"
+)
+
+const totalIters = 3000
+
+// buildJob emits a long accumulation over a table — the "job" that must
+// survive arbitrarily many power cycles.
+func buildJob() *capri.Program {
+	bd := capri.NewBuilder("job")
+	f := bd.Func("main")
+	entry := f.Block()
+	header := f.Block()
+	body := f.Block()
+	exit := f.Block()
+
+	const (
+		rI    = isa.Reg(8)
+		rN    = isa.Reg(9)
+		rBase = isa.Reg(10)
+		rAcc  = isa.Reg(11)
+		rOff  = isa.Reg(12)
+	)
+
+	f.SetBlock(entry)
+	f.MovI(isa.SP, int64(capri.StackBase(0)))
+	f.MovI(rI, 0)
+	f.MovI(rN, totalIters)
+	f.MovI(rBase, int64(capri.HeapBase))
+	f.MovI(rAcc, 0)
+	f.Br(header)
+
+	f.SetBlock(header)
+	f.BrIf(rI, isa.CondGE, rN, exit, body)
+
+	f.SetBlock(body)
+	f.MulI(rOff, rI, 8)
+	f.OpI(isa.OpAndI, rOff, rOff, (1<<16)-8)
+	f.Add(rOff, rOff, rBase)
+	f.Mul(rAcc, rI, rI)
+	f.OpI(isa.OpAddI, rAcc, rAcc, 7)
+	f.Store(rOff, 0, rAcc)
+	f.AddI(rI, rI, 1)
+	f.Br(header)
+
+	f.SetBlock(exit)
+	f.Emit(rI)
+	f.Halt()
+	bd.SetThreadEntries(f)
+	return bd.Program()
+}
+
+func main() {
+	once := flag.Bool("once", false, "simulate a single power cycle and exit")
+	flag.Parse()
+
+	statePath := filepath.Join(os.TempDir(), "capri-persistent-demo.img")
+	// Power budget per cycle: the machine dies every ~4000 instructions.
+	const budget = 4000
+
+	cycle := 0
+	for {
+		cycle++
+		var m *capri.Machine
+		if img, err := capri.LoadImage(statePath); err == nil {
+			r, rep, err := capri.Recover(img)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("cycle %d: recovered from %s (%d regions redone, %d slices)\n",
+				cycle, statePath, rep.RegionsRedone, rep.SlicesExecuted)
+			m = r
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		} else {
+			res, err := capri.Compile(buildJob(), capri.DefaultOptions())
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := capri.DefaultConfig()
+			cfg.Cores = 1
+			m, err = capri.NewMachine(res.Program, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("cycle %d: fresh start (%d iterations of work ahead)\n", cycle, totalIters)
+		}
+
+		already := m.Instret()
+		if err := m.RunUntil(already + budget); err != nil {
+			log.Fatal(err)
+		}
+		if m.Done() {
+			fmt.Printf("cycle %d: job finished — completed %v iterations, %d cycles total\n",
+				cycle, m.Output(0), m.Cycles())
+			os.Remove(statePath)
+			return
+		}
+		img, err := m.Crash()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := capri.SaveImage(statePath, img); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cycle %d: power lost after %d instructions; state persisted\n",
+			cycle, m.Instret())
+		if *once {
+			fmt.Printf("rerun to continue from %s\n", statePath)
+			return
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module capri
+
+go 1.22

@@ -1,0 +1,245 @@
+// Package analysis provides the control-flow and dataflow analyses the Capri
+// compiler is built on: reverse postorder, dominators, natural-loop
+// detection, per-block liveness, and backward slices for checkpoint pruning.
+// All analyses operate on a single function at a time.
+package analysis
+
+import (
+	"capri/internal/prog"
+)
+
+// CFG caches successor and predecessor edges for a function.
+type CFG struct {
+	F     *prog.Func
+	Succ  [][]int
+	Pred  [][]int
+	RPO   []int // reverse postorder of reachable blocks, entry first
+	InRPO []int // block ID -> position in RPO, -1 if unreachable
+}
+
+// BuildCFG computes edges and reverse postorder for f.
+func BuildCFG(f *prog.Func) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		F:     f,
+		Succ:  make([][]int, n),
+		Pred:  make([][]int, n),
+		InRPO: make([]int, n),
+	}
+	for _, b := range f.Blocks {
+		c.Succ[b.ID] = b.Succs(nil)
+		for _, s := range c.Succ[b.ID] {
+			c.Pred[s] = append(c.Pred[s], b.ID)
+		}
+	}
+	// Iterative postorder DFS from the entry.
+	visited := make([]bool, n)
+	type frame struct {
+		b    int
+		next int
+	}
+	var post []int
+	stack := []frame{{f.Entry, 0}}
+	visited[f.Entry] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(c.Succ[fr.b]) {
+			s := c.Succ[fr.b][fr.next]
+			fr.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	c.RPO = make([]int, len(post))
+	for i := range post {
+		c.RPO[i] = post[len(post)-1-i]
+	}
+	for i := range c.InRPO {
+		c.InRPO[i] = -1
+	}
+	for i, b := range c.RPO {
+		c.InRPO[b] = i
+	}
+	return c
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (c *CFG) Reachable(b int) bool { return c.InRPO[b] >= 0 }
+
+// Dominators computes the immediate-dominator tree using the classic
+// Cooper-Harvey-Kennedy iterative algorithm. idom[entry] == entry;
+// unreachable blocks get -1.
+func (c *CFG) Dominators() []int {
+	n := len(c.F.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	entry := c.F.Entry
+	idom[entry] = entry
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for c.InRPO[a] > c.InRPO[b] {
+				a = idom[a]
+			}
+			for c.InRPO[b] > c.InRPO[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.RPO {
+			if b == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Pred[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b given an idom tree.
+func Dominates(idom []int, entry, a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		if b == entry || idom[b] == -1 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// Loop describes one natural loop.
+type Loop struct {
+	Header int
+	// Latches are the blocks with back edges to the header.
+	Latches []int
+	// Blocks is the loop body including the header, as a set.
+	Blocks map[int]bool
+	// Exits are (from, to) edges leaving the loop.
+	Exits []LoopExit
+	// Parent is the index of the innermost enclosing loop, or -1.
+	Parent int
+}
+
+// LoopExit is an edge that leaves a loop.
+type LoopExit struct {
+	From int // block inside the loop
+	To   int // block outside the loop
+}
+
+// Loops finds all natural loops (back edges to a dominator). Loops with the
+// same header are merged, matching LLVM's notion of a loop. The returned
+// slice is ordered outermost-first for nesting purposes; Parent links record
+// the nesting.
+func (c *CFG) Loops() []Loop {
+	idom := c.Dominators()
+	entry := c.F.Entry
+	byHeader := map[int]*Loop{}
+
+	for _, b := range c.RPO {
+		for _, s := range c.Succ[b] {
+			if !c.Reachable(s) || !Dominates(idom, entry, s, b) {
+				continue
+			}
+			// b -> s is a back edge; s is the header.
+			l, ok := byHeader[s]
+			if !ok {
+				l = &Loop{Header: s, Blocks: map[int]bool{s: true}, Parent: -1}
+				byHeader[s] = l
+			}
+			l.Latches = append(l.Latches, b)
+			// Collect the loop body: reverse reachability from the latch to
+			// the header.
+			work := []int{b}
+			for len(work) > 0 {
+				x := work[len(work)-1]
+				work = work[:len(work)-1]
+				if l.Blocks[x] {
+					continue
+				}
+				l.Blocks[x] = true
+				for _, p := range c.Pred[x] {
+					if c.Reachable(p) {
+						work = append(work, p)
+					}
+				}
+			}
+		}
+	}
+
+	loops := make([]Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		for b := range l.Blocks {
+			for _, s := range c.Succ[b] {
+				if !l.Blocks[s] {
+					l.Exits = append(l.Exits, LoopExit{From: b, To: s})
+				}
+			}
+		}
+		loops = append(loops, *l)
+	}
+	// Sort outermost-first (larger body first, header ID tiebreak) for a
+	// deterministic order.
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			li, lj := &loops[i], &loops[j]
+			if len(lj.Blocks) > len(li.Blocks) ||
+				(len(lj.Blocks) == len(li.Blocks) && lj.Header < li.Header) {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	// Parent links: innermost enclosing loop = smallest strictly-containing.
+	for i := range loops {
+		best, bestSize := -1, 1<<30
+		for j := range loops {
+			if i == j {
+				continue
+			}
+			if len(loops[j].Blocks) <= len(loops[i].Blocks) {
+				continue
+			}
+			if loops[j].Blocks[loops[i].Header] && len(loops[j].Blocks) < bestSize {
+				best, bestSize = j, len(loops[j].Blocks)
+			}
+		}
+		loops[i].Parent = best
+	}
+	return loops
+}
+
+// LoopHeaders returns the set of loop-header block IDs.
+func (c *CFG) LoopHeaders() map[int]bool {
+	hs := map[int]bool{}
+	for _, l := range c.Loops() {
+		hs[l.Header] = true
+	}
+	return hs
+}

@@ -1,0 +1,185 @@
+// Package cache models the on-chip cache hierarchy of the Capri machine:
+// per-core L1 data caches and a shared L2, with LRU set-associative timing
+// and dirty-line tracking. Caches are timing/traffic structures — functional
+// values live in the architectural memory — but they carry per-line store
+// sequence metadata so that evicted dirty lines generate writebacks tagged
+// with the newest store that dirtied them, which is what the back-end proxy's
+// valid-bit scan keys on (paper §5.3).
+package cache
+
+import "capri/internal/mem"
+
+// Writeback describes a dirty line eviction travelling toward the memory
+// controller.
+type Writeback struct {
+	Line  uint64   // line address
+	Words []uint64 // dirty word addresses within the line
+	Seq   uint64   // newest store sequence among the dirty words
+	Core  int      // core whose store most recently dirtied the line
+}
+
+// line is one cache line's metadata.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	seq   uint64 // newest store seq
+	core  int
+	words uint64 // dirty-word bitmap (8 words per 64B line)
+	lru   uint64
+}
+
+// Cache is a set-associative writeback cache.
+type Cache struct {
+	sets  [][]line
+	ways  int
+	clock uint64
+
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// New builds a cache with the given capacity in bytes and associativity.
+func New(capacity uint64, ways int) *Cache {
+	nlines := capacity / mem.LineSize
+	nsets := int(nlines) / ways
+	if nsets == 0 {
+		nsets = 1
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*ways)
+	for i := range sets {
+		sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return &Cache{sets: sets, ways: ways}
+}
+
+func (c *Cache) set(lineAddr uint64) []line {
+	return c.sets[(lineAddr/mem.LineSize)%uint64(len(c.sets))]
+}
+
+// Lookup probes the cache without modifying state. It reports a hit.
+func (c *Cache) Lookup(addr uint64) bool {
+	la := mem.LineAddr(addr)
+	for i := range c.set(la) {
+		l := &c.set(la)[i]
+		if l.valid && l.tag == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a read or write access to addr by core. For writes, seq is
+// the store's global sequence number. It returns whether the access hit and,
+// when the fill evicted a dirty line, the resulting writeback.
+func (c *Cache) Access(addr uint64, write bool, seq uint64, core int) (hit bool, wb *Writeback) {
+	la := mem.LineAddr(addr)
+	set := c.set(la)
+	c.clock++
+
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == la {
+			c.Hits++
+			l.lru = c.clock
+			if write {
+				l.dirty = true
+				l.words |= 1 << ((addr % mem.LineSize) / mem.WordSize)
+				if seq > l.seq {
+					l.seq = seq
+					l.core = core
+				}
+			}
+			return true, nil
+		}
+	}
+	c.Misses++
+
+	// Choose a victim: first invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto fill
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].dirty {
+		c.Evictions++
+		wb = wbOf(&set[victim])
+	}
+fill:
+	l := &set[victim]
+	*l = line{tag: la, valid: true, lru: c.clock}
+	if write {
+		l.dirty = true
+		l.seq = seq
+		l.core = core
+		l.words = 1 << ((addr % mem.LineSize) / mem.WordSize)
+	}
+	return false, wb
+}
+
+func wbOf(l *line) *Writeback {
+	wb := &Writeback{Line: l.tag, Seq: l.seq, Core: l.core}
+	for w := uint64(0); w < mem.LineSize/mem.WordSize; w++ {
+		if l.words&(1<<w) != 0 {
+			wb.Words = append(wb.Words, l.tag+w*mem.WordSize)
+		}
+	}
+	return wb
+}
+
+// FlushAll evicts every dirty line, returning the writebacks in set order.
+// The machine uses it for the baseline (non-Capri) configuration's shutdown
+// and for tests; Capri itself never flushes caches (§4.1: "Capri does not
+// insert cache-flush instructions").
+func (c *Cache) FlushAll() []*Writeback {
+	var out []*Writeback
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.valid && l.dirty {
+				out = append(out, wbOf(l))
+				l.dirty = false
+				l.words = 0
+			}
+		}
+	}
+	return out
+}
+
+// Invalidate drops the line containing addr if present, returning its
+// writeback if it was dirty. Used by the coherence glue when another core
+// writes the same line.
+func (c *Cache) Invalidate(addr uint64) *Writeback {
+	la := mem.LineAddr(addr)
+	set := c.set(la)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == la {
+			var wb *Writeback
+			if l.dirty {
+				wb = wbOf(l)
+			}
+			l.valid = false
+			l.dirty = false
+			l.words = 0
+			return wb
+		}
+	}
+	return nil
+}
+
+// Reset clears the cache (power failure: all volatile contents lost).
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi] = line{}
+		}
+	}
+}

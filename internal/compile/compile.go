@@ -1,0 +1,193 @@
+package compile
+
+import (
+	"fmt"
+
+	"capri/internal/analysis"
+	"capri/internal/isa"
+	"capri/internal/prog"
+)
+
+// Stats reports what the compiler did and the static region shape of the
+// output — the raw material for the paper's Figures 10 and 11.
+type Stats struct {
+	// Regions is the number of static regions formed (boundary blocks).
+	Regions int
+	// CkptsInserted counts checkpoint stores inserted by §4.2.
+	CkptsInserted int
+	// CkptsPruned counts checkpoints removed by optimal pruning (§4.4.1).
+	CkptsPruned int
+	// CkptsHoisted counts def+checkpoint pairs LICM moved out of loops
+	// (§4.4.2).
+	CkptsHoisted int
+	// LoopsUnrolled / UnrollCopies report speculative unrolling activity
+	// (§4.3).
+	LoopsUnrolled int
+	UnrollCopies  int
+	// CallsInlined counts call sites removed by the inlining extension.
+	CallsInlined int
+	// Static program shape after compilation.
+	Static prog.StaticStats
+}
+
+// Result is a compiled program plus its statistics.
+type Result struct {
+	Program *prog.Program
+	Options Options
+	Stats   Stats
+}
+
+// Compile runs the Capri pass pipeline over a copy of p:
+//
+//	canonicalize → speculative unrolling → region formation →
+//	checkpoint insertion → checkpoint pruning → checkpoint LICM →
+//	boundary materialization → verification
+//
+// The input program is not modified. Compile returns an error if the
+// resulting regions could violate the store threshold (which would overflow
+// the back-end proxy buffer) or the program fails structural verification.
+func Compile(p *prog.Program, opts Options) (*Result, error) {
+	if opts.Threshold <= 0 {
+		return nil, fmt.Errorf("compile: threshold must be positive, got %d", opts.Threshold)
+	}
+	if opts.MaxUnroll <= 0 {
+		// Automatic cap: larger proxy buffers admit longer regions.
+		opts.MaxUnroll = opts.Threshold / 40
+		if opts.MaxUnroll < 2 {
+			opts.MaxUnroll = 2
+		}
+		if opts.MaxUnroll > 16 {
+			opts.MaxUnroll = 16
+		}
+	}
+	out := p.Clone()
+	res := &Result{Program: out, Options: opts}
+
+	canonicalize(out)
+	if err := out.Verify(); err != nil {
+		return nil, fmt.Errorf("compile: after canonicalize: %w", err)
+	}
+
+	if opts.Inline && !opts.NaiveRegions {
+		is := inlineCalls(out, opts.InlineMaxInsts)
+		res.Stats.CallsInlined = is.CallsInlined
+		removeDeadFuncs(out)
+		if err := out.Verify(); err != nil {
+			return nil, fmt.Errorf("compile: after inline: %w", err)
+		}
+	}
+
+	if opts.Unroll && !opts.NaiveRegions {
+		us := unrollLoops(out, opts)
+		res.Stats.LoopsUnrolled = us.LoopsUnrolled
+		res.Stats.UnrollCopies = us.CopiesMade
+		if err := out.Verify(); err != nil {
+			return nil, fmt.Errorf("compile: after unroll: %w", err)
+		}
+	}
+
+	// Region formation + checkpoint insertion, iterated: checkpoints are
+	// stores, so inserting them can overflow a region sized with estimates
+	// only. Re-running boundary placement with the real instruction mix
+	// converges quickly (estimates only ever shrink toward reality).
+	const maxRounds = 4
+	for round := 0; ; round++ {
+		for _, f := range out.Funcs {
+			cfg := analysis.BuildCFG(f)
+			lv := analysis.ComputeLiveness(cfg)
+			est := ckptEstimate(cfg, lv)
+			if round > 0 {
+				// Real checkpoints are in the instruction stream now; no
+				// estimate needed.
+				est = nil
+			}
+			placeBoundaries(out, f, opts, est)
+		}
+		if opts.InsertCheckpoints {
+			stripCheckpoints(out)
+			cc := newCkptContext(out)
+			total := 0
+			for fi := range out.Funcs {
+				total += insertCheckpoints(out, fi, cc)
+			}
+			res.Stats.CkptsInserted = total
+		}
+		violated := false
+		for _, f := range out.Funcs {
+			if err := verifyThreshold(f, opts.Threshold); err != nil {
+				violated = true
+				break
+			}
+		}
+		if !violated {
+			break
+		}
+		if round == maxRounds-1 {
+			for _, f := range out.Funcs {
+				if err := verifyThreshold(f, opts.Threshold); err != nil {
+					return nil, fmt.Errorf("compile: %w (after %d rounds)", err, maxRounds)
+				}
+			}
+		}
+	}
+
+	if (opts.Prune || opts.LICM) && opts.InsertCheckpoints {
+		// Both passes reason about where a value may still be consumed, so
+		// their liveness must see through calls via the may-read summaries.
+		cc := newCkptContext(out)
+		callUse := func(callee int32) analysis.RegSet { return cc.mayRead[callee] }
+		if opts.Prune {
+			for _, f := range out.Funcs {
+				res.Stats.CkptsPruned += pruneCheckpoints(f, callUse)
+			}
+		}
+		if opts.LICM {
+			for _, f := range out.Funcs {
+				res.Stats.CkptsHoisted += licmCheckpoints(f, callUse)
+			}
+		}
+	}
+
+	for _, f := range out.Funcs {
+		materializeBoundaries(f)
+	}
+	if err := out.Verify(); err != nil {
+		return nil, fmt.Errorf("compile: after materialize: %w", err)
+	}
+	// Final hard check of the threshold invariant with boundaries in place.
+	for _, f := range out.Funcs {
+		if err := verifyThreshold(f, opts.Threshold); err != nil {
+			return nil, fmt.Errorf("compile: final check: %w", err)
+		}
+	}
+
+	res.Stats.Static = out.Stats()
+	res.Stats.Regions = res.Stats.Static.Boundaries
+	return res, nil
+}
+
+// MustCompile is Compile for tests and examples where failure is a bug.
+func MustCompile(p *prog.Program, opts Options) *Result {
+	r, err := Compile(p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// stripCheckpoints removes all OpCkpt instructions and recovery slices (used
+// between region-formation rounds so checkpoints are not double-inserted).
+func stripCheckpoints(p *prog.Program) {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			kept := b.Insts[:0]
+			for i := range b.Insts {
+				if b.Insts[i].Op != isa.OpCkpt {
+					kept = append(kept, b.Insts[i])
+				}
+			}
+			b.Insts = kept
+			b.RecoverySlices = nil
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package compile
+
+import (
+	"capri/internal/isa"
+	"capri/internal/prog"
+)
+
+// removeDeadFuncs drops functions unreachable from the thread entries via
+// the call graph — inlining routinely orphans its callees — and remaps
+// function IDs in calls, return sites and thread entries. Returns the number
+// of functions removed.
+func removeDeadFuncs(p *prog.Program) int {
+	reachable := map[int]bool{}
+	var work []int
+	for t := 0; t < p.NumThreads(); t++ {
+		e := p.EntryFunc(t)
+		if !reachable[e] {
+			reachable[e] = true
+			work = append(work, e)
+		}
+	}
+	for len(work) > 0 {
+		fi := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, b := range p.Funcs[fi].Blocks {
+			for i := range b.Insts {
+				if b.Insts[i].Op == isa.OpCall {
+					c := int(b.Insts[i].Callee)
+					if !reachable[c] {
+						reachable[c] = true
+						work = append(work, c)
+					}
+				}
+			}
+		}
+	}
+
+	if len(reachable) == len(p.Funcs) {
+		return 0
+	}
+
+	// Compact: old ID -> new ID.
+	remap := make([]int, len(p.Funcs))
+	var kept []*prog.Func
+	for _, f := range p.Funcs {
+		if reachable[f.ID] {
+			remap[f.ID] = len(kept)
+			f.ID = len(kept)
+			kept = append(kept, f)
+		} else {
+			remap[f.ID] = -1
+		}
+	}
+	removed := len(p.Funcs) - len(kept)
+	p.Funcs = kept
+
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Insts {
+				if b.Insts[i].Op == isa.OpCall {
+					b.Insts[i].Callee = int32(remap[b.Insts[i].Callee])
+				}
+			}
+		}
+	}
+	for i := range p.RetSites {
+		if nf := remap[p.RetSites[i].Func]; nf >= 0 {
+			p.RetSites[i].Func = nf
+		} else {
+			// Return sites inside removed functions are never referenced
+			// (their call instructions are gone); point them at function 0's
+			// entry so the table stays index-valid for Verify.
+			p.RetSites[i] = prog.RetSite{Func: 0, Block: p.Funcs[0].Entry, Index: 0}
+		}
+	}
+	for i := range p.ThreadEntries {
+		p.ThreadEntries[i] = remap[p.ThreadEntries[i]]
+	}
+	return removed
+}

@@ -1,0 +1,405 @@
+package compile
+
+import (
+	"capri/internal/analysis"
+	"capri/internal/isa"
+	"capri/internal/prog"
+)
+
+// Optimal checkpoint pruning (paper §4.4.1, after Penny).
+//
+// A checkpoint of register r can be removed when r's value is reconstructible
+// at recovery time from other checkpointed values: the defining instruction
+// is re-executable (pure over registers) and each operand's checkpoint slot
+// is guaranteed to still hold the operand's value at the def, at every
+// boundary the pruned checkpoint would have served. The pruned checkpoint is
+// replaced by a recovery slice attached to each served boundary block; the
+// recovery protocol executes the slice after reloading the register file
+// (paper Figure 3's "recovery block").
+//
+// Our reconstructibility check is deliberately conservative (see DESIGN.md):
+//
+//  1. the def of r immediately precedes the checkpoint, is re-executable,
+//     and may chain through up to sliceDepth earlier re-executable defs in
+//     the same block;
+//  2. every leaf operand s has a dominating checkpoint earlier in the same
+//     block with no intervening redefinition of s;
+//  3. from the def to every served boundary (forward walk bounded by
+//     pruneWalkLimit blocks), neither r nor any slice register is redefined
+//     or re-checkpointed, so the slot values the slice reads at recovery are
+//     exactly the values the slice needs.
+const (
+	sliceDepth     = 3
+	pruneWalkLimit = 1024
+)
+
+// pruneCheckpoints removes reconstructible checkpoints in f and attaches
+// recovery slices to the boundary blocks they served. callUse supplies the
+// transitive may-read summary per callee, making the liveness the walk uses
+// call-aware (a value consumed only by a callee must keep the walk alive up
+// to the call, where instPreserves then aborts conservatively). Returns the
+// number of checkpoints pruned.
+func pruneCheckpoints(f *prog.Func, callUse func(int32) analysis.RegSet) int {
+	cfg := analysis.BuildCFG(f)
+	lv := analysis.ComputeLivenessCallAware(cfg, callUse)
+	idom := cfg.Dominators()
+	pruned := 0
+
+	for _, id := range cfg.RPO {
+		b := f.Blocks[id]
+		for i := 0; i < len(b.Insts); i++ {
+			in := b.Insts[i]
+			if in.Op != isa.OpCkpt {
+				continue
+			}
+			r := in.Ra
+			if i == 0 {
+				continue
+			}
+			def := b.Insts[i-1]
+			if d, ok := def.Def(); !ok || d != r || !def.IsReexecutable() {
+				continue
+			}
+			slice, leaves, idxs, ok := buildSlice(b, i-1, sliceDepth)
+			if !ok || !sliceConsistent(b, i-1, leaves, idxs) {
+				continue
+			}
+			boundaries, regsOK := servedBoundaries(f, cfg, lv, id, i, r, leaves)
+			if !regsOK || len(boundaries) == 0 {
+				continue
+			}
+			// The slice must be the unique reaching definition of r at every
+			// served boundary: if any *other* def of r (e.g. a redefinition
+			// in a loop body) can reach a served boundary, executing the
+			// slice at recovery would overwrite the newer checkpointed
+			// value. (The forward walk above ends at redefs, so it cannot
+			// see paths that flow through them back to the boundary.)
+			if otherDefReaches(f, cfg, id, i-1, r, boundaries) {
+				continue
+			}
+			// A slice at boundary β is only correct if every path into β
+			// runs through this def (otherwise recovery would overwrite an r
+			// produced elsewhere), so the defining block must dominate every
+			// served boundary; and no boundary may already carry a slice for
+			// r from a different def.
+			valid := true
+			for _, bb := range boundaries {
+				if !analysis.Dominates(idom, f.Entry, id, bb) {
+					valid = false
+					break
+				}
+				if _, exists := f.Blocks[bb].RecoverySlices[r]; exists {
+					valid = false
+					break
+				}
+				// An earlier slice at this boundary may read r's checkpoint
+				// slot as a leaf; deleting r's checkpoint would leave that
+				// slice a stale slot, so the prune must not proceed.
+				if sliceLeafsOn(f.Blocks[bb], r) {
+					valid = false
+					break
+				}
+			}
+			if !valid {
+				continue
+			}
+			// Commit the prune: delete the ckpt, attach slices.
+			b.Insts = append(b.Insts[:i:i], b.Insts[i+1:]...)
+			for _, bb := range boundaries {
+				blk := f.Blocks[bb]
+				if blk.RecoverySlices == nil {
+					blk.RecoverySlices = map[isa.Reg][]isa.Inst{}
+				}
+				blk.RecoverySlices[r] = append([]isa.Inst(nil), slice...)
+			}
+			pruned++
+			i-- // re-examine the instruction now at index i
+		}
+	}
+	return pruned
+}
+
+// buildSlice builds the recovery slice ending at the def at index di of block
+// b: the def itself, preceded (recursively, up to depth) by re-executable
+// defs of its operands when those operands are not directly checkpointed.
+// Returns the slice in execution order, the set of leaf registers whose
+// checkpoint slots the slice reads, the original instruction indexes of the
+// slice members (ascending), and whether construction succeeded.
+//
+// The caller must additionally run sliceConsistent: the recursion validates
+// each operand locally, but a flattened slice is only executable over a
+// single register file when every involved register has exactly one version
+// across the whole range (see the version-conflict example there).
+func buildSlice(b *prog.Block, di int, depth int) ([]isa.Inst, analysis.RegSet, []int, bool) {
+	def := b.Insts[di]
+	var leaves analysis.RegSet
+	var slice []isa.Inst
+	var idxs []int
+
+	var operands []isa.Reg
+	operands = def.Uses(operands)
+	for _, s := range operands {
+		// Case 1: s checkpointed earlier in this block with no intervening
+		// redefinition — slot[s] holds the right value; s is a leaf.
+		if hasFreshCkptBefore(b, di, s) {
+			leaves.Add(s)
+			continue
+		}
+		// Case 2: recurse into s's defining instruction if it is the nearest
+		// def, re-executable and within depth.
+		if depth == 0 {
+			return nil, 0, nil, false
+		}
+		sdi, ok := nearestDefBefore(b, di, s)
+		if !ok || !b.Insts[sdi].IsReexecutable() {
+			return nil, 0, nil, false
+		}
+		sub, subLeaves, subIdxs, ok := buildSlice(b, sdi, depth-1)
+		if !ok {
+			return nil, 0, nil, false
+		}
+		slice = append(slice, sub...)
+		idxs = append(idxs, subIdxs...)
+		leaves = leaves.Union(subLeaves)
+	}
+	slice = append(slice, def)
+	idxs = append(idxs, di)
+	return slice, leaves, idxs, true
+}
+
+// sliceConsistent verifies the single-version property that makes a
+// flattened slice executable over one register file seeded from checkpoint
+// slots. Consider:
+//
+//	a = 1; b = a + 5; a = 2; d = a + b; ckpt d
+//
+// A naive slice for d would contain both defs of a, and replaying it
+// computes d from the wrong a. The sound condition: within
+// [min(slice idx), di], the only definitions of any involved register
+// (slice leaves and slice defs) are the slice instructions themselves, and
+// each slice instruction defines a distinct register. Leaf freshness before
+// the range is already guaranteed by hasFreshCkptBefore at each consumer,
+// and freshness after di by servedBoundaries' protected-set walk.
+func sliceConsistent(b *prog.Block, di int, leaves analysis.RegSet, idxs []int) bool {
+	inSlice := map[int]bool{}
+	lo := di
+	for _, j := range idxs {
+		if inSlice[j] {
+			// The same instruction pulled in via two operands is fine, but
+			// it would be appended twice; reject to keep slices minimal and
+			// replay-safe.
+			return false
+		}
+		inSlice[j] = true
+		if j < lo {
+			lo = j
+		}
+	}
+	involved := leaves
+	seenDef := map[isa.Reg]bool{}
+	for j := range inSlice {
+		d, ok := b.Insts[j].Def()
+		if !ok {
+			return false
+		}
+		if seenDef[d] || leaves.Has(d) {
+			return false // two versions of one register in the slice
+		}
+		seenDef[d] = true
+		involved.Add(d)
+	}
+	for j := lo; j <= di; j++ {
+		if inSlice[j] {
+			continue
+		}
+		if d, ok := b.Insts[j].Def(); ok && involved.Has(d) {
+			return false // an outside def would change an involved version
+		}
+	}
+	return true
+}
+
+// hasFreshCkptBefore reports whether register s has an OpCkpt earlier in b
+// (before index di) with no redefinition of s between the checkpoint and di.
+func hasFreshCkptBefore(b *prog.Block, di int, s isa.Reg) bool {
+	for j := di - 1; j >= 0; j-- {
+		in := &b.Insts[j]
+		if in.Op == isa.OpCkpt && in.Ra == s {
+			return true
+		}
+		if d, ok := in.Def(); ok && d == s {
+			return false
+		}
+	}
+	return false
+}
+
+// nearestDefBefore finds the closest instruction before di defining s, with
+// no other def in between (by construction of the backward scan).
+func nearestDefBefore(b *prog.Block, di int, s isa.Reg) (int, bool) {
+	for j := di - 1; j >= 0; j-- {
+		if d, ok := b.Insts[j].Def(); ok && d == s {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// servedBoundaries walks forward from the checkpoint position (block id,
+// instruction index ci) collecting every boundary block at which r is live-in
+// and therefore relies on this checkpoint. The walk stops along a path once r
+// is redefined or dead. It fails (regsOK=false) if, anywhere in the walked
+// range, r or any slice leaf register is redefined or re-checkpointed — which
+// would make the recovery slice read stale or future slot values — or if the
+// walk exceeds pruneWalkLimit blocks.
+func servedBoundaries(f *prog.Func, cfg *analysis.CFG, lv *analysis.Liveness,
+	id, ci int, r isa.Reg, leaves analysis.RegSet) ([]int, bool) {
+
+	protect := leaves
+	protect.Add(r)
+
+	// Check the remainder of the defining block first. If the block returns
+	// while r's value is current, the value escapes to an unknown caller
+	// whose boundaries this intraprocedural walk cannot serve — abort (this
+	// is why the need analysis checkpointed it in the first place).
+	defBlk := f.Blocks[id]
+	for j := ci + 1; j < len(defBlk.Insts); j++ {
+		if !instPreserves(&defBlk.Insts[j], protect) {
+			return nil, false
+		}
+	}
+	if t, ok := defBlk.Terminator(); ok && t.Op == isa.OpRet {
+		return nil, false
+	}
+
+	var served []int
+	visited := map[int]bool{}
+	work := f.Blocks[id].Succs(nil)
+	steps := 0
+	for len(work) > 0 {
+		x := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visited[x] {
+			continue
+		}
+		visited[x] = true
+		if steps++; steps > pruneWalkLimit {
+			return nil, false
+		}
+		blk := f.Blocks[x]
+		if blk.BoundaryAt {
+			if lv.LiveIn[x].Has(r) {
+				served = append(served, x)
+			} else {
+				// r dead at this boundary: nothing to restore; stop path.
+				continue
+			}
+		} else if !lv.LiveIn[x].Has(r) {
+			continue
+		}
+		// Scan the block: if r is redefined, the path ends (a later def has
+		// its own checkpoint); any violation of the protected set fails.
+		ended := false
+		for j := range blk.Insts {
+			in := &blk.Insts[j]
+			if d, ok := in.Def(); ok && d == r {
+				ended = true
+				break
+			}
+			if !instPreserves(in, protect) {
+				return nil, false
+			}
+		}
+		if ended {
+			continue
+		}
+		// A live value reaching Ret escapes into the caller: its boundaries
+		// are outside this walk, so the prune would leave them a stale slot.
+		if t, ok := blk.Terminator(); ok && t.Op == isa.OpRet {
+			return nil, false
+		}
+		work = append(work, blk.Succs(nil)...)
+	}
+	return served, true
+}
+
+// otherDefReaches reports whether any definition of r other than the one at
+// (defBlock, defIdx) has a control-flow path to one of the given boundary
+// blocks. Reachability is over successor edges from the defining block
+// (paths within the block after the def fall through to its successors);
+// kills along the way are ignored — over-approximating keeps the check
+// sound.
+func otherDefReaches(f *prog.Func, cfg *analysis.CFG, defBlock, defIdx int, r isa.Reg, boundaries []int) bool {
+	isBoundary := map[int]bool{}
+	for _, b := range boundaries {
+		isBoundary[b] = true
+	}
+	reaches := func(from int) bool {
+		visited := map[int]bool{}
+		work := append([]int(nil), cfg.Succ[from]...)
+		for len(work) > 0 {
+			x := work[len(work)-1]
+			work = work[:len(work)-1]
+			if visited[x] {
+				continue
+			}
+			visited[x] = true
+			if isBoundary[x] {
+				return true
+			}
+			work = append(work, cfg.Succ[x]...)
+		}
+		return false
+	}
+	for _, blk := range f.Blocks {
+		for j := range blk.Insts {
+			if blk.ID == defBlock && j == defIdx {
+				continue
+			}
+			if d, ok := blk.Insts[j].Def(); ok && d == r {
+				if reaches(blk.ID) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// sliceLeafsOn reports whether any recovery slice already attached to the
+// block reads register r from its checkpoint slot (i.e. r is a leaf of the
+// slice: used before any slice instruction defines it).
+func sliceLeafsOn(b *prog.Block, r isa.Reg) bool {
+	for _, slice := range b.RecoverySlices {
+		var defined analysis.RegSet
+		var uses []isa.Reg
+		for i := range slice {
+			uses = slice[i].Uses(uses[:0])
+			for _, u := range uses {
+				if u == r && !defined.Has(r) {
+					return true
+				}
+			}
+			if d, ok := slice[i].Def(); ok {
+				defined.Add(d)
+			}
+		}
+	}
+	return false
+}
+
+// instPreserves reports whether the instruction neither redefines nor
+// re-checkpoints any protected register. Calls fail conservatively (the
+// callee may do either).
+func instPreserves(in *isa.Inst, protect analysis.RegSet) bool {
+	if in.Op == isa.OpCall {
+		return false
+	}
+	if in.Op == isa.OpCkpt && protect.Has(in.Ra) {
+		return false
+	}
+	if d, ok := in.Def(); ok && protect.Has(d) {
+		return false
+	}
+	return true
+}

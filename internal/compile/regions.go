@@ -1,0 +1,210 @@
+package compile
+
+import (
+	"fmt"
+
+	"capri/internal/analysis"
+	"capri/internal/isa"
+	"capri/internal/prog"
+)
+
+// placeBoundaries decides which blocks of f begin a region. Mandatory
+// boundaries (function entry, loop headers, sync blocks and their successors,
+// return sites) are fixed; optional boundaries are added only where needed so
+// that no path through a region executes more than opts.Threshold store-class
+// instructions. ckptEst supplies a per-block estimate of checkpoint stores to
+// be inserted later (paper §4.1 breaks the region/checkpoint circular
+// dependence the same way: estimate per initial region, then combine).
+//
+// Oversized single blocks (more stores than the threshold on their own) are
+// split first so a boundary can land mid-sequence.
+//
+// The traversal works because every cycle in the CFG passes through a loop
+// header, which is a mandatory boundary: the store-count recurrence below
+// only flows along forward edges of the resulting DAG.
+func placeBoundaries(p *prog.Program, f *prog.Func, opts Options, ckptEst func(b *prog.Block) int) {
+	// Split any block whose own store weight exceeds the threshold.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if cut, ok := oversizedCut(b, opts.Threshold, ckptEst); ok {
+				splitBlock(p, f, b, cut)
+				changed = true
+				break
+			}
+		}
+	}
+
+	cfg := analysis.BuildCFG(f)
+	mand := mandatoryBoundaries(p, f, cfg.LoopHeaders())
+	for _, b := range f.Blocks {
+		b.BoundaryAt = mand[b.ID]
+		if opts.NaiveRegions {
+			b.BoundaryAt = true
+		}
+	}
+	if opts.NaiveRegions {
+		return
+	}
+
+	// weight[b]: worst-case store count from the enclosing region's start to
+	// the end of b. Computed in RPO; a block becomes a boundary when carrying
+	// the incoming maximum through it would overflow the threshold.
+	weight := make([]int, len(f.Blocks))
+	for _, id := range cfg.RPO {
+		b := f.Blocks[id]
+		own := blockWeight(b, ckptEst)
+		maxIn := 0
+		for _, pr := range cfg.Pred[id] {
+			// Back edges always target loop headers, which are boundaries;
+			// their weight contribution is irrelevant because boundary
+			// blocks reset below. Forward edges from unprocessed blocks
+			// cannot occur in RPO for a DAG-with-headers.
+			if w := weight[pr]; w > maxIn {
+				maxIn = w
+			}
+		}
+		if !b.BoundaryAt && maxIn+own > opts.Threshold {
+			b.BoundaryAt = true
+		}
+		if b.BoundaryAt {
+			weight[id] = own
+		} else {
+			weight[id] = maxIn + own
+		}
+	}
+}
+
+// blockWeight is the store weight of one block: its store-class instructions
+// plus the estimated checkpoints it will receive.
+func blockWeight(b *prog.Block, ckptEst func(*prog.Block) int) int {
+	w := b.StoreCount()
+	if ckptEst != nil {
+		w += ckptEst(b)
+	}
+	return w
+}
+
+// oversizedCut returns an instruction index at which to split a block whose
+// own weight exceeds the threshold, keeping at most threshold/2 stores in the
+// prefix so later checkpoint insertion has headroom.
+func oversizedCut(b *prog.Block, threshold int, ckptEst func(*prog.Block) int) (int, bool) {
+	if blockWeight(b, ckptEst) <= threshold {
+		return 0, false
+	}
+	budget := threshold / 2
+	if budget < 1 {
+		budget = 1
+	}
+	stores := 0
+	for i := range b.Insts {
+		if b.Insts[i].IsTerminator() {
+			break
+		}
+		if b.Insts[i].IsStore() {
+			stores++
+			if stores > budget && i+1 < len(b.Insts) && !b.Insts[i+1].IsTerminator() {
+				return i + 1, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Region is one compiler-formed region: a boundary block plus every block
+// reachable from it without crossing another boundary.
+type Region struct {
+	// Head is the boundary block that starts the region.
+	Head int
+	// Blocks is the region's block set (includes Head).
+	Blocks map[int]bool
+	// MaxStores is the worst-case store-class count along any path through
+	// the region, counting actual instructions (checkpoints included).
+	MaxStores int
+}
+
+// regionsOf groups the function's blocks into regions given final boundary
+// flags. A non-boundary block reachable from multiple boundaries belongs to
+// every such region (regions may overlap across join points; the worst-case
+// store accounting covers all of them).
+func regionsOf(f *prog.Func) []Region {
+	cfg := analysis.BuildCFG(f)
+	var regions []Region
+	for _, id := range cfg.RPO {
+		if !f.Blocks[id].BoundaryAt {
+			continue
+		}
+		r := Region{Head: id, Blocks: map[int]bool{id: true}}
+		// Forward walk without crossing other boundaries.
+		work := []int{id}
+		for len(work) > 0 {
+			x := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, s := range cfg.Succ[x] {
+				if f.Blocks[s].BoundaryAt || r.Blocks[s] {
+					continue
+				}
+				r.Blocks[s] = true
+				work = append(work, s)
+			}
+		}
+		regions = append(regions, r)
+	}
+	// Worst-case store DP inside each region (regions are DAGs: any cycle
+	// would re-enter a boundary).
+	for i := range regions {
+		r := &regions[i]
+		memo := map[int]int{}
+		var walk func(b int) int
+		walk = func(b int) int {
+			if v, ok := memo[b]; ok {
+				return v
+			}
+			memo[b] = 0 // cycle guard; regions are acyclic so unused
+			best := 0
+			for _, s := range cfg.Succ[b] {
+				if r.Blocks[s] && s != r.Head {
+					if w := walk(s); w > best {
+						best = w
+					}
+				}
+			}
+			v := f.Blocks[b].StoreCount() + best
+			memo[b] = v
+			return v
+		}
+		r.MaxStores = walk(r.Head)
+	}
+	return regions
+}
+
+// verifyThreshold checks invariant 3 of DESIGN.md: no region's worst-case
+// store count exceeds the threshold. Returns the offending region if any.
+func verifyThreshold(f *prog.Func, threshold int) error {
+	for _, r := range regionsOf(f) {
+		if r.MaxStores > threshold {
+			return fmt.Errorf("func %s: region at b%d has worst-case %d stores > threshold %d",
+				f.Name, r.Head, r.MaxStores, threshold)
+		}
+	}
+	return nil
+}
+
+// materializeBoundaries inserts an explicit OpBoundary instruction at the
+// start of every boundary block so the architecture sees the region
+// delimiters in the instruction stream (paper §3.2: "region boundary
+// instructions").
+func materializeBoundaries(f *prog.Func) {
+	for _, b := range f.Blocks {
+		if !b.BoundaryAt {
+			continue
+		}
+		if len(b.Insts) > 0 && b.Insts[0].Op == isa.OpBoundary {
+			continue
+		}
+		b.Insts = append([]isa.Inst{{Op: isa.OpBoundary}}, b.Insts...)
+	}
+	// Return sites are at index 0 of their blocks after canonicalization, so
+	// prepending the boundary leaves them pointing at the boundary itself —
+	// exactly right: the boundary must execute when the callee returns.
+}

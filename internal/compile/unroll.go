@@ -1,0 +1,234 @@
+package compile
+
+import (
+	"capri/internal/analysis"
+	"capri/internal/isa"
+	"capri/internal/prog"
+)
+
+// Speculative loop unrolling (paper §4.3).
+//
+// Traditional unrolling needs the trip count; speculative unrolling does not:
+// it duplicates the loop *body and its exit condition* k times, so each
+// duplicated iteration can still leave the loop early. Only the original
+// header remains a loop header — and thus a mandatory region boundary — so a
+// region now covers up to k iterations, cutting boundary instructions and
+// per-iteration checkpoint stores by ~k.
+//
+// We unroll innermost loops whose store weight per iteration is small
+// relative to the threshold, choosing k ≈ threshold / weight capped at
+// MaxUnroll, mirroring the paper's goal of filling regions up to the store
+// budget.
+
+// unrollStats reports what the pass did.
+type unrollStats struct {
+	LoopsUnrolled int
+	CopiesMade    int
+}
+
+// unrollLoops applies speculative unrolling to every innermost loop of every
+// function, once per loop. Returns statistics.
+func unrollLoops(p *prog.Program, opts Options) unrollStats {
+	var st unrollStats
+	for _, f := range p.Funcs {
+		// Each transformation shifts the CFG, so re-analyze between loops;
+		// headers already processed are remembered (block IDs are stable —
+		// unrolling only appends blocks) so each original loop is unrolled
+		// exactly once.
+		processed := map[int]bool{}
+		for {
+			cfg := analysis.BuildCFG(f)
+			loops := cfg.Loops()
+			done := true
+			for i := range loops {
+				l := &loops[i]
+				if processed[l.Header] || !innermost(loops, i) || len(l.Latches) != 1 {
+					continue
+				}
+				processed[l.Header] = true
+				k := unrollFactor(f, l, opts)
+				if k <= 1 {
+					continue
+				}
+				if unrollLoop(p, f, cfg, l, k) {
+					st.LoopsUnrolled++
+					st.CopiesMade += k - 1
+					done = false
+					break // CFG changed; rebuild
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+	return st
+}
+
+// innermost reports whether loops[i] has no other loop nested inside it.
+func innermost(loops []analysis.Loop, i int) bool {
+	for j := range loops {
+		if loops[j].Parent == i {
+			return false
+		}
+	}
+	return true
+}
+
+// loopStoreWeight estimates the store-class weight of one iteration: the
+// worst-case path store count through the loop body plus an estimate of one
+// checkpoint per live-out def (matching ckptEstimate's shape).
+func loopStoreWeight(f *prog.Func, l *analysis.Loop) int {
+	w := 0
+	defs := map[isa.Reg]bool{}
+	for id := range l.Blocks {
+		b := f.Blocks[id]
+		w += b.StoreCount()
+		for i := range b.Insts {
+			if d, ok := b.Insts[i].Def(); ok {
+				defs[d] = true
+			}
+		}
+	}
+	return w + len(defs)
+}
+
+// unrollFactor picks the duplication count for loop l.
+func unrollFactor(f *prog.Func, l *analysis.Loop, opts Options) int {
+	// Refuse loops containing calls or syncs: calls re-enter boundary
+	// territory anyway and sync blocks are mandatory boundaries, so
+	// unrolling buys nothing.
+	for id := range l.Blocks {
+		b := f.Blocks[id]
+		for i := range b.Insts {
+			if b.Insts[i].Op == isa.OpCall || b.Insts[i].IsMandatoryBoundary() {
+				return 1
+			}
+		}
+	}
+	w := loopStoreWeight(f, l)
+	if w <= 0 {
+		w = 1
+	}
+	k := opts.Threshold / (2 * w) // headroom: fill ~half the budget
+	if k > opts.MaxUnroll {
+		k = opts.MaxUnroll
+	}
+	if k < 1 {
+		k = 1
+	}
+	// Bound code growth for large bodies.
+	if sz := loopInstCount(f, l); sz*k > 4096 {
+		k = 4096 / sz
+		if k < 1 {
+			k = 1
+		}
+	}
+	return k
+}
+
+func loopInstCount(f *prog.Func, l *analysis.Loop) int {
+	n := 0
+	for id := range l.Blocks {
+		n += len(f.Blocks[id].Insts)
+	}
+	return n
+}
+
+// unrollLoop duplicates the loop body (header included) k-1 times. The
+// original latch's back edge is redirected to the first copy's header; each
+// copy's latch feeds the next copy's header; the last copy's latch keeps the
+// back edge to the original header, closing the loop. Exit edges in every
+// copy keep their original out-of-loop targets — the "duplicate the exit
+// condition" trick of Figure 2(c), which is what makes the unrolling safe
+// without knowing the trip count.
+func unrollLoop(p *prog.Program, f *prog.Func, cfg *analysis.CFG, l *analysis.Loop, k int) bool {
+	if k <= 1 {
+		return false
+	}
+	latch := l.Latches[0]
+
+	// Stable iteration order over the body.
+	var body []int
+	for _, id := range cfg.RPO {
+		if l.Blocks[id] {
+			body = append(body, id)
+		}
+	}
+
+	// redirect rewrites edges of blockID that point at `from` to point at
+	// `to`.
+	redirect := func(blockID, from, to int) {
+		t, ok := f.Blocks[blockID].Terminator()
+		if !ok {
+			return
+		}
+		switch t.Op {
+		case isa.OpBr:
+			if int(t.Target) == from {
+				t.Target = int32(to)
+			}
+		case isa.OpBrIf:
+			if int(t.Target) == from {
+				t.Target = int32(to)
+			}
+			if int(t.Else) == from {
+				t.Else = int32(to)
+			}
+		}
+	}
+
+	// Snapshot the pristine body before any edges are rewritten: later copies
+	// must not inherit redirects applied to earlier ones.
+	snapshot := map[int][]isa.Inst{}
+	for _, id := range body {
+		snapshot[id] = append([]isa.Inst(nil), f.Blocks[id].Insts...)
+	}
+
+	prevLatch := latch // latch whose back edge should enter the next copy
+	for c := 1; c < k; c++ {
+		copyOf := map[int]int{}
+		for _, id := range body {
+			copyOf[id] = f.NewBlock().ID
+		}
+		for _, id := range body {
+			dst := f.Blocks[copyOf[id]]
+			dst.Insts = append(dst.Insts, snapshot[id]...)
+			if t, ok := dst.Terminator(); ok {
+				retarget := func(tgt *int32) {
+					old := int(*tgt)
+					if id == latch && old == l.Header {
+						// Keep the copied latch's back edge pointing at the
+						// original header; it either stays (last copy) or is
+						// redirected to the next copy below.
+						return
+					}
+					if nt, ok := copyOf[old]; ok {
+						*tgt = int32(nt)
+					}
+				}
+				switch t.Op {
+				case isa.OpBr:
+					retarget(&t.Target)
+				case isa.OpBrIf:
+					retarget(&t.Target)
+					retarget(&t.Else)
+				}
+			}
+			// Duplicated calls need fresh return-site tokens pointing into
+			// the copy (defensive: unrollFactor currently rejects loops with
+			// calls).
+			for i := range dst.Insts {
+				in := &dst.Insts[i]
+				if in.Op == isa.OpCall {
+					in.Imm = p.AddRetSite(prog.RetSite{Func: f.ID, Block: dst.ID, Index: i + 1})
+				}
+			}
+		}
+		// The previous latch now continues into this copy's header.
+		redirect(prevLatch, l.Header, copyOf[l.Header])
+		prevLatch = copyOf[latch]
+	}
+	// prevLatch (the last copy's latch) still targets l.Header: loop closed.
+	return true
+}

@@ -1,0 +1,124 @@
+// Package image serializes crash images to and from disk, so whole-system
+// persistence spans process lifetimes: a run can "lose power" in one
+// invocation (writing exactly the state the battery-backed hardware would
+// preserve — NVM plus the proxy buffer contents), and a later invocation
+// recovers from the file and resumes, as a rebooted machine would from its
+// physical NVM. See `caprirun -image` and the examples/persistent demo.
+//
+// The format is versioned JSON wrapped in gzip; it embeds the compiled
+// program so a recovering process needs nothing but the image file.
+package image
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"capri/internal/machine"
+	"capri/internal/mem"
+	"capri/internal/prog"
+	"capri/internal/proxy"
+)
+
+// Version identifies the on-disk format.
+const Version = 1
+
+// file is the serialized form of a machine.CrashImage.
+type file struct {
+	Version int
+	Program *prog.Program
+	Config  machine.Config
+	Records []machine.CoreRecord
+	Streams [][]proxy.Entry
+	Outputs [][]uint64
+	Seq     uint64
+	NVM     []mem.WordEntry
+}
+
+// Write serializes the crash image to w.
+func Write(w io.Writer, img *machine.CrashImage) error {
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	f := file{
+		Version: Version,
+		Program: img.Prog,
+		Config:  img.Cfg,
+		Records: img.Records,
+		Streams: img.Streams,
+		Outputs: img.Outputs,
+		Seq:     img.Seq,
+		NVM:     img.NVM.Entries(),
+	}
+	if err := enc.Encode(&f); err != nil {
+		gz.Close()
+		return fmt.Errorf("image: encode: %w", err)
+	}
+	return gz.Close()
+}
+
+// Read deserializes a crash image from r.
+func Read(r io.Reader) (*machine.CrashImage, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("image: %w", err)
+	}
+	defer gz.Close()
+	var f file
+	if err := json.NewDecoder(gz).Decode(&f); err != nil {
+		return nil, fmt.Errorf("image: decode: %w", err)
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("image: unsupported version %d (have %d)", f.Version, Version)
+	}
+	if f.Program == nil {
+		return nil, fmt.Errorf("image: missing embedded program")
+	}
+	if err := f.Program.Verify(); err != nil {
+		return nil, fmt.Errorf("image: embedded program: %w", err)
+	}
+	img := &machine.CrashImage{
+		Prog:    f.Program,
+		Cfg:     f.Config,
+		Records: f.Records,
+		Streams: f.Streams,
+		Outputs: f.Outputs,
+		Seq:     f.Seq,
+		NVM:     mem.NVMFromEntries(f.NVM),
+	}
+	if len(img.Records) != len(img.Streams) || len(img.Records) != len(img.Outputs) {
+		return nil, fmt.Errorf("image: inconsistent core counts (%d records, %d streams, %d outputs)",
+			len(img.Records), len(img.Streams), len(img.Outputs))
+	}
+	return img, nil
+}
+
+// Save writes the crash image to a file (atomically via a temp rename).
+func Save(path string, img *machine.CrashImage) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, img); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a crash image from a file.
+func LoadFile(path string) (*machine.CrashImage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,197 @@
+package image
+
+import (
+	"bytes"
+	"compress/gzip"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/machine"
+	"capri/internal/progen"
+)
+
+// makeCrashImage runs a generated program to a crash point and returns both
+// the image and the golden outputs of a crash-free run.
+func makeCrashImage(t *testing.T, seed uint64, crashAt uint64) (*machine.CrashImage, [][]uint64) {
+	t.Helper()
+	gcfg := progen.DefaultConfig()
+	gcfg.Threads = 2
+	p := progen.Generate(seed, gcfg)
+	res, err := compile.Compile(p, compile.OptionsForLevel(compile.LevelLICM, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 2
+	cfg.Threshold = 32
+	cfg.L2Size = 256 << 10
+	cfg.DRAMSize = 1 << 20
+
+	g, err := machine.New(res.Program, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var golden [][]uint64
+	for th := 0; th < p.NumThreads(); th++ {
+		golden = append(golden, g.Output(th))
+	}
+
+	m, _ := machine.New(res.Program, cfg)
+	if err := m.RunUntil(crashAt); err != nil {
+		t.Fatal(err)
+	}
+	if m.Done() {
+		t.Skip("program finished before crash point")
+	}
+	img, err := m.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, golden
+}
+
+func TestRoundTripInMemory(t *testing.T) {
+	img, golden := makeCrashImage(t, 7, 400)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	img2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if img2.Seq != img.Seq {
+		t.Errorf("seq %d != %d", img2.Seq, img.Seq)
+	}
+	if !reflect.DeepEqual(img2.Records, img.Records) {
+		t.Error("records differ after round trip")
+	}
+	if !reflect.DeepEqual(img2.Streams, img.Streams) {
+		t.Error("streams differ after round trip")
+	}
+	if !reflect.DeepEqual(img2.NVM.Snapshot(), img.NVM.Snapshot()) {
+		t.Error("NVM image differs after round trip")
+	}
+
+	// Recovery from the deserialized image must reach the golden state.
+	r, _, err := machine.Recover(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for th := range golden {
+		if !reflect.DeepEqual(r.Output(th), golden[th]) {
+			t.Errorf("thread %d: output %v, golden %v", th, r.Output(th), golden[th])
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	img, golden := makeCrashImage(t, 11, 300)
+	path := filepath.Join(t.TempDir(), "crash.img")
+	if err := Save(path, img); err != nil {
+		t.Fatal(err)
+	}
+	img2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := machine.Recover(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for th := range golden {
+		if !reflect.DeepEqual(r.Output(th), golden[th]) {
+			t.Errorf("thread %d diverged after file round trip", th)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadRejectsWrongVersion(t *testing.T) {
+	img, _ := makeCrashImage(t, 13, 200)
+	var buf bytes.Buffer
+	if err := Write(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with a bumped version by poking the JSON (decompress,
+	// tweak, recompress) — simpler: write a minimal bad-version payload.
+	var bad bytes.Buffer
+	writeRaw(t, &bad, `{"Version":999}`)
+	if _, err := Read(&bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestReadRejectsMissingProgram(t *testing.T) {
+	var bad bytes.Buffer
+	writeRaw(t, &bad, `{"Version":1}`)
+	if _, err := Read(&bad); err == nil {
+		t.Error("missing program accepted")
+	}
+}
+
+func TestCrashRecoverAcrossSerializationSweep(t *testing.T) {
+	// The end-to-end property: for several crash points, serialize +
+	// deserialize + recover + resume == golden.
+	for _, crashAt := range []uint64{50, 250, 800, 2000} {
+		img, golden := makeCrashImage(t, 21, crashAt)
+		var buf bytes.Buffer
+		if err := Write(&buf, img); err != nil {
+			t.Fatal(err)
+		}
+		img2, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, rep, err := machine.Recover(img2)
+		if err != nil {
+			t.Fatalf("crash@%d: %v", crashAt, err)
+		}
+		if rep.ConflictingUndo != 0 {
+			t.Errorf("crash@%d: conflicting undos", crashAt)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatalf("crash@%d: %v", crashAt, err)
+		}
+		for th := range golden {
+			if !reflect.DeepEqual(r.Output(th), golden[th]) {
+				t.Errorf("crash@%d thread %d: output %v, golden %v",
+					crashAt, th, r.Output(th), golden[th])
+			}
+		}
+	}
+}
+
+// writeRaw gzips a raw JSON string into buf.
+func writeRaw(t *testing.T, buf *bytes.Buffer, payload string) {
+	t.Helper()
+	gz := newGzip(buf)
+	if _, err := gz.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newGzip is a tiny indirection so the test file compiles without importing
+// compress/gzip at every call site.
+func newGzip(buf *bytes.Buffer) *gzip.Writer { return gzip.NewWriter(buf) }

@@ -1,0 +1,256 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	if got := Reg(0).String(); got != "r0" {
+		t.Errorf("Reg(0) = %q, want r0", got)
+	}
+	if got := SP.String(); got != "sp" {
+		t.Errorf("SP = %q, want sp", got)
+	}
+	if !Reg(31).Valid() {
+		t.Error("Reg(31) should be valid")
+	}
+	if Reg(32).Valid() {
+		t.Error("Reg(32) should be invalid")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpAdd:       "add",
+		OpStore:     "store",
+		OpBoundary:  "rgn.boundary",
+		OpCkpt:      "ckpt",
+		OpAtomicCAS: "amocas",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(op), got, want)
+		}
+		if !op.Valid() {
+			t.Errorf("%s should be valid", want)
+		}
+	}
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid should not be valid")
+	}
+	if opMax.Valid() {
+		t.Error("opMax should not be valid")
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b uint64
+		want bool
+	}{
+		{CondEQ, 5, 5, true},
+		{CondEQ, 5, 6, false},
+		{CondNE, 5, 6, true},
+		{CondLT, 3, 4, true},
+		{CondLT, 4, 3, false},
+		// Signed comparison: ^uint64(0) is -1.
+		{CondLT, ^uint64(0), 0, true},
+		{CondGT, 0, ^uint64(0), true},
+		{CondLE, 4, 4, true},
+		{CondGE, 4, 4, true},
+		{CondGE, 3, 4, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Eval(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s.Eval(%d,%d) = %v, want %v", tc.c, int64(tc.a), int64(tc.b), got, tc.want)
+		}
+	}
+}
+
+func TestCondNegateIsInvolution(t *testing.T) {
+	for c := CondEQ; c <= CondGE; c++ {
+		if c.Negate().Negate() != c {
+			t.Errorf("Negate(Negate(%s)) != %s", c, c)
+		}
+	}
+}
+
+func TestCondNegateFlipsTruth(t *testing.T) {
+	f := func(c8 uint8, a, b int64) bool {
+		c := Cond(c8 % 6)
+		return c.Eval(uint64(a), uint64(b)) != c.Negate().Eval(uint64(a), uint64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsStoreClassification(t *testing.T) {
+	store := Inst{Op: OpStore}
+	ckpt := Inst{Op: OpCkpt}
+	amo := Inst{Op: OpAtomicAdd}
+	load := Inst{Op: OpLoad}
+
+	if !store.IsStore() || !ckpt.IsStore() || !amo.IsStore() {
+		t.Error("store/ckpt/amo must all count against the region threshold")
+	}
+	if load.IsStore() {
+		t.Error("load is not a store")
+	}
+	if !store.IsRegularStore() || !amo.IsRegularStore() {
+		t.Error("store/amo are regular stores")
+	}
+	if ckpt.IsRegularStore() {
+		t.Error("checkpoint stores bypass the front-end proxy (paper §5.2.1)")
+	}
+}
+
+func TestMandatoryBoundaries(t *testing.T) {
+	for _, op := range []Op{OpFence, OpAtomicAdd, OpAtomicCAS, OpLock, OpUnlock, OpBarrier} {
+		in := Inst{Op: op}
+		if !in.IsMandatoryBoundary() {
+			t.Errorf("%s must be a mandatory region boundary", op)
+		}
+	}
+	for _, op := range []Op{OpStore, OpLoad, OpAdd, OpBr} {
+		in := Inst{Op: op}
+		if in.IsMandatoryBoundary() {
+			t.Errorf("%s must not be a mandatory boundary", op)
+		}
+	}
+}
+
+func TestDefUses(t *testing.T) {
+	add := Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3}
+	if d, ok := add.Def(); !ok || d != 1 {
+		t.Errorf("add def = %v,%v", d, ok)
+	}
+	uses := add.Uses(nil)
+	if len(uses) != 2 || uses[0] != 2 || uses[1] != 3 {
+		t.Errorf("add uses = %v", uses)
+	}
+
+	st := Inst{Op: OpStore, Ra: 4, Rb: 5}
+	if _, ok := st.Def(); ok {
+		t.Error("store defines no register")
+	}
+	uses = st.Uses(nil)
+	if len(uses) != 2 {
+		t.Errorf("store uses = %v", uses)
+	}
+
+	call := Inst{Op: OpCall}
+	uses = call.Uses(nil)
+	if len(uses) != 1 || uses[0] != SP {
+		t.Errorf("call must use SP, got %v", uses)
+	}
+
+	sel := Inst{Op: OpSel, Rd: 0, Ra: 1, Rb: 2, Rc: 3}
+	if got := len(sel.Uses(nil)); got != 3 {
+		t.Errorf("sel uses %d regs, want 3", got)
+	}
+}
+
+func TestReexecutable(t *testing.T) {
+	if !(&Inst{Op: OpAdd}).IsReexecutable() {
+		t.Error("add is re-executable")
+	}
+	if !(&Inst{Op: OpMovI}).IsReexecutable() {
+		t.Error("movi is re-executable")
+	}
+	for _, op := range []Op{OpLoad, OpStore, OpAtomicAdd, OpCall, OpEmit} {
+		if (&Inst{Op: op}).IsReexecutable() {
+			t.Errorf("%s must not be considered re-executable", op)
+		}
+	}
+}
+
+func TestTerminators(t *testing.T) {
+	for _, op := range []Op{OpBr, OpBrIf, OpRet, OpHalt} {
+		if !(&Inst{Op: op}).IsTerminator() {
+			t.Errorf("%s is a terminator", op)
+		}
+	}
+	if (&Inst{Op: OpCall}).IsTerminator() {
+		t.Error("call is not a terminator (control falls through on return)")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpMovI, Rd: 4, Imm: 7}, "movi r4, #7"},
+		{Inst{Op: OpLoad, Rd: 1, Ra: 2, Imm: 16}, "load r1, [r2+16]"},
+		{Inst{Op: OpStore, Ra: 2, Imm: 8, Rb: 3}, "store [r2+8], r3"},
+		{Inst{Op: OpBr, Target: 5}, "br b5"},
+		{Inst{Op: OpCkpt, Ra: 9}, "ckpt r9"},
+		{Inst{Op: OpBoundary}, "rgn.boundary"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestInstStringCoversAllOpcodes(t *testing.T) {
+	// Every defined opcode must disassemble to something meaningful (no
+	// raw "op(N)" fallbacks for valid opcodes).
+	for op := OpInvalid + 1; op < opMax; op++ {
+		in := Inst{Op: op, Rd: 1, Ra: 2, Rb: 3, Rc: 4, Imm: 8, Target: 1, Else: 2}
+		s := in.String()
+		if s == "" {
+			t.Errorf("%v disassembles to empty string", uint8(op))
+		}
+		if len(s) >= 3 && s[:3] == "op(" {
+			t.Errorf("opcode %v has no mnemonic: %q", uint8(op), s)
+		}
+	}
+}
+
+func TestInstStringSpecificForms(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAddI, Rd: 1, Ra: 2, Imm: -4}, "addi r1, r2, #-4"},
+		{Inst{Op: OpMov, Rd: 1, Ra: 2}, "mov r1, r2"},
+		{Inst{Op: OpSel, Rd: 1, Ra: 2, Rb: 3, Rc: 4}, "sel r1, r2 ? r3 : r4"},
+		{Inst{Op: OpBrIf, Cond: CondLT, Ra: 1, Rb: 2, Target: 3, Else: 4}, "brif r1 lt r2 -> b3 else b4"},
+		{Inst{Op: OpCall, Callee: 2, Imm: 5}, "call f2 (tok 5)"},
+		{Inst{Op: OpAtomicAdd, Rd: 1, Ra: 2, Imm: 8, Rb: 3}, "amoadd r1, [r2+8], r3"},
+		{Inst{Op: OpAtomicCAS, Rd: 1, Ra: 2, Imm: 0, Rb: 3, Rc: 4}, "amocas r1, [r2+0], r3, r4"},
+		{Inst{Op: OpLock, Ra: 1, Imm: 16}, "lock [r1+16]"},
+		{Inst{Op: OpUnlock, Ra: 1, Imm: 0}, "unlock [r1+0]"},
+		{Inst{Op: OpEmit, Ra: 7}, "emit r7"},
+		{Inst{Op: OpRet}, "ret"},
+		{Inst{Op: OpHalt}, "halt"},
+		{Inst{Op: OpFence}, "fence"},
+		{Inst{Op: OpBarrier}, "barrier"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestUsesAllOpcodesConsistent(t *testing.T) {
+	// Uses/Def must never return invalid registers for any opcode.
+	for op := OpInvalid + 1; op < opMax; op++ {
+		in := Inst{Op: op, Rd: 1, Ra: 2, Rb: 3, Rc: 4}
+		for _, r := range in.Uses(nil) {
+			if !r.Valid() {
+				t.Errorf("%s uses invalid register %d", op, r)
+			}
+		}
+		if d, ok := in.Def(); ok && !d.Valid() {
+			t.Errorf("%s defines invalid register %d", op, d)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// ablationConfigs enumerates the design-choice switches of DESIGN.md.
+func ablationConfigs(base Config) map[string]Config {
+	noScan := base
+	noScan.NoScanInvalidate = true
+	noElide := base
+	noElide.NoElision = true
+	noMerge := base
+	noMerge.NoFrontMerge = true
+	noMerge.NoBackMerge = true
+	all := base
+	all.NoScanInvalidate = true
+	all.NoElision = true
+	all.NoFrontMerge = true
+	all.NoBackMerge = true
+	return map[string]Config{
+		"baseline": base,
+		"noScan":   noScan,
+		"noElide":  noElide,
+		"noMerge":  noMerge,
+		"allOff":   all,
+	}
+}
+
+// TestAblationsPreserveCorrectness: every ablation combination must produce
+// the same functional result and recover from crashes identically — only
+// performance and NVM traffic may change. The sequence guard is the formal
+// backstop that makes the scan/window optimizations safe to remove.
+func TestAblationsPreserveCorrectness(t *testing.T) {
+	src := sumProgram(200)
+	cp := compileFor(t, src, 16)
+	base := testConfig(16)
+
+	// Golden from the standard configuration.
+	mg, _ := New(cp, base)
+	if err := mg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	goldenOut := mg.Output(0)
+	total := mg.Instret()
+
+	for name, cfg := range ablationConfigs(base) {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			m, err := New(cp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(m.Output(0), goldenOut) {
+				t.Fatalf("output %v, want %v", m.Output(0), goldenOut)
+			}
+			// Crash sweep under the ablation.
+			step := total/19 + 1
+			for crashAt := uint64(1); crashAt < total; crashAt += step {
+				mc, _ := New(cp, cfg)
+				if err := mc.RunUntil(crashAt); err != nil {
+					t.Fatal(err)
+				}
+				if mc.Done() {
+					break
+				}
+				img, err := mc.Crash()
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, _, err := Recover(img)
+				if err != nil {
+					t.Fatalf("crash@%d: %v", crashAt, err)
+				}
+				if err := r.Run(); err != nil {
+					t.Fatalf("crash@%d resume: %v", crashAt, err)
+				}
+				if !reflect.DeepEqual(r.Output(0), goldenOut) {
+					t.Fatalf("crash@%d: output %v, want %v", crashAt, r.Output(0), goldenOut)
+				}
+			}
+		})
+	}
+}
+
+// TestAblationEffectsVisible checks that each switch actually changes the
+// machinery it targets (otherwise the ablation benches measure nothing).
+func TestAblationEffectsVisible(t *testing.T) {
+	src := sumProgram(400)
+	cp := compileFor(t, src, 16)
+	base := testConfig(16)
+
+	run := func(cfg Config) Stats {
+		m, err := New(cp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats()
+	}
+
+	std := run(base)
+
+	noMerge := base
+	noMerge.NoFrontMerge = true
+	noMerge.NoBackMerge = true
+	sm := run(noMerge)
+	if sm.FrontMerges != 0 {
+		t.Errorf("noMerge still merged %d entries", sm.FrontMerges)
+	}
+	if std.FrontMerges == 0 {
+		t.Error("baseline never merged (workload too cold for the ablation)")
+	}
+	if sm.NVMWrites <= std.NVMWrites {
+		t.Errorf("disabling merges should raise NVM writes: %d -> %d", std.NVMWrites, sm.NVMWrites)
+	}
+
+	noElide := base
+	noElide.NoElision = true
+	se := run(noElide)
+	if se.ElidedBds != 0 {
+		t.Errorf("noElide still elided %d boundaries", se.ElidedBds)
+	}
+	if se.BoundaryEntries <= std.BoundaryEntries {
+		t.Errorf("disabling elision should raise boundary entries: %d -> %d",
+			std.BoundaryEntries, se.BoundaryEntries)
+	}
+
+	noScan := base
+	noScan.NoScanInvalidate = true
+	ss := run(noScan)
+	if ss.ScanHits != 0 || ss.WindowHits != 0 {
+		t.Errorf("noScan still scanned: scan=%d window=%d", ss.ScanHits, ss.WindowHits)
+	}
+}

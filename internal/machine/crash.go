@@ -1,0 +1,200 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"capri/internal/isa"
+	"capri/internal/mem"
+	"capri/internal/prog"
+	"capri/internal/proxy"
+)
+
+// CrashImage is everything that survives a power failure (paper §3.3 / §5.4):
+// the NVM contents (program data plus the per-core recovery records and
+// durable output), and the battery-backed proxy buffer contents per core —
+// back-end entries first, then entries in flight on the proxy path, then
+// front-end entries, preserving FIFO order. All volatile state (registers,
+// caches, the DRAM cache, staged checkpoints of the uncommitted region) is
+// gone.
+type CrashImage struct {
+	Prog    *prog.Program
+	Cfg     Config
+	NVM     *mem.NVM
+	Records []CoreRecord
+	Streams [][]proxy.Entry
+	Outputs [][]uint64
+	Seq     uint64
+}
+
+// Crash harvests the persistent image of the machine. It can be taken at any
+// stopping point (typically after RunUntil hit its crash step). The machine
+// itself must not be used afterwards.
+func (m *Machine) Crash() (*CrashImage, error) {
+	if !m.cfg.Capri {
+		return nil, fmt.Errorf("machine: baseline (volatile) machine has no crash image")
+	}
+	if m.tracer != nil {
+		m.tracer.TraceCrash(m.Cycles())
+	}
+	img := &CrashImage{
+		Prog: m.prog,
+		Cfg:  m.cfg,
+		NVM:  m.nvm.Clone(),
+		Seq:  m.seq,
+	}
+	img.Records = append(img.Records, m.records...)
+	for _, c := range m.cores {
+		stream := make([]proxy.Entry, 0, c.back.Len()+c.path.InFlight()+c.front.Len())
+		stream = append(stream, c.back.Entries()...)
+		stream = append(stream, c.path.DrainAll()...)
+		stream = append(stream, c.front.Entries()...)
+		img.Streams = append(img.Streams, append([]proxy.Entry(nil), stream...))
+		img.Outputs = append(img.Outputs, append([]uint64(nil), c.output...))
+	}
+	return img, nil
+}
+
+// RecoveryReport describes what the recovery protocol did.
+type RecoveryReport struct {
+	RegionsRedone   int // committed regions replayed from proxy buffers
+	EntriesRedone   int // redo applications attempted
+	EntriesUndone   int // undo applications attempted
+	UndoneApplied   int // undos that actually rewrote NVM
+	SlicesExecuted  int // recovery slices run (pruned checkpoints)
+	CoresResumed    int
+	CoresHalted     int
+	ConflictingUndo int // cross-core uncommitted conflicts (0 for DRF code)
+}
+
+// Recover rebuilds a runnable machine from a crash image, implementing the
+// recovery protocol of §5.4:
+//
+//  1. For each core's entry stream, every region whose boundary (commit
+//     marker) is present is redone: valid redo data moves to NVM under the
+//     sequence guard and the marker's checkpoint payload updates the core's
+//     recovery record.
+//  2. Entries after the last marker belong to the interrupted region and are
+//     rolled back: undo data restores NVM, applied across cores in
+//     descending global store order.
+//  3. Each core reloads its architectural registers from the checkpoint
+//     record, executes the recovery slices of its resume block (pruned
+//     checkpoints, §4.4.1), and resumes at the recorded PC — the beginning
+//     of the interrupted region.
+func Recover(img *CrashImage) (*Machine, *RecoveryReport, error) {
+	return RecoverAttached(img)
+}
+
+// RecoverAttached is Recover with output devices registered before the
+// protocol runs, so regions that committed before the crash but had not yet
+// finished phase 2 deliver their output to the devices during replay —
+// preserving the exactly-once guarantee across the crash (§3.3's I/O story).
+func RecoverAttached(img *CrashImage, devices ...OutputDevice) (*Machine, *RecoveryReport, error) {
+	m, err := New(img.Prog, img.Cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.devices = append(m.devices, devices...)
+	rep := &RecoveryReport{}
+	m.nvm = img.NVM.Clone()
+	m.seq = img.Seq
+	copy(m.records, img.Records)
+	for t := range img.Outputs {
+		m.cores[t].output = append(m.cores[t].output[:0], img.Outputs[t]...)
+	}
+
+	// Phase A: replay committed regions from the buffers, in stream order.
+	type undoEntry struct {
+		e    proxy.Entry
+		core int
+	}
+	var uncommitted []undoEntry
+	for t, stream := range img.Streams {
+		var pending []proxy.Entry
+		for _, e := range stream {
+			if e.Kind == proxy.KindData {
+				pending = append(pending, e)
+				continue
+			}
+			// Commit marker: redo the region.
+			rep.RegionsRedone++
+			for _, d := range pending {
+				if d.Valid {
+					rep.EntriesRedone++
+					m.nvm.Write(d.Addr, d.Redo, d.Seq)
+				}
+			}
+			pending = pending[:0]
+			m.applyMarker(t, e)
+		}
+		for _, d := range pending {
+			uncommitted = append(uncommitted, undoEntry{e: d, core: t})
+		}
+	}
+
+	// Phase B: roll back the interrupted region(s), newest store first.
+	sort.Slice(uncommitted, func(i, j int) bool {
+		return uncommitted[i].e.Seq > uncommitted[j].e.Seq
+	})
+	seenAddr := map[uint64]int{}
+	for _, u := range uncommitted {
+		if prev, ok := seenAddr[u.e.Addr]; ok && prev != u.core {
+			// Two cores with uncommitted writes to one address: a data race
+			// (DRF programs synchronize through committed sync regions).
+			rep.ConflictingUndo++
+		}
+		seenAddr[u.e.Addr] = u.core
+		rep.EntriesUndone++
+		if m.nvm.Peek(u.e.Addr).Seq >= u.e.FirstSeq {
+			// NVM holds the effect of *some* store merged into this entry —
+			// a dirty writeback may have persisted any intermediate version
+			// of the region, not just the newest — so restore the pre-region
+			// image.
+			newSeq := uint64(0)
+			if u.e.FirstSeq > 0 {
+				newSeq = u.e.FirstSeq - 1
+			}
+			m.nvm.Restore(u.e.Addr, u.e.Undo, newSeq)
+			rep.UndoneApplied++
+		}
+	}
+
+	// Phase C: rebuild architectural memory from consistent NVM and resume
+	// every core at its last committed boundary.
+	m.mem = mem.FromSnapshot(m.nvm.Snapshot())
+	for t := range m.cores {
+		c := m.cores[t]
+		rec := m.records[t]
+		c.resumeAt(rec)
+		if rec.Halted {
+			rep.CoresHalted++
+			continue
+		}
+		if rec.Region > 0 {
+			blk := m.blockOf(rec.Fn, rec.Blk)
+			for _, slice := range orderedSlices(blk) {
+				execSlice(&c.regs, slice)
+				rep.SlicesExecuted++
+			}
+		}
+		rep.CoresResumed++
+	}
+	return m, rep, nil
+}
+
+// orderedSlices returns a block's recovery slices in ascending register order
+// so recovery is deterministic. Slices are mutually independent: a slice's
+// leaf registers always have surviving (unpruned) checkpoints, never another
+// slice's output (see prune.go's ascending-order processing).
+func orderedSlices(b *prog.Block) [][]isa.Inst {
+	if len(b.RecoverySlices) == 0 {
+		return nil
+	}
+	out := make([][]isa.Inst, 0, len(b.RecoverySlices))
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if s, ok := b.RecoverySlices[r]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/isa"
+	"capri/internal/prog"
+)
+
+// TestWritebackRaceFig7 forces the paper's Figure 7 scenario: dirty cache
+// writebacks persist data to NVM while the owning regions are still in
+// flight in the proxy buffers, so NVM transiently holds values *newer* than
+// the last committed boundary. A deliberately tiny cache maximizes
+// evictions. Recovery must use the undo images to roll NVM back to the
+// boundary state, for every crash point.
+func TestWritebackRaceFig7(t *testing.T) {
+	// The program rewrites a small set of hot words (merged in cache,
+	// evicted by conflicting cold traffic) — the same-address multi-region
+	// pattern of Figure 6/7.
+	bd := prog.NewBuilder("fig7")
+	f := bd.Func("main")
+	entry := f.Block()
+	header := f.Block()
+	body := f.Block()
+	exit := f.Block()
+
+	const (
+		rI    = isa.Reg(8)
+		rN    = isa.Reg(9)
+		rHot  = isa.Reg(10)
+		rCold = isa.Reg(11)
+		rV    = isa.Reg(12)
+		rOff  = isa.Reg(13)
+	)
+
+	f.SetBlock(entry)
+	f.MovI(isa.SP, int64(StackBase(0)))
+	f.MovI(rI, 0)
+	f.MovI(rN, 120)
+	f.MovI(rHot, int64(HeapBase))
+	f.MovI(rCold, int64(HeapBase)+1<<16)
+	f.MovI(rV, 1)
+	f.Br(header)
+
+	f.SetBlock(header)
+	f.BrIf(rI, isa.CondGE, rN, exit, body)
+
+	f.SetBlock(body)
+	// Read-modify-write on the hot word: if recovery ever leaves an
+	// uncommitted value in NVM, the reload after resume reads it and the
+	// final output diverges — making the Figure 7 rollback observable.
+	f.Load(rV, rHot, 0)
+	f.Add(rV, rV, rI)
+	f.AddI(rV, rV, 1)
+	f.Store(rHot, 0, rV) // address A of Figure 6: rewritten every region
+	f.Store(rHot, 8, rI)
+	// Cold conflicting traffic to force evictions of the hot line.
+	f.MulI(rOff, rI, 64)
+	f.OpI(isa.OpAndI, rOff, rOff, (1<<14)-1)
+	f.Add(rOff, rOff, rCold)
+	f.Store(rOff, 0, rV)
+	f.Load(rOff, rOff, 0)
+	f.AddI(rI, rI, 1)
+	f.Br(header)
+
+	f.SetBlock(exit)
+	f.Emit(rV)
+	f.Halt()
+	p := bd.Program()
+
+	opts := compile.DefaultOptions()
+	opts.Threshold = 64
+	opts.MaxUnroll = 8 // long regions: the hot line's writeback lands inside them
+	res, err := compile.Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tiny, direct-mapped-ish caches: hot lines are evicted constantly, so
+	// writebacks race the proxy path to NVM.
+	cfg := testConfig(64)
+	cfg.L1Size = 128
+	cfg.L1Ways = 1
+	cfg.L2Size = 128
+	cfg.L2Ways = 1
+	cfg.DRAMSize = 1 << 14
+	// A long proxy path delays phase 2, widening the race window.
+	cfg.ProxyLatency = 400
+	cfg.ProxyInterval = 16
+
+	golden, err := New(res.Program, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.Run(); err != nil {
+		t.Fatal(err)
+	}
+	goldenOut := golden.Output(0)
+	total := golden.Instret()
+
+	// Sanity: the scenario actually occurred — writebacks must have
+	// invalidated buffered redo entries at least once.
+	gs := golden.Stats()
+	if gs.ScanHits == 0 && gs.WindowHits == 0 && gs.NVMStaleSkips == 0 {
+		t.Fatal("test did not provoke any writeback/proxy race; tighten the config")
+	}
+
+	undoApplied := 0
+	step := total/151 + 1
+	for crashAt := uint64(1); crashAt < total; crashAt += step {
+		m, _ := New(res.Program, cfg)
+		if err := m.RunUntil(crashAt); err != nil {
+			t.Fatal(err)
+		}
+		if m.Done() {
+			break
+		}
+		img, err := m.Crash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, rep, err := Recover(img)
+		if err != nil {
+			t.Fatalf("crash@%d: %v", crashAt, err)
+		}
+		undoApplied += rep.UndoneApplied
+		if err := r.Run(); err != nil {
+			t.Fatalf("crash@%d resume: %v", crashAt, err)
+		}
+		if !reflect.DeepEqual(r.Output(0), goldenOut) {
+			t.Fatalf("crash@%d: output %v, want %v", crashAt, r.Output(0), goldenOut)
+		}
+	}
+	// The whole point of Figure 7: at least some crashes must have required
+	// rolling NVM *back* with undo data because a writeback persisted
+	// uncommitted values.
+	if undoApplied == 0 {
+		t.Error("no undo restore was ever applied: Figure 7's rollback path untested")
+	}
+}
+
+// TestNaiveRegionsUpTo2x reproduces the §1.4 claim that a naive
+// whole-system-persistence design (a region per basic block, no
+// optimizations) can slow programs down to ~2x.
+func TestNaiveRegionsUpTo2x(t *testing.T) {
+	// A branchy, call-dense program is the worst case for per-block regions.
+	bd := prog.NewBuilder("naive2x")
+	leaf := bd.Func("leaf")
+	leaf.Block()
+	leaf.AddI(isa.A0, isa.A0, 3)
+	leaf.Ret()
+
+	f := bd.Func("main")
+	entry := f.Block()
+	header := f.Block()
+	body := f.Block()
+	exit := f.Block()
+
+	f.SetBlock(entry)
+	f.MovI(isa.SP, int64(StackBase(0)))
+	f.MovI(8, 0)
+	f.MovI(9, 3000)
+	f.MovI(10, int64(HeapBase))
+	f.MovI(isa.A0, 1)
+	f.Br(header)
+	f.SetBlock(header)
+	f.BrIf(8, isa.CondGE, 9, exit, body)
+	f.SetBlock(body)
+	f.Call(leaf)
+	f.Store(10, 0, isa.A0)
+	f.AddI(8, 8, 1)
+	f.Br(header)
+	f.SetBlock(exit)
+	f.Emit(isa.A0)
+	f.Halt()
+	bd.SetThreadEntries(f)
+	p := bd.Program()
+
+	cfgB := testConfig(64)
+	cfgB.Capri = false
+	mb, _ := New(p, cfgB)
+	if err := mb.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := compile.Options{Threshold: 64, InsertCheckpoints: true, NaiveRegions: true, MaxUnroll: 1}
+	res, err := compile.Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, _ := New(res.Program, testConfig(64))
+	if err := mn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports "up to 2X" over full benchmarks; this micro is a
+	// deliberate worst case (a call and a store per tiny region), so the
+	// naive design lands deep in the multi-x regime.
+	ratio := float64(mn.Cycles()) / float64(mb.Cycles())
+	if ratio < 1.5 {
+		t.Errorf("naive slowdown = %.2fx, want the paper's >= 2X-class regime", ratio)
+	}
+	if ratio > 10.0 {
+		t.Errorf("naive slowdown = %.2fx, implausibly high", ratio)
+	}
+
+	// The full Capri pipeline must beat naive decisively.
+	full, err := compile.Compile(p, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, _ := New(full.Program, testConfig(256))
+	if err := mf.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mf.Cycles() >= mn.Cycles() {
+		t.Errorf("full pipeline (%d cycles) not faster than naive (%d)", mf.Cycles(), mn.Cycles())
+	}
+}

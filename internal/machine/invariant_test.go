@@ -1,0 +1,208 @@
+package machine
+
+import (
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/isa"
+	"capri/internal/prog"
+)
+
+// genLikeProgram builds a modest branchy/loopy program inline (the machine
+// package cannot import progen — progen depends on machine), so the
+// convergence invariant gets a richer subject than sumProgram.
+func genLikeProgram() *prog.Program {
+	bd := prog.NewBuilder("branchy")
+	f := bd.Func("main")
+	entry := f.Block()
+	oHdr := f.Block()
+	oBody := f.Block()
+	thenB := f.Block()
+	elseB := f.Block()
+	join := f.Block()
+	iHdr := f.Block()
+	iBody := f.Block()
+	oLatch := f.Block()
+	exit := f.Block()
+
+	const (
+		rI    = isa.Reg(8)
+		rJ    = isa.Reg(9)
+		rN    = isa.Reg(10)
+		rM    = isa.Reg(11)
+		rBase = isa.Reg(12)
+		rV    = isa.Reg(13)
+		rOff  = isa.Reg(14)
+		rTwo  = isa.Reg(15)
+	)
+
+	f.SetBlock(entry)
+	f.MovI(isa.SP, int64(StackBase(0)))
+	f.MovI(rI, 0)
+	f.MovI(rN, 40)
+	f.MovI(rM, 5)
+	f.MovI(rBase, int64(HeapBase))
+	f.MovI(rV, 3)
+	f.MovI(rTwo, 2)
+	f.Br(oHdr)
+
+	f.SetBlock(oHdr)
+	f.BrIf(rI, isa.CondGE, rN, exit, oBody)
+
+	f.SetBlock(oBody)
+	f.Op3(isa.OpRem, rOff, rI, rTwo)
+	f.BrIf(rOff, isa.CondEQ, rTwo, thenB, elseB) // never eq: always else
+	f.SetBlock(thenB)
+	f.MulI(rV, rV, 5)
+	f.Br(join)
+	f.SetBlock(elseB)
+	f.AddI(rV, rV, 11)
+	f.Store(rBase, 0, rV)
+	f.Br(join)
+
+	f.SetBlock(join)
+	f.MovI(rJ, 0)
+	f.Br(iHdr)
+	f.SetBlock(iHdr)
+	f.BrIf(rJ, isa.CondGE, rM, oLatch, iBody)
+	f.SetBlock(iBody)
+	f.OpI(isa.OpShlI, rOff, rJ, 3)
+	f.Add(rOff, rOff, rBase)
+	f.Store(rOff, 64, rV)
+	f.AddI(rJ, rJ, 1)
+	f.Br(iHdr)
+
+	f.SetBlock(oLatch)
+	f.AddI(rI, rI, 1)
+	f.Br(oHdr)
+
+	f.SetBlock(exit)
+	f.Emit(rV)
+	f.Halt()
+	bd.SetThreadEntries(f)
+	return bd.Program()
+}
+
+// TestQuiesceConvergence: after Run (which quiesces the proxy machinery),
+// the persisted NVM image must equal the architectural memory for every
+// touched word — whole-system persistence at completion, on a branchy
+// program and across thresholds.
+func TestQuiesceConvergence(t *testing.T) {
+	src := genLikeProgram()
+	for _, th := range []int{4, 16, 64, 256} {
+		opts := compile.DefaultOptions()
+		opts.Threshold = th
+		res, err := compile.Compile(src, opts)
+		if err != nil {
+			t.Fatalf("th=%d: %v", th, err)
+		}
+		m, _ := New(res.Program, testConfig(th))
+		if err := m.Run(); err != nil {
+			t.Fatalf("th=%d: %v", th, err)
+		}
+		memImg := m.MemSnapshot()
+		nvmImg := m.NVMSnapshot()
+		for a, v := range memImg {
+			if nvmImg[a] != v {
+				t.Errorf("th=%d: nvm[%#x]=%d mem=%d", th, a, nvmImg[a], v)
+			}
+		}
+		// And nothing extra in NVM that memory doesn't have.
+		for a, v := range nvmImg {
+			if v != 0 && memImg[a] != v {
+				t.Errorf("th=%d: stray nvm[%#x]=%d", th, a, v)
+			}
+		}
+	}
+}
+
+// TestBackpressureNeverDeadlocks: a pathological configuration (1-entry
+// front-end, tiny back-end via threshold 2, slow path) must still complete —
+// backpressure stalls, never wedges.
+func TestBackpressureNeverDeadlocks(t *testing.T) {
+	src := genLikeProgram()
+	opts := compile.DefaultOptions()
+	opts.Threshold = 2
+	res, err := compile.Compile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(2)
+	cfg.FrontEndEntries = 1
+	cfg.ProxyLatency = 500
+	cfg.ProxyInterval = 50
+	cfg.MaxSteps = 20_000_000
+	m, _ := New(res.Program, cfg)
+	if err := m.Run(); err != nil {
+		t.Fatalf("deadlock or budget blowout: %v", err)
+	}
+	if s := m.Stats(); s.FrontStalls == 0 {
+		t.Error("pathological config produced no stalls — backpressure untested")
+	}
+}
+
+// TestDebugPC sanity-checks the debug accessors used by the validation
+// harness.
+func TestDebugPC(t *testing.T) {
+	cp := compileFor(t, sumProgram(10), 16)
+	m, _ := New(cp, testConfig(16))
+	fn, blk, idx := m.DebugPC(0)
+	if fn != 0 || blk != cp.Funcs[0].Entry || idx != 0 {
+		t.Errorf("initial PC = (%d,%d,%d)", fn, blk, idx)
+	}
+	if err := m.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	_, _, idx2 := m.DebugPC(0)
+	if idx2 == 0 {
+		t.Error("PC did not advance")
+	}
+}
+
+// TestSchedulerPicksLaggard: with two threads of very different speeds, the
+// min-cycle scheduler must keep both progressing (the slow one is always
+// picked when behind), so completion requires both halting.
+func TestSchedulerPicksLaggard(t *testing.T) {
+	bd := prog.NewBuilder("two")
+	short := bd.Func("short")
+	short.Block()
+	short.MovI(isa.SP, int64(StackBase(0)))
+	short.MovI(8, 1)
+	short.Emit(8)
+	short.Halt()
+
+	long := bd.Func("long")
+	e := long.Block()
+	h := long.Block()
+	b := long.Block()
+	x := long.Block()
+	long.SetBlock(e)
+	long.MovI(isa.SP, int64(StackBase(1)))
+	long.MovI(8, 0)
+	long.MovI(9, 500)
+	long.Br(h)
+	long.SetBlock(h)
+	long.BrIf(8, isa.CondGE, 9, x, b)
+	long.SetBlock(b)
+	long.AddI(8, 8, 1)
+	long.Br(h)
+	long.SetBlock(x)
+	long.Emit(8)
+	long.Halt()
+	bd.SetThreadEntries(short, long)
+
+	cp := compileFor(t, bd.Program(), 32)
+	m, _ := New(cp, testConfig(32))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Fatal("not done")
+	}
+	if got := m.Output(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("short thread output = %v", got)
+	}
+	if got := m.Output(1); len(got) != 1 || got[0] != 500 {
+		t.Errorf("long thread output = %v", got)
+	}
+}

@@ -1,0 +1,315 @@
+package machine
+
+import (
+	"fmt"
+
+	"capri/internal/cache"
+	"capri/internal/isa"
+	"capri/internal/mem"
+	"capri/internal/prog"
+	"capri/internal/proxy"
+)
+
+// Memory map conventions for compiled programs. Workloads allocate heap data
+// from HeapBase upward; each thread's stack grows down from StackBase(core).
+const (
+	// HeapBase is where workload data begins.
+	HeapBase uint64 = 1 << 20
+	// stackSpan is the per-thread stack reservation.
+	stackSpan uint64 = 1 << 16
+	// stackTop is the top of the stack arena (stacks grow downward).
+	stackTop uint64 = 1 << 19
+)
+
+// StackBase returns the initial stack pointer for a hardware thread.
+func StackBase(core int) uint64 {
+	return stackTop - uint64(core)*stackSpan
+}
+
+// CoreRecord is the per-core recovery record that lives in NVM: the register
+// checkpoint array (paper §4.2's global checkpoint storage), the PC
+// checkpoint of the most recently committed region boundary, and the halt
+// flag. It is updated only when a boundary entry completes phase 2 (or, at
+// recovery, when a committed-but-undrained marker is replayed).
+type CoreRecord struct {
+	Regs   [isa.NumRegs]uint64
+	Fn     int32
+	Blk    int32
+	Idx    int32
+	Region uint64
+	Halted bool
+}
+
+// core is one hardware thread plus its private persistence plumbing.
+type core struct {
+	id    int
+	regs  [isa.NumRegs]uint64
+	fn    int
+	blk   int
+	idx   int
+	cycle uint64
+
+	halted bool
+
+	l1    *cache.Cache
+	front *proxy.FrontEnd
+	path  *proxy.Path
+	back  *proxy.BackEnd
+
+	// region tracking
+	regionSeq    uint64
+	regionStores bool // current region allocated data entries
+	stagedEmits  []uint64
+
+	// phase-2 drain scheduling: completion cycles of regions whose boundary
+	// has arrived at the back-end, oldest first, and the availability of this
+	// core's NVM write-queue bank.
+	drainDone []uint64
+	drainFree uint64
+
+	// in-flight data entries on the proxy path (for back-end space
+	// accounting).
+	inflightData int
+
+	// durable, committed output tape (conceptually in NVM).
+	output []uint64
+
+	// statistics
+	instret     uint64
+	dynStores   uint64
+	dynCkpts    uint64
+	dynBounds   uint64
+	stallCycles uint64
+
+	// per-region dynamic shape (Figures 10 & 11)
+	curInsts     uint64
+	curStores    uint64
+	sumInsts     uint64
+	sumStores    uint64
+	regionsEnded uint64
+}
+
+// Machine is the simulated system.
+type Machine struct {
+	cfg  Config
+	prog *prog.Program
+
+	mem  *mem.Mem // architectural (volatile)
+	nvm  *mem.NVM
+	dram *mem.DRAMCache
+	l2   *cache.Cache
+
+	cores   []*core
+	records []CoreRecord // NVM-resident recovery records
+
+	seq          uint64 // global store sequence
+	nvmWriteFree uint64 // shared NVM write queue availability
+	steps        uint64
+
+	crashed bool
+	fatal   error
+
+	tracer Tracer
+
+	// devices receive each core's committed output exactly once (§3.3's
+	// open I/O problem: effects are released only when their region's
+	// commit marker completes phase 2, so an interrupted region's I/O is
+	// never performed early, and re-execution after recovery never repeats
+	// I/O that already committed).
+	devices []OutputDevice
+}
+
+// OutputDevice consumes a hardware thread's committed output values. Unlike
+// the machine's internal state, a device models the outside world: it is NOT
+// rolled back at a crash, which is exactly why delivery must be exactly-once
+// and commit-ordered — the guarantee this machine provides.
+type OutputDevice interface {
+	Output(core int, val uint64)
+}
+
+// AttachOutputDevice registers a device for committed output. Values already
+// committed before attachment are not replayed.
+func (m *Machine) AttachOutputDevice(d OutputDevice) {
+	m.devices = append(m.devices, d)
+}
+
+// Tracer receives persistence-relevant events during execution. See the
+// trace package for a ready-made recorder. Nil disables tracing.
+type Tracer interface {
+	TraceCommit(core int, cycle, region uint64)
+	TraceDrain(core int, cycle, region uint64)
+	TraceWriteback(core int, cycle, addr uint64)
+	TraceStall(core int, cycle uint64)
+	TraceCrash(cycle uint64)
+	TraceRecovery(cores int)
+}
+
+// SetTracer installs (or removes, with nil) the machine's event tracer.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// New builds a machine for the given compiled program. The program's thread
+// count must not exceed cfg.Cores.
+func New(p *prog.Program, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	if p.NumThreads() > cfg.Cores {
+		return nil, fmt.Errorf("machine: program wants %d threads, config has %d cores", p.NumThreads(), cfg.Cores)
+	}
+	m := &Machine{
+		cfg:  cfg,
+		prog: p,
+		mem:  mem.NewMem(),
+		nvm:  mem.NewNVM(),
+		dram: mem.NewDRAMCache(cfg.DRAMSize),
+		l2:   cache.New(cfg.L2Size, cfg.L2Ways),
+	}
+	for t := 0; t < p.NumThreads(); t++ {
+		c := &core{
+			id: t,
+			l1: cache.New(cfg.L1Size, cfg.L1Ways),
+			fn: p.EntryFunc(t),
+		}
+		c.blk = p.Funcs[c.fn].Entry
+		c.regs[isa.SP] = StackBase(t)
+		if cfg.Capri {
+			c.front = proxy.NewFrontEnd(cfg.FrontEndEntries)
+			c.front.NoMerge = cfg.NoFrontMerge
+			c.front.NoElide = cfg.NoElision
+			c.path = proxy.NewPath(cfg.ProxyLatency, cfg.ProxyInterval)
+			c.back = proxy.NewBackEnd(cfg.Threshold)
+			c.back.NoMerge = cfg.NoBackMerge
+		}
+		m.cores = append(m.cores, c)
+
+		// Thread launch is itself a persisted event: the initial recovery
+		// record points at the entry with the initial register file.
+		rec := CoreRecord{Fn: int32(c.fn), Blk: int32(c.blk), Idx: 0}
+		rec.Regs = c.regs
+		m.records = append(m.records, rec)
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Program returns the loaded program.
+func (m *Machine) Program() *prog.Program { return m.prog }
+
+// Done reports whether every core has halted.
+func (m *Machine) Done() bool {
+	for _, c := range m.cores {
+		if !c.halted {
+			return false
+		}
+	}
+	return true
+}
+
+// Cycles returns the maximum core cycle count — the parallel makespan the
+// paper's figures plot.
+func (m *Machine) Cycles() uint64 {
+	var max uint64
+	for _, c := range m.cores {
+		if c.cycle > max {
+			max = c.cycle
+		}
+	}
+	return max
+}
+
+// Output returns core t's committed (durable) output tape.
+func (m *Machine) Output(t int) []uint64 {
+	return append([]uint64(nil), m.cores[t].output...)
+}
+
+// MemSnapshot returns the architectural memory image (golden comparisons).
+func (m *Machine) MemSnapshot() map[uint64]uint64 { return m.mem.Snapshot() }
+
+// NVMSnapshot returns the persisted NVM image.
+func (m *Machine) NVMSnapshot() map[uint64]uint64 { return m.nvm.Snapshot() }
+
+// Run executes until every core halts, a crash is injected via RunUntil, or
+// the step budget is exhausted. It returns an error on budget exhaustion or
+// an internal invariant violation (e.g. back-end proxy overflow).
+func (m *Machine) Run() error { return m.run(^uint64(0)) }
+
+// RunUntil executes until the global retired-instruction count reaches
+// crashAt, then stops as if power failed. Use Crash() to harvest the
+// persistent image. If the program finishes first, no crash occurs.
+func (m *Machine) RunUntil(crashAt uint64) error { return m.run(crashAt) }
+
+// Instret returns the total retired instructions across cores.
+func (m *Machine) Instret() uint64 {
+	var n uint64
+	for _, c := range m.cores {
+		n += c.instret
+	}
+	return n
+}
+
+func (m *Machine) run(crashAt uint64) error {
+	for !m.Done() {
+		if m.fatal != nil {
+			return m.fatal
+		}
+		if m.Instret() >= crashAt {
+			m.crashed = true
+			return nil
+		}
+		if m.steps >= m.cfg.MaxSteps {
+			return fmt.Errorf("machine: step budget exhausted (%d steps, %d instret) — deadlock?", m.steps, m.Instret())
+		}
+		m.steps++
+		c := m.nextCore()
+		if c == nil {
+			return fmt.Errorf("machine: no runnable core")
+		}
+		m.service(c)
+		m.step(c)
+	}
+	// Quiesce: let every pending region finish phase 2 so the NVM image and
+	// output tapes are complete.
+	m.quiesce()
+	return m.fatal
+}
+
+// nextCore picks the runnable core with the smallest local cycle count
+// (deterministic: ties break by core ID).
+func (m *Machine) nextCore() *core {
+	var best *core
+	for _, c := range m.cores {
+		if c.halted {
+			continue
+		}
+		if best == nil || c.cycle < best.cycle {
+			best = c
+		}
+	}
+	return best
+}
+
+// quiesce drains all proxy machinery after the program completes.
+func (m *Machine) quiesce() {
+	if !m.cfg.Capri {
+		return
+	}
+	for _, c := range m.cores {
+		// Push everything out of the front-end and the path.
+		for c.front.Len() > 0 || c.path.InFlight() > 0 || c.back.Len() > 0 || len(c.drainDone) > 0 {
+			now := c.cycle + m.cfg.ProxyLatency + m.cfg.ProxyInterval*uint64(m.cfg.FrontEndEntries+2)
+			c.cycle = now
+			m.service(c)
+			if c.front.Len() > 0 {
+				m.drainFront(c)
+			}
+			if m.fatal != nil {
+				return
+			}
+		}
+	}
+}

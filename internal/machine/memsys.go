@@ -1,0 +1,238 @@
+package machine
+
+import (
+	"fmt"
+
+	"capri/internal/cache"
+	"capri/internal/isa"
+	"capri/internal/mem"
+	"capri/internal/proxy"
+)
+
+// loadCost walks the hierarchy for a load by core c and returns the stall
+// charged to the core. Post-L1 latency is divided by LoadOverlap to stand in
+// for OoO memory-level parallelism.
+func (m *Machine) loadCost(c *core, addr uint64) uint64 {
+	hit, wb := c.l1.Access(addr, false, 0, c.id)
+	if wb != nil {
+		m.l1Writeback(c, wb)
+	}
+	if hit {
+		return m.cfg.L1Hit
+	}
+	l2hit, l2wb := m.l2.Access(addr, false, 0, c.id)
+	if l2wb != nil {
+		m.controllerWriteback(c.cycle, l2wb)
+	}
+	if l2hit {
+		return m.cfg.L1Hit + m.cfg.L2Hit/m.cfg.LoadOverlap
+	}
+	if m.dram.Access(addr) {
+		return m.cfg.L1Hit + m.cfg.DRAMHit/m.cfg.LoadOverlap
+	}
+	return m.cfg.L1Hit + m.cfg.NVMRead/m.cfg.LoadOverlap
+}
+
+// storeAccess updates the timing caches for a store by core c with global
+// sequence seq and returns the (small) cost charged to the core: stores
+// retire through the store buffer and only the proxy machinery can stall
+// them.
+func (m *Machine) storeAccess(c *core, addr uint64, seq uint64) uint64 {
+	// Invalidate other cores' copies (write-invalidate coherence). Their
+	// dirty data flows down like a writeback.
+	for _, o := range m.cores {
+		if o != c {
+			if wb := o.l1.Invalidate(addr); wb != nil {
+				m.l1Writeback(o, wb)
+			}
+		}
+	}
+	_, wb := c.l1.Access(addr, true, seq, c.id)
+	if wb != nil {
+		m.l1Writeback(c, wb)
+	}
+	return 1
+}
+
+// l1Writeback sends an evicted dirty L1 line into the shared L2.
+func (m *Machine) l1Writeback(c *core, wb *cache.Writeback) {
+	// Install in L2 as dirty; L2 victim (if dirty) goes to the controller.
+	for _, w := range wb.Words {
+		_, l2wb := m.l2.Access(w, true, wb.Seq, wb.Core)
+		if l2wb != nil {
+			m.controllerWriteback(c.cycle, l2wb)
+		}
+	}
+}
+
+// controllerWriteback handles a dirty line arriving at the integrated memory
+// controller: it propagates to NVM through the write queue (seq-guarded),
+// fills the DRAM cache, scans every back-end proxy buffer to unset matching
+// redo valid-bits (§5.3.2), and opens the proxy-path monitoring windows.
+// The values written are the architectural values of the dirty words — the
+// newest stores the line absorbed, which is exactly what wb.Seq tags.
+func (m *Machine) controllerWriteback(now uint64, wb *cache.Writeback) {
+	if m.tracer != nil {
+		m.tracer.TraceWriteback(wb.Core, now, wb.Line)
+	}
+	m.dram.Fill(wb.Line)
+	if m.nvmWriteFree < now {
+		m.nvmWriteFree = now
+	}
+	m.nvmWriteFree += m.cfg.NVMWrite
+	m.nvm.Writes++
+	for _, w := range wb.Words {
+		m.nvm.Write(w, m.mem.Load(w), wb.Seq)
+		if m.cfg.Capri && !m.cfg.NoScanInvalidate {
+			for _, c := range m.cores {
+				c.back.ScanInvalidate(w, wb.Seq)
+				c.path.NoteWriteback(w, wb.Seq, now)
+			}
+		}
+	}
+}
+
+// service advances core c's background persistence machinery to its current
+// cycle: deliver proxy-path packets into the back-end, retire finished
+// phase-2 drains, and move front-end entries onto the path while space
+// remains downstream.
+func (m *Machine) service(c *core) {
+	if !m.cfg.Capri {
+		return
+	}
+	now := c.cycle
+
+	// Retire finished phase-2 drains.
+	for len(c.drainDone) > 0 && c.drainDone[0] <= now {
+		c.drainDone = c.drainDone[1:]
+		region, ok := c.back.PopRegion()
+		if !ok {
+			m.fatalf("core %d: drain scheduled but no region buffered", c.id)
+			return
+		}
+		m.applyPhase2(c, region)
+	}
+
+	// Deliver arrived packets into the back-end.
+	for _, e := range c.path.Deliver(now) {
+		if e.Kind == proxy.KindData {
+			c.inflightData--
+		}
+		if !c.back.Accept(e) {
+			m.fatalf("core %d: back-end proxy overflow (threshold %d)", c.id, m.cfg.Threshold)
+			return
+		}
+		if e.Kind == proxy.KindBoundary {
+			m.scheduleDrain(c, now)
+		}
+	}
+
+	// Drain the front-end while the path has bandwidth and the back-end
+	// (plus in-flight packets) has room.
+	m.drainFront(c)
+}
+
+// drainFront moves entries from the front-end onto the proxy path.
+func (m *Machine) drainFront(c *core) {
+	now := c.cycle
+	for c.front.Len() > 0 {
+		if c.path.Backlog() > now {
+			return // no departure slot yet
+		}
+		e := c.front.Entries()[0]
+		if e.Kind == proxy.KindData {
+			// Reserve back-end space including packets already in flight.
+			if c.back.Len()+c.path.InFlight() >= m.cfg.Threshold {
+				return
+			}
+		}
+		e, _ = c.front.Pop()
+		if e.Kind == proxy.KindData {
+			c.inflightData++
+		}
+		c.path.Send(e, now)
+	}
+}
+
+// scheduleDrain books NVM write-queue time for the newest complete region in
+// c's back-end and records its completion cycle. Phase-2 traffic drains
+// through the core's own bank of the write-pending queue (per-core back-end
+// buffers feed per-bank channels), and the WPQ coalesces word entries into
+// 64B lines, so the occupancy charged is per distinct line touched by the
+// region's valid entries.
+func (m *Machine) scheduleDrain(c *core, now uint64) {
+	entries := c.back.Entries()
+	// Number of boundaries already scheduled:
+	scheduled := len(c.drainDone)
+	seen := 0
+	writes := uint64(0)
+	lines := map[uint64]bool{}
+	for _, e := range entries {
+		if e.Kind == proxy.KindBoundary {
+			seen++
+			if seen == scheduled+1 {
+				// This region's boundary: account its marker (checkpoints +
+				// PC record) as one queue occupancy plus one per 8 ckpts.
+				writes += 1 + uint64(len(e.Ckpts))/8
+				break
+			}
+			continue
+		}
+		if seen == scheduled && e.Valid {
+			lines[mem.LineAddr(e.Addr)] = true
+		}
+	}
+	writes += uint64(len(lines))
+	start := c.drainFree
+	if start < now {
+		start = now
+	}
+	finish := start + writes*m.cfg.NVMEntryWrite
+	c.drainFree = finish
+	c.drainDone = append(c.drainDone, finish)
+}
+
+// applyPhase2 performs the functional half of the second phase: valid redo
+// data moves to NVM, the recovery record absorbs the boundary's checkpoint
+// payload, and staged emits become durable output.
+func (m *Machine) applyPhase2(c *core, region proxy.CommittedRegion) {
+	if m.tracer != nil {
+		m.tracer.TraceDrain(c.id, c.cycle, region.Boundary.Region)
+	}
+	for _, e := range region.Data {
+		if e.Valid {
+			m.nvm.Write(e.Addr, e.Redo, e.Seq)
+			m.nvm.Writes++
+		}
+	}
+	m.applyMarker(c.id, region.Boundary)
+}
+
+// applyMarker folds a committed boundary entry into core t's NVM recovery
+// record and durable output.
+func (m *Machine) applyMarker(t int, e proxy.Entry) {
+	rec := &m.records[t]
+	for _, ck := range e.Ckpts {
+		rec.Regs[ck.Reg] = ck.Val
+	}
+	rec.Regs[isa.SP] = e.SP
+	rec.Fn, rec.Blk, rec.Idx = e.PCFunc, e.PCBlk, e.PCIdx
+	rec.Region = e.Region
+	if e.Halt {
+		rec.Halted = true
+	}
+	if len(e.Emits) > 0 {
+		m.cores[t].output = append(m.cores[t].output, e.Emits...)
+		for _, d := range m.devices {
+			for _, v := range e.Emits {
+				d.Output(t, v)
+			}
+		}
+	}
+}
+
+func (m *Machine) fatalf(format string, args ...interface{}) {
+	if m.fatal == nil {
+		m.fatal = fmt.Errorf(format, args...)
+	}
+}

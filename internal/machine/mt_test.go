@@ -1,0 +1,268 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/isa"
+	"capri/internal/prog"
+)
+
+// mtCounterProgram builds a two-thread program where both threads add to a
+// shared counter under a spin lock, and each thread also fills a private
+// array. Data-race-free by construction: the shared word is only touched in
+// the critical section.
+func mtCounterProgram(iters int64) *prog.Program {
+	bd := prog.NewBuilder("mtcounter")
+
+	worker := func(name string, tid int64) *prog.FuncBuilder {
+		f := bd.Func(name)
+		entry := f.Block()
+		header := f.Block()
+		body := f.Block()
+		exit := f.Block()
+
+		const (
+			rI    = isa.Reg(8)
+			rN    = isa.Reg(9)
+			rLock = isa.Reg(10)
+			rCnt  = isa.Reg(11)
+			rPriv = isa.Reg(12)
+			rTmp  = isa.Reg(13)
+			rOne  = isa.Reg(14)
+		)
+
+		f.SetBlock(entry)
+		f.MovI(isa.SP, int64(StackBase(int(tid))))
+		f.MovI(rI, 0)
+		f.MovI(rN, iters)
+		f.MovI(rLock, int64(HeapBase))              // lock word
+		f.MovI(rCnt, int64(HeapBase)+8)             // shared counter
+		f.MovI(rPriv, int64(HeapBase)+4096*(tid+1)) // private array
+		f.MovI(rOne, 1)
+		f.Br(header)
+
+		f.SetBlock(header)
+		f.BrIf(rI, isa.CondGE, rN, exit, body)
+
+		f.SetBlock(body)
+		f.Lock(rLock, 0)
+		f.Load(rTmp, rCnt, 0)
+		f.Add(rTmp, rTmp, rOne)
+		f.Store(rCnt, 0, rTmp)
+		f.Unlock(rLock, 0)
+		// Private work outside the lock.
+		f.MulI(rTmp, rI, 3)
+		f.Store(rPriv, 0, rTmp)
+		f.AddI(rPriv, rPriv, 8)
+		f.AddI(rI, rI, 1)
+		f.Br(header)
+
+		f.SetBlock(exit)
+		f.Load(rTmp, rCnt, 0)
+		f.Emit(rI) // own iteration count: deterministic per thread
+		f.Halt()
+		return f
+	}
+
+	t0 := worker("worker0", 0)
+	t1 := worker("worker1", 1)
+	bd.SetThreadEntries(t0, t1)
+	return bd.Program()
+}
+
+func compileMT(t *testing.T, p *prog.Program, threshold int) *prog.Program {
+	t.Helper()
+	opts := compile.DefaultOptions()
+	opts.Threshold = threshold
+	res, err := compile.Compile(p, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res.Program
+}
+
+func TestMTBaselineCounter(t *testing.T) {
+	p := mtCounterProgram(50)
+	cfg := testConfig(64)
+	cfg.Capri = false
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MemSnapshot()[HeapBase+8]; got != 100 {
+		t.Errorf("shared counter = %d, want 100", got)
+	}
+	if got := m.MemSnapshot()[HeapBase]; got != 0 {
+		t.Errorf("lock word = %d, want 0 (released)", got)
+	}
+}
+
+func TestMTCapriCounter(t *testing.T) {
+	cp := compileMT(t, mtCounterProgram(50), 32)
+	m, err := New(cp, testConfig(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MemSnapshot()[HeapBase+8]; got != 100 {
+		t.Errorf("shared counter = %d, want 100", got)
+	}
+	// NVM converged.
+	if got := m.NVMSnapshot()[HeapBase+8]; got != 100 {
+		t.Errorf("NVM counter = %d, want 100", got)
+	}
+}
+
+func TestMTCrashRecoverySweep(t *testing.T) {
+	// The flagship multi-threaded property: crash both threads anywhere,
+	// recover, resume — the shared counter and private arrays must match the
+	// golden run, with no conflicting cross-core undo.
+	src := mtCounterProgram(30)
+	cp := compileMT(t, src, 16)
+
+	mg, err := New(cp, testConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	goldenCounter := mg.MemSnapshot()[HeapBase+8]
+	goldenOut0 := mg.Output(0)
+	goldenOut1 := mg.Output(1)
+	goldenPriv := map[uint64]uint64{}
+	for i := uint64(0); i < 30; i++ {
+		a1 := HeapBase + 4096 + i*8
+		a2 := HeapBase + 8192 + i*8
+		goldenPriv[a1] = mg.MemSnapshot()[a1]
+		goldenPriv[a2] = mg.MemSnapshot()[a2]
+	}
+	total := mg.Instret()
+
+	step := total/53 + 1
+	for crashAt := uint64(1); crashAt < total; crashAt += step {
+		m, _ := New(cp, testConfig(16))
+		if err := m.RunUntil(crashAt); err != nil {
+			t.Fatalf("crash@%d: %v", crashAt, err)
+		}
+		if m.Done() {
+			break
+		}
+		img, err := m.Crash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, rep, err := Recover(img)
+		if err != nil {
+			t.Fatalf("crash@%d recover: %v", crashAt, err)
+		}
+		if rep.ConflictingUndo != 0 {
+			t.Errorf("crash@%d: %d conflicting cross-core undos (DRF program!)",
+				crashAt, rep.ConflictingUndo)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatalf("crash@%d resume: %v", crashAt, err)
+		}
+		if got := r.MemSnapshot()[HeapBase+8]; got != goldenCounter {
+			t.Errorf("crash@%d: counter = %d, want %d", crashAt, got, goldenCounter)
+		}
+		if !reflect.DeepEqual(r.Output(0), goldenOut0) || !reflect.DeepEqual(r.Output(1), goldenOut1) {
+			t.Errorf("crash@%d: outputs %v/%v, want %v/%v",
+				crashAt, r.Output(0), r.Output(1), goldenOut0, goldenOut1)
+		}
+		for a, v := range goldenPriv {
+			if got := r.MemSnapshot()[a]; got != v {
+				t.Errorf("crash@%d: mem[%#x] = %d, want %d", crashAt, a, got, v)
+			}
+		}
+	}
+}
+
+func TestMTAtomicAddProgram(t *testing.T) {
+	// Lock-free shared accumulation through fetch-and-add, crashed and
+	// recovered: atomics commit atomically with their region, so the counter
+	// can never double-count.
+	bd := prog.NewBuilder("amo")
+	worker := func(name string, tid int64) *prog.FuncBuilder {
+		f := bd.Func(name)
+		entry := f.Block()
+		header := f.Block()
+		body := f.Block()
+		exit := f.Block()
+
+		f.SetBlock(entry)
+		f.MovI(isa.SP, int64(StackBase(int(tid))))
+		f.MovI(8, 0)
+		f.MovI(9, 25)
+		f.MovI(10, int64(HeapBase)+64)
+		f.MovI(11, 1)
+		f.Br(header)
+		f.SetBlock(header)
+		f.BrIf(8, isa.CondGE, 9, exit, body)
+		f.SetBlock(body)
+		f.AtomicAdd(12, 10, 0, 11)
+		f.AddI(8, 8, 1)
+		f.Br(header)
+		f.SetBlock(exit)
+		f.Emit(8)
+		f.Halt()
+		return f
+	}
+	bd.SetThreadEntries(worker("w0", 0), worker("w1", 1))
+	cp := compileMT(t, bd.Program(), 16)
+
+	mg, _ := New(cp, testConfig(16))
+	if err := mg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mg.MemSnapshot()[HeapBase+64]; got != 50 {
+		t.Fatalf("golden counter = %d, want 50", got)
+	}
+	total := mg.Instret()
+
+	step := total/37 + 1
+	for crashAt := uint64(1); crashAt < total; crashAt += step {
+		m, _ := New(cp, testConfig(16))
+		if err := m.RunUntil(crashAt); err != nil {
+			t.Fatal(err)
+		}
+		if m.Done() {
+			break
+		}
+		img, _ := m.Crash()
+		r, rep, err := Recover(img)
+		if err != nil {
+			t.Fatalf("crash@%d: %v", crashAt, err)
+		}
+		if rep.ConflictingUndo != 0 {
+			t.Errorf("crash@%d: conflicting undos", crashAt)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatalf("crash@%d resume: %v", crashAt, err)
+		}
+		if got := r.MemSnapshot()[HeapBase+64]; got != 50 {
+			t.Errorf("crash@%d: counter = %d, want 50 (no double counting)", crashAt, got)
+		}
+	}
+}
+
+func TestMTLockMutualExclusion(t *testing.T) {
+	// With the lock protocol, the interleaved increments must never lose an
+	// update even under heavy contention (single increment per critical
+	// section, many iterations).
+	cp := compileMT(t, mtCounterProgram(200), 64)
+	m, _ := New(cp, testConfig(64))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MemSnapshot()[HeapBase+8]; got != 400 {
+		t.Errorf("counter = %d, want 400", got)
+	}
+}

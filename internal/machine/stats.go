@@ -1,0 +1,77 @@
+package machine
+
+// Stats aggregates the counters the benchmark harness reports.
+type Stats struct {
+	Cycles      uint64
+	Instret     uint64
+	Steps       uint64
+	Stores      uint64 // regular + sync stores retired
+	Ckpts       uint64 // checkpoint stores retired
+	Boundaries  uint64 // boundary instructions retired
+	StallCycles uint64 // cycles lost to proxy backpressure and spin locks
+
+	// Persistence machinery.
+	NVMWrites       uint64 // 64B write-queue occupancies (redo + writebacks)
+	NVMWordWrites   uint64
+	NVMStaleSkips   uint64 // writes dropped by the sequence guard
+	FrontAllocs     uint64
+	FrontMerges     uint64
+	FrontStalls     uint64
+	BoundaryEntries uint64
+	ElidedBds       uint64
+	ScanHits        uint64 // redo valid-bits unset by writeback scans
+	WindowHits      uint64 // redo valid-bits unset by the monitoring window
+	RedoSkipped     uint64 // phase-2 entries skipped as invalid
+
+	// Dynamic region shape (Figures 10 and 11).
+	Regions         uint64
+	AvgRegionInsts  float64
+	AvgRegionStores float64
+
+	// Cache behaviour.
+	L1Hits, L1Misses     uint64
+	L2Hits, L2Misses     uint64
+	DRAMHits, DRAMMisses uint64
+}
+
+// Stats snapshots the machine's counters.
+func (m *Machine) Stats() Stats {
+	s := Stats{
+		Cycles:        m.Cycles(),
+		Steps:         m.steps,
+		NVMWrites:     m.nvm.Writes,
+		NVMWordWrites: m.nvm.WordWrites,
+		NVMStaleSkips: m.nvm.StaleSkips,
+		L2Hits:        m.l2.Hits,
+		L2Misses:      m.l2.Misses,
+		DRAMHits:      m.dram.Hits,
+		DRAMMisses:    m.dram.Misses,
+	}
+	for _, c := range m.cores {
+		s.Instret += c.instret
+		s.Stores += c.dynStores
+		s.Ckpts += c.dynCkpts
+		s.Boundaries += c.dynBounds
+		s.StallCycles += c.stallCycles
+		s.L1Hits += c.l1.Hits
+		s.L1Misses += c.l1.Misses
+		s.Regions += c.regionsEnded
+		s.AvgRegionInsts += float64(c.sumInsts)
+		s.AvgRegionStores += float64(c.sumStores)
+		if m.cfg.Capri {
+			s.FrontAllocs += c.front.Allocs
+			s.FrontMerges += c.front.Merges
+			s.FrontStalls += c.front.Stalls
+			s.BoundaryEntries += c.front.Boundary
+			s.ElidedBds += c.front.ElidedBds
+			s.ScanHits += c.back.ScanHits
+			s.WindowHits += c.path.WindowHits
+			s.RedoSkipped += c.back.SkippedInvalid
+		}
+	}
+	if s.Regions > 0 {
+		s.AvgRegionInsts /= float64(s.Regions)
+		s.AvgRegionStores /= float64(s.Regions)
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package mem
+
+// DRAMCache is the hardware-managed, direct-mapped off-chip DRAM cache that
+// fronts NVM in the memory-mode arrangement (Table 1: 8 GB DDR4, 64 B blocks,
+// direct-mapped). It is a *timing* structure: it decides whether a memory
+// access pays DRAM or NVM latency. It is volatile — its contents do not
+// participate in recovery — and, per DESIGN.md, dirty writebacks arriving at
+// the memory controller propagate to the NVM write queue rather than
+// lingering dirty here, so the cache only ever holds clean lines.
+type DRAMCache struct {
+	sets []uint64 // tag per set; 0 means empty (tag = lineAddr | 1)
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewDRAMCache builds a direct-mapped cache of the given capacity in bytes.
+func NewDRAMCache(capacity uint64) *DRAMCache {
+	n := capacity / LineSize
+	if n == 0 {
+		n = 1
+	}
+	return &DRAMCache{sets: make([]uint64, n)}
+}
+
+// Access looks up the line containing addr, filling it on miss. It reports
+// whether the access hit.
+func (d *DRAMCache) Access(addr uint64) bool {
+	line := LineAddr(addr)
+	idx := (line / LineSize) % uint64(len(d.sets))
+	tag := line | 1
+	if d.sets[idx] == tag {
+		d.Hits++
+		return true
+	}
+	d.sets[idx] = tag
+	d.Misses++
+	return false
+}
+
+// Fill installs the line containing addr without counting a hit or miss
+// (used when writebacks pass through the controller).
+func (d *DRAMCache) Fill(addr uint64) {
+	line := LineAddr(addr)
+	idx := (line / LineSize) % uint64(len(d.sets))
+	d.sets[idx] = line | 1
+}
+
+// Reset drops all lines (power failure).
+func (d *DRAMCache) Reset() {
+	for i := range d.sets {
+		d.sets[i] = 0
+	}
+}

@@ -1,0 +1,174 @@
+// Package mem models the memory devices of the Capri machine: the
+// byte-addressable NVM main memory (with read/write queues and a
+// write-pending queue in the persistent domain) and the hardware-managed
+// direct-mapped off-chip DRAM cache in front of it — the "memory mode"
+// arrangement of Table 1.
+//
+// Functional state is tracked at 8-byte word granularity. Every persisted
+// word carries the global sequence number of the store that produced it; the
+// sequence guard generalizes the paper's redo valid-bit across cores and is
+// what makes recovery application order-insensitive (see DESIGN.md).
+package mem
+
+// WordSize is the machine word size in bytes.
+const WordSize = 8
+
+// LineSize is the cache line size in bytes (Table 1: 64 B blocks).
+const LineSize = 64
+
+// LineAddr returns the line-aligned address containing addr.
+func LineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }
+
+// WordAddr returns the word-aligned address containing addr.
+func WordAddr(addr uint64) uint64 { return addr &^ (WordSize - 1) }
+
+// Word is a persisted word value plus the global store sequence number of its
+// writer.
+type Word struct {
+	Val uint64
+	Seq uint64
+}
+
+// NVM is the non-volatile main memory: the only device whose contents survive
+// power failure (alongside the battery-backed proxy buffers). It holds the
+// persisted program image and the register checkpoint storage.
+type NVM struct {
+	words map[uint64]Word
+
+	// Stats
+	Writes     uint64 // 64B-equivalent write operations accepted
+	WordWrites uint64 // word-granularity writes
+	Reads      uint64
+	StaleSkips uint64 // writes rejected by the sequence guard
+}
+
+// NewNVM returns an empty NVM image.
+func NewNVM() *NVM {
+	return &NVM{words: make(map[uint64]Word)}
+}
+
+// Read returns the persisted value of the word at addr (zero if never
+// written) along with its writer sequence.
+func (n *NVM) Read(addr uint64) Word {
+	n.Reads++
+	return n.words[WordAddr(addr)]
+}
+
+// Peek is Read without statistics, for verification code.
+func (n *NVM) Peek(addr uint64) Word { return n.words[WordAddr(addr)] }
+
+// Write persists val at addr if seq is newer than the current writer
+// sequence. It reports whether the write was applied. This guard is the
+// formal core of stale-read prevention: a redo drain or cache writeback
+// carrying older data than what NVM already holds is dropped.
+func (n *NVM) Write(addr uint64, val uint64, seq uint64) bool {
+	a := WordAddr(addr)
+	cur, ok := n.words[a]
+	if ok && cur.Seq >= seq {
+		n.StaleSkips++
+		return false
+	}
+	n.words[a] = Word{Val: val, Seq: seq}
+	n.WordWrites++
+	return true
+}
+
+// Restore force-writes a word during crash recovery (undo application),
+// bypassing the sequence guard. newSeq becomes the word's writer sequence.
+func (n *NVM) Restore(addr uint64, val uint64, newSeq uint64) {
+	n.words[WordAddr(addr)] = Word{Val: val, Seq: newSeq}
+}
+
+// WordEntry is one persisted word in exportable form.
+type WordEntry struct {
+	Addr uint64
+	Val  uint64
+	Seq  uint64
+}
+
+// Entries exports the persisted words (order unspecified) for serialization.
+func (n *NVM) Entries() []WordEntry {
+	out := make([]WordEntry, 0, len(n.words))
+	for a, w := range n.words {
+		out = append(out, WordEntry{Addr: a, Val: w.Val, Seq: w.Seq})
+	}
+	return out
+}
+
+// NVMFromEntries rebuilds an NVM image from exported entries.
+func NVMFromEntries(entries []WordEntry) *NVM {
+	n := NewNVM()
+	for _, e := range entries {
+		n.words[e.Addr] = Word{Val: e.Val, Seq: e.Seq}
+	}
+	return n
+}
+
+// Snapshot copies the persisted word map (used by tests and the golden-state
+// comparisons).
+func (n *NVM) Snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(n.words))
+	for a, w := range n.words {
+		out[a] = w.Val
+	}
+	return out
+}
+
+// Len returns the number of persisted words.
+func (n *NVM) Len() int { return len(n.words) }
+
+// Clone deep-copies the NVM image (crash injection snapshots).
+func (n *NVM) Clone() *NVM {
+	c := NewNVM()
+	for a, w := range n.words {
+		c.words[a] = w
+	}
+	c.Writes, c.WordWrites, c.Reads, c.StaleSkips = n.Writes, n.WordWrites, n.Reads, n.StaleSkips
+	return c
+}
+
+// Mem is the architectural (volatile) memory image: the values loads actually
+// observe during execution, maintained at word granularity. It vanishes at a
+// power failure; recovery rebuilds it from NVM.
+type Mem struct {
+	words map[uint64]uint64
+}
+
+// NewMem returns an empty architectural memory.
+func NewMem() *Mem {
+	return &Mem{words: make(map[uint64]uint64)}
+}
+
+// FromSnapshot builds architectural memory from a persisted image (used when
+// resuming after recovery).
+func FromSnapshot(s map[uint64]uint64) *Mem {
+	m := NewMem()
+	for a, v := range s {
+		m.words[a] = v
+	}
+	return m
+}
+
+// Load returns the word at addr.
+func (m *Mem) Load(addr uint64) uint64 { return m.words[WordAddr(addr)] }
+
+// Store writes the word at addr and returns the previous value (the undo
+// image the front-end proxy captures).
+func (m *Mem) Store(addr uint64, val uint64) (old uint64) {
+	a := WordAddr(addr)
+	old = m.words[a]
+	m.words[a] = val
+	return old
+}
+
+// Snapshot copies the current word map.
+func (m *Mem) Snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m.words))
+	for a, v := range m.words {
+		out[a] = v
+	}
+	return out
+}
+
+// Len returns the number of populated words.
+func (m *Mem) Len() int { return len(m.words) }

@@ -1,0 +1,363 @@
+// Package progen generates random, structured, always-terminating programs
+// for property-based testing of the whole Capri stack: the compiler must
+// form threshold-respecting regions over arbitrary reducible control flow,
+// and crash recovery must restore every one of them. Programs use bounded
+// counted loops, nested if/else diamonds, acyclic call graphs, stores into a
+// bounded heap window, and output emits, so a golden run is deterministic
+// and any divergence after crash+recovery is a real bug.
+package progen
+
+import (
+	"capri/internal/isa"
+	"capri/internal/machine"
+	"capri/internal/prog"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// Funcs is the number of functions (>=1); function 0 is the entry and
+	// calls may only target higher-numbered functions (acyclic).
+	Funcs int
+	// MaxDepth bounds nesting of control-flow constructs.
+	MaxDepth int
+	// MaxStmts bounds statements per sequence.
+	MaxStmts int
+	// MaxLoopTrip bounds loop trip counts.
+	MaxLoopTrip int
+	// Threads: 1 for single-threaded; 2+ builds independent workers plus a
+	// lock-protected shared counter (DRF by construction).
+	Threads int
+	// Barriers (requires Threads >= 2) switches to SPMD generation: every
+	// worker is built from an identical PRNG stream (only its stack and heap
+	// window differ), and top-level statements may emit sense-reversing
+	// barrier episodes. Identical structure guarantees balanced arrivals, so
+	// the programs stay deadlock-free by construction while crash recovery
+	// gets exercised across barrier synchronization.
+	Barriers bool
+}
+
+// DefaultConfig returns generation bounds that exercise the compiler without
+// exploding program size.
+func DefaultConfig() Config {
+	return Config{Funcs: 3, MaxDepth: 3, MaxStmts: 5, MaxLoopTrip: 6, Threads: 1}
+}
+
+// splitmix64 PRNG, self-contained for reproducibility.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Register pools. Loop counters come from a reserved range so nested loops
+// never clobber each other; data registers are everything else below SP.
+const (
+	dataRegLo = isa.Reg(0)
+	dataRegHi = isa.Reg(19) // inclusive
+	ctrRegLo  = isa.Reg(20)
+	ctrRegHi  = isa.Reg(27) // inclusive: 8 nesting levels
+	baseReg   = isa.Reg(28) // heap window base
+	lockReg   = isa.Reg(29) // shared lock base (multithreaded)
+	scratch   = isa.Reg(30)
+)
+
+type gen struct {
+	r      *rng
+	cfg    Config
+	bd     *prog.Builder
+	funcs  []*prog.FuncBuilder
+	thread int
+}
+
+// Generate builds a random program from the seed.
+func Generate(seed uint64, cfg Config) *prog.Program {
+	if cfg.Funcs < 1 {
+		cfg.Funcs = 1
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	g := &gen{r: &rng{s: seed}, cfg: cfg, bd: prog.NewBuilder("progen")}
+
+	// Callee functions first (indices 1..Funcs-1 in creation order; entry
+	// workers come last so calls always target already-built functions).
+	var callees []*prog.FuncBuilder
+	for i := cfg.Funcs - 1; i >= 1; i-- {
+		f := g.bd.Func("fn")
+		g.funcs = append([]*prog.FuncBuilder{f}, g.funcs...)
+		g.emitFuncBody(f, callees, false, 0)
+		callees = append(callees, f)
+	}
+
+	var workers []*prog.FuncBuilder
+	spmdState := g.r.s
+	for t := 0; t < cfg.Threads; t++ {
+		if cfg.Barriers && cfg.Threads > 1 {
+			// SPMD: every worker consumes the identical random stream.
+			g.r.s = spmdState
+		}
+		g.thread = t
+		w := g.bd.Func("worker")
+		g.emitFuncBody(w, callees, true, t)
+		workers = append(workers, w)
+	}
+	g.bd.SetThreadEntries(workers...)
+	return g.bd.Program()
+}
+
+// emitFuncBody fills one function: prologue, a random statement sequence,
+// then epilogue (Emit+Halt for workers, Ret for callees).
+func (g *gen) emitFuncBody(f *prog.FuncBuilder, callees []*prog.FuncBuilder, worker bool, tid int) {
+	f.Block()
+	st := &state{g: g, f: f, callees: callees, worker: worker}
+	if worker {
+		f.MovI(isa.SP, int64(machine.StackBase(tid)))
+		f.MovI(baseReg, int64(machine.HeapBase)+int64(tid)<<16)
+		f.MovI(lockReg, int64(machine.HeapBase)+1<<20)
+	}
+	// Initialize a few data registers so sources are always defined; callees
+	// conservatively reinitialize their own working set (the ISA has no
+	// callee-saved convention in generated code).
+	for r := dataRegLo; r <= dataRegHi; r++ {
+		f.MovI(r, int64(g.r.intn(1000)))
+	}
+	// Callees inherit the caller's heap window through baseReg untouched, so
+	// all memory traffic stays inside the owning thread's window no matter
+	// how deep the call chain goes.
+
+	st.seq(0, g.cfg.MaxStmts)
+
+	if worker {
+		// Emit a digest of the data registers so golden comparisons see
+		// register state, then halt.
+		for r := dataRegLo; r <= dataRegLo+4; r++ {
+			f.Emit(r)
+		}
+		f.Halt()
+	} else {
+		f.Ret()
+	}
+}
+
+// state tracks per-function generation state.
+type state struct {
+	g       *gen
+	f       *prog.FuncBuilder
+	callees []*prog.FuncBuilder
+	worker  bool
+	loopLvl int
+}
+
+func (s *state) rnd(n int) int { return s.g.r.intn(n) }
+
+func (s *state) dataReg() isa.Reg {
+	return dataRegLo + isa.Reg(s.rnd(int(dataRegHi-dataRegLo)+1))
+}
+
+// seq emits up to n random statements at the given nesting depth.
+func (s *state) seq(depth, n int) {
+	count := 1 + s.rnd(n)
+	for i := 0; i < count; i++ {
+		s.stmt(depth)
+	}
+}
+
+func (s *state) stmt(depth int) {
+	roll := s.rnd(100)
+	switch {
+	case roll < 45 || depth >= s.g.cfg.MaxDepth:
+		s.straight()
+	case roll < 65:
+		s.ifElse(depth)
+	case roll < 85:
+		s.loop(depth)
+	case roll < 92 && len(s.callees) > 0:
+		s.call()
+	case roll < 96 && s.worker && s.g.cfg.Threads > 1:
+		s.locked()
+	case s.worker && s.g.cfg.Barriers && s.g.cfg.Threads > 1 && depth == 0:
+		// Top level only: control flow never guards a barrier, so arrival
+		// counts stay balanced across the SPMD workers.
+		s.barrier()
+	default:
+		s.straight()
+	}
+}
+
+// straight emits 1-6 random ALU/memory operations.
+func (s *state) straight() {
+	n := 1 + s.rnd(6)
+	for i := 0; i < n; i++ {
+		a, b, d := s.dataReg(), s.dataReg(), s.dataReg()
+		switch s.rnd(8) {
+		case 0:
+			s.f.Add(d, a, b)
+		case 1:
+			s.f.Op3(isa.OpSub, d, a, b)
+		case 2:
+			s.f.MulI(d, a, int64(1+s.rnd(7)))
+		case 3:
+			s.f.Op3(isa.OpXor, d, a, b)
+		case 4:
+			s.f.MovI(d, int64(s.rnd(1<<12)))
+		case 5: // load from the heap window
+			off := s.windowOff(a)
+			s.f.Load(d, scratch, off)
+		case 6: // store into the heap window
+			off := s.windowOff(a)
+			s.f.Store(scratch, off, b)
+		case 7:
+			s.f.Sel(d, a, b, d)
+		}
+	}
+}
+
+// windowOff computes scratch = base + 8*(a mod 512) and returns a small
+// extra offset, keeping all memory traffic inside the thread's window.
+func (s *state) windowOff(a isa.Reg) int64 {
+	s.f.OpI(isa.OpAndI, scratch, a, 511)
+	s.f.OpI(isa.OpShlI, scratch, scratch, 3)
+	s.f.Add(scratch, scratch, baseReg)
+	return int64(8 * s.rnd(4))
+}
+
+// ifElse emits a diamond with random arms.
+func (s *state) ifElse(depth int) {
+	a, b := s.dataReg(), s.dataReg()
+	cond := isa.Cond(s.rnd(6))
+
+	cur := s.f.Cur()
+	thenB := s.f.Block()
+	elseB := s.f.Block()
+	join := s.f.Block()
+
+	s.f.SetBlock(cur)
+	s.f.BrIf(a, cond, b, thenB, elseB)
+
+	s.f.SetBlock(thenB)
+	s.seq(depth+1, s.g.cfg.MaxStmts/2+1)
+	s.f.Br(join)
+
+	s.f.SetBlock(elseB)
+	s.seq(depth+1, s.g.cfg.MaxStmts/2+1)
+	s.f.Br(join)
+
+	s.f.SetBlock(join)
+}
+
+// loop emits a bounded counted loop using dedicated counter and bound
+// registers per nesting level — both outside the data-register pool, so no
+// statement in the body can clobber them and every loop provably terminates
+// after its chosen trip count.
+func (s *state) loop(depth int) {
+	if s.loopLvl >= 4 {
+		s.straight()
+		return
+	}
+	ctr := ctrRegLo + isa.Reg(s.loopLvl)     // r20..r23
+	bound := ctrRegLo + isa.Reg(4+s.loopLvl) // r24..r27
+	s.loopLvl++
+	trip := 1 + s.rnd(s.g.cfg.MaxLoopTrip)
+
+	cur := s.f.Cur()
+	header := s.f.Block()
+	body := s.f.Block()
+	exit := s.f.Block()
+
+	s.f.SetBlock(cur)
+	s.f.MovI(ctr, 0)
+	s.f.MovI(bound, int64(trip))
+	s.f.Br(header)
+
+	s.f.SetBlock(header)
+	s.f.BrIf(ctr, isa.CondGE, bound, exit, body)
+
+	s.f.SetBlock(body)
+	s.seq(depth+1, s.g.cfg.MaxStmts/2+1)
+	s.f.AddI(ctr, ctr, 1)
+	s.f.Br(header)
+
+	s.f.SetBlock(exit)
+	s.loopLvl--
+}
+
+// call invokes a random callee (callees only call strictly later functions,
+// so the call graph is acyclic and execution terminates).
+func (s *state) call() {
+	callee := s.callees[s.rnd(len(s.callees))]
+	s.f.Mov(isa.A0, s.dataReg())
+	s.f.Call(callee)
+}
+
+// locked emits a lock-protected read-modify-write on the shared counter
+// (threads otherwise touch disjoint windows, so programs stay DRF).
+func (s *state) locked() {
+	s.f.Lock(lockReg, 0)
+	s.f.Load(scratch, lockReg, 8)
+	s.f.AddI(scratch, scratch, 1)
+	s.f.Store(lockReg, 8, scratch)
+	s.f.Unlock(lockReg, 0)
+}
+
+// barrier emits a sense-reversing barrier episode over persistent state at
+// lockReg+64 ([count, generation]) — the same construction as the workload
+// package's emitBarrier, kept recoverable by building it from atomics and
+// loads only. Clobbers r0-r2 of the data pool (SPMD keeps that identical
+// across workers, and barrier residue never guards another barrier because
+// barriers are emitted at depth 0 only).
+func (s *state) barrier() {
+	f := s.f
+	n := int64(s.g.cfg.Threads)
+	const (
+		rOld = dataRegLo + 0
+		rGen = dataRegLo + 1
+		rN1  = dataRegLo + 2
+	)
+	pre := f.Cur()
+	last := f.Block()
+	spin := f.Block()
+	spinB := f.Block()
+	exit := f.Block()
+
+	f.SetBlock(pre)
+	f.Load(rGen, lockReg, 72)
+	f.MovI(rOld, 1)
+	f.AtomicAdd(rOld, lockReg, 64, rOld)
+	f.MovI(rN1, n-1)
+	f.BrIf(rOld, isa.CondEQ, rN1, last, spin)
+
+	f.SetBlock(last)
+	f.MovI(rOld, 0)
+	f.Store(lockReg, 64, rOld)
+	f.MovI(rOld, 1)
+	f.AtomicAdd(rOld, lockReg, 72, rOld)
+	f.Br(exit)
+
+	f.SetBlock(spin)
+	f.Load(rOld, lockReg, 72)
+	f.BrIf(rOld, isa.CondNE, rGen, exit, spinB)
+	f.SetBlock(spinB)
+	f.Br(spin)
+
+	f.SetBlock(exit)
+	// Kill the episode's residue: the values left in the scratch registers
+	// depend on arrival order, which crash recovery may legitimately change
+	// (a recovered schedule is a different valid interleaving of the same
+	// program). Fixed re-initialization keeps generated programs
+	// crash-deterministic, which is what lets the harness compare outputs
+	// against a golden run exactly.
+	f.MovI(rOld, 1)
+	f.MovI(rGen, 2)
+	f.MovI(rN1, 3)
+}

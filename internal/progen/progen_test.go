@@ -1,0 +1,171 @@
+package progen
+
+import (
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/isa"
+	"capri/internal/machine"
+)
+
+func TestGenerateVerifies(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		p := Generate(seed, DefaultConfig())
+		if err := p.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		a := Generate(seed, DefaultConfig())
+		b := Generate(seed, DefaultConfig())
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+	if Generate(1, DefaultConfig()).String() == Generate(2, DefaultConfig()).String() {
+		t.Error("distinct seeds produced identical programs")
+	}
+}
+
+func TestGenerateRespectsThreads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threads = 3
+	p := Generate(7, cfg)
+	if p.NumThreads() != 3 {
+		t.Errorf("threads = %d, want 3", p.NumThreads())
+	}
+	cfg.Threads = 0 // clamped to 1
+	if Generate(7, cfg).NumThreads() != 1 {
+		t.Error("zero threads not clamped to 1")
+	}
+}
+
+func TestGeneratedLoopsAreBounded(t *testing.T) {
+	// Structural check: every generated loop's counter and bound registers
+	// must be outside the data-register pool (the termination argument).
+	for seed := uint64(0); seed < 20; seed++ {
+		p := Generate(seed, DefaultConfig())
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Insts {
+					in := &b.Insts[i]
+					if in.Op != isa.OpBrIf {
+						continue
+					}
+					// Backward branches (loop tests) compare ctr vs bound:
+					// ensure any BrIf whose operands include a counter reg
+					// uses a bound reg from the protected pool.
+					aCtr := in.Ra >= ctrRegLo && in.Ra < ctrRegLo+4
+					if aCtr && !(in.Rb >= ctrRegLo+4 && in.Rb <= ctrRegHi) {
+						t.Fatalf("seed %d: loop test %s compares counter against unprotected register", seed, in)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramsCompileAcrossSettings(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		p := Generate(seed*31+5, DefaultConfig())
+		for _, th := range []int{8, 64, 512} {
+			for _, l := range []compile.Level{compile.LevelRegion, compile.LevelCkpt, compile.LevelLICM} {
+				if _, err := compile.Compile(p, compile.OptionsForLevel(l, th)); err != nil {
+					t.Errorf("seed %d th=%d level=%s: %v", seed, th, l, err)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedMemoryStaysInWindows(t *testing.T) {
+	// Run a few generated programs and verify every touched heap word falls
+	// inside a thread window or the shared lock area — the DRF guarantee the
+	// multi-threaded property tests rely on.
+	cfg := DefaultConfig()
+	cfg.Threads = 2
+	mcfg := machine.DefaultConfig()
+	mcfg.Capri = false
+	mcfg.L2Size = 256 << 10
+	mcfg.DRAMSize = 1 << 20
+	for seed := uint64(0); seed < 8; seed++ {
+		p := Generate(seed*97+3, cfg)
+		m, err := machine.New(p, mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for addr := range m.MemSnapshot() {
+			inWin0 := addr >= machine.HeapBase && addr < machine.HeapBase+(512*8+32)
+			inWin1 := addr >= machine.HeapBase+1<<16 && addr < machine.HeapBase+1<<16+(512*8+32)
+			shared := addr >= machine.HeapBase+1<<20 && addr < machine.HeapBase+1<<20+64
+			stack := addr < machine.HeapBase // call tokens
+			if !(inWin0 || inWin1 || shared || stack) {
+				t.Errorf("seed %d: stray address %#x", seed, addr)
+			}
+		}
+	}
+}
+
+func TestSPMDWorkersIdenticalStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threads = 3
+	cfg.Barriers = true
+	p := Generate(99, cfg)
+	// The worker functions must have identical block/instruction shapes
+	// (only stack/window constants differ), which is what guarantees
+	// balanced barrier arrivals.
+	var workers []int
+	for _, f := range p.Funcs {
+		if f.Name == "worker" {
+			workers = append(workers, f.ID)
+		}
+	}
+	if len(workers) != 3 {
+		t.Fatalf("workers = %d", len(workers))
+	}
+	ref := p.Funcs[workers[0]]
+	for _, wi := range workers[1:] {
+		w := p.Funcs[wi]
+		if len(w.Blocks) != len(ref.Blocks) {
+			t.Fatalf("worker block counts differ: %d vs %d", len(w.Blocks), len(ref.Blocks))
+		}
+		for bi := range w.Blocks {
+			if len(w.Blocks[bi].Insts) != len(ref.Blocks[bi].Insts) {
+				t.Fatalf("worker b%d inst counts differ", bi)
+			}
+			for ii := range w.Blocks[bi].Insts {
+				a, b := ref.Blocks[bi].Insts[ii], w.Blocks[bi].Insts[ii]
+				if a.Op != b.Op {
+					t.Fatalf("worker b%d i%d opcode differs: %s vs %s", bi, ii, a.Op, b.Op)
+				}
+			}
+		}
+	}
+}
+
+func TestSPMDBarrierProgramsTerminate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threads = 2
+	cfg.Barriers = true
+	mcfg := machine.DefaultConfig()
+	mcfg.Capri = false
+	mcfg.L2Size = 256 << 10
+	mcfg.DRAMSize = 1 << 20
+	mcfg.MaxSteps = 100_000_000
+	for seed := uint64(0); seed < 12; seed++ {
+		p := Generate(seed*409+3, cfg)
+		m, err := machine.New(p, mcfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("seed %d (deadlock?): %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package proxy
+
+import "fmt"
+
+// BackEnd is one core's back-end proxy buffer inside the integrated memory
+// controller (paper §5.2.2). Its capacity equals the compiler's store
+// threshold, guaranteeing a whole region always fits — the architectural half
+// of the compiler/architecture interplay. It holds entries of one or more
+// regions; it drains a region's redo data to NVM only after that region's
+// boundary entry arrives, in region order, skipping entries whose redo
+// valid-bit has been unset by a matching dirty cache writeback (§5.3).
+type BackEnd struct {
+	Capacity int
+	// NoMerge disables same-region address merging (ablation).
+	NoMerge bool
+	entries []Entry // FIFO across regions; boundary entries delimit
+
+	// Stats.
+	Received       uint64
+	Merges         uint64
+	RedoWrites     uint64
+	SkippedInvalid uint64
+	Scans          uint64
+	ScanHits       uint64
+	Overflow       uint64 // accepts rejected for lack of space (must be 0)
+}
+
+// NewBackEnd returns a back-end buffer with the given entry capacity (==
+// compiler threshold).
+func NewBackEnd(capacity int) *BackEnd {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("proxy: back-end capacity %d", capacity))
+	}
+	return &BackEnd{Capacity: capacity}
+}
+
+// SpaceFor reports whether a data entry can be accepted. Boundary entries are
+// always accepted (they are the delimiter that lets the buffer drain; the
+// capacity invariant of the compiler guarantees region data fits).
+func (b *BackEnd) SpaceFor(e Entry) bool {
+	if e.Kind == KindBoundary {
+		return true
+	}
+	return b.dataLen() < b.Capacity
+}
+
+func (b *BackEnd) dataLen() int {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].Kind == KindData {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of buffered entries (data + boundary).
+func (b *BackEnd) Len() int { return len(b.entries) }
+
+// Accept appends an entry arriving from the proxy path, merging data entries
+// with a matching address within the open (not yet delimited) region — the
+// same-region merge rule of §5.2.1 applied at the buffer that actually holds
+// whole regions. A merge refreshes the redo value, sequence, and valid bit
+// while keeping the oldest undo image. Returns false — and counts an
+// overflow, which the machine treats as a fatal invariant violation — if a
+// data entry does not fit.
+func (b *BackEnd) Accept(e Entry) bool {
+	if e.Kind == KindData && !b.NoMerge {
+		for i := len(b.entries) - 1; i >= 0; i-- {
+			x := &b.entries[i]
+			if x.Kind == KindBoundary {
+				break
+			}
+			if x.Addr == e.Addr {
+				x.Redo = e.Redo
+				if e.Seq > x.Seq {
+					x.Seq = e.Seq
+				}
+				if e.FirstSeq < x.FirstSeq {
+					x.FirstSeq = e.FirstSeq
+				}
+				x.Valid = e.Valid
+				b.Received++
+				b.Merges++
+				return true
+			}
+		}
+	}
+	if !b.SpaceFor(e) {
+		b.Overflow++
+		return false
+	}
+	b.Received++
+	b.entries = append(b.entries, e)
+	return true
+}
+
+// ScanInvalidate implements the writeback scan of §5.3.2: unset the redo
+// valid-bit of every buffered data entry matching addr whose merged store
+// sequence is not newer than the writeback's. (The sequence comparison is the
+// cross-core-safe refinement of the paper's unconditional unset; see
+// DESIGN.md.)
+func (b *BackEnd) ScanInvalidate(addr uint64, wbSeq uint64) int {
+	b.Scans++
+	n := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.Kind == KindData && e.Addr == addr && e.Valid && e.Seq <= wbSeq {
+			e.Valid = false
+			b.ScanHits++
+			n++
+		}
+	}
+	return n
+}
+
+// CommittedRegion describes one region ready for (or found during recovery
+// in) phase-2 processing.
+type CommittedRegion struct {
+	Data     []Entry
+	Boundary Entry
+}
+
+// PopRegion removes and returns the oldest complete region (data entries up
+// to and including a boundary entry), if one is present. This is the unit of
+// the second phase of the atomic store.
+func (b *BackEnd) PopRegion() (CommittedRegion, bool) {
+	for i := range b.entries {
+		if b.entries[i].Kind == KindBoundary {
+			r := CommittedRegion{
+				Data:     append([]Entry(nil), b.entries[:i]...),
+				Boundary: b.entries[i],
+			}
+			b.entries = append(b.entries[:0], b.entries[i+1:]...)
+			return r, true
+		}
+	}
+	return CommittedRegion{}, false
+}
+
+// HasRegion reports whether a complete region is buffered.
+func (b *BackEnd) HasRegion() bool {
+	for i := range b.entries {
+		if b.entries[i].Kind == KindBoundary {
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns the buffered entries oldest-first (recovery reads them
+// after a crash).
+func (b *BackEnd) Entries() []Entry { return b.entries }

@@ -1,0 +1,122 @@
+package proxy
+
+// Path models the dedicated, uncacheable proxy data path connecting one
+// core's front-end proxy to its back-end buffer in the memory controller
+// (paper §3.3). It is a fixed-latency, fixed-bandwidth FIFO pipe: one entry
+// departs per `Interval` cycles and arrives `Latency` cycles later. Packets
+// in flight are logically retained by the front-end for crash purposes
+// (delivery is acknowledged), so the path itself holds no recoverable state.
+//
+// The memory controller's monitoring window (§5.3.2) lives here: a dirty
+// writeback arriving at the controller registers its address and sequence;
+// any entry for the same address arriving within the worst-case path latency
+// whose store sequence is not newer has its redo valid-bit unset on arrival.
+type Path struct {
+	Latency  uint64 // cycles from departure to arrival
+	Interval uint64 // cycles between departures (bandwidth)
+
+	nextDepart uint64 // earliest cycle the next entry may depart
+
+	inflight []packet
+
+	// Monitoring window: address -> (expiry cycle, writeback seq).
+	window map[uint64]windowEntry
+
+	// Stats.
+	Sent       uint64
+	Delivered  uint64
+	WindowHits uint64
+	WindowAdds uint64
+}
+
+type packet struct {
+	e       Entry
+	arrives uint64
+}
+
+type windowEntry struct {
+	expiry uint64
+	seq    uint64
+}
+
+// NewPath builds a proxy path with the given latency and per-entry interval.
+func NewPath(latency, interval uint64) *Path {
+	if interval == 0 {
+		interval = 1
+	}
+	return &Path{Latency: latency, Interval: interval, window: map[uint64]windowEntry{}}
+}
+
+// Send departs an entry at the given cycle (or the earliest bandwidth slot
+// after it) and returns the departure cycle actually used.
+func (p *Path) Send(e Entry, now uint64) uint64 {
+	depart := now
+	if p.nextDepart > depart {
+		depart = p.nextDepart
+	}
+	p.nextDepart = depart + p.Interval
+	p.inflight = append(p.inflight, packet{e: e, arrives: depart + p.Latency})
+	p.Sent++
+	return depart
+}
+
+// InFlight returns the number of entries on the wire.
+func (p *Path) InFlight() int { return len(p.inflight) }
+
+// Backlog reports the earliest cycle at which the path could accept a new
+// entry — the machine uses it to model front-end drain pacing.
+func (p *Path) Backlog() uint64 { return p.nextDepart }
+
+// Deliver pops every entry that has arrived by `now`, applying the
+// monitoring window to unset stale redo valid-bits.
+func (p *Path) Deliver(now uint64) []Entry {
+	var out []Entry
+	kept := p.inflight[:0]
+	for _, pk := range p.inflight {
+		if pk.arrives > now {
+			kept = append(kept, pk)
+			continue
+		}
+		e := pk.e
+		if e.Kind == KindData {
+			if w, ok := p.window[e.Addr]; ok && pk.arrives <= w.expiry && e.Seq <= w.seq {
+				e.Valid = false
+				p.WindowHits++
+			}
+		}
+		p.Delivered++
+		out = append(out, e)
+	}
+	p.inflight = kept
+	return out
+}
+
+// NoteWriteback opens (or refreshes) the monitoring window for addr after a
+// dirty writeback with sequence seq arrives at the controller at cycle now.
+func (p *Path) NoteWriteback(addr uint64, seq uint64, now uint64) {
+	w, ok := p.window[addr]
+	if !ok || w.seq < seq || w.expiry < now+p.Latency {
+		p.window[addr] = windowEntry{expiry: now + p.Latency, seq: seq}
+		p.WindowAdds++
+	}
+	// Opportunistically prune expired windows to bound memory.
+	if len(p.window) > 4096 {
+		for a, we := range p.window {
+			if we.expiry < now {
+				delete(p.window, a)
+			}
+		}
+	}
+}
+
+// DrainAll immediately delivers everything in flight (used at crash time:
+// in-flight packets are logically part of the front-end's non-volatile
+// contents, so recovery sees them in order).
+func (p *Path) DrainAll() []Entry {
+	out := make([]Entry, 0, len(p.inflight))
+	for _, pk := range p.inflight {
+		out = append(out, pk.e)
+	}
+	p.inflight = p.inflight[:0]
+	return out
+}

@@ -1,0 +1,215 @@
+// Package proxy implements Capri's decoupled proxy buffer architecture
+// (paper §5.2): the non-volatile front-end proxy buffer beside the L1 data
+// cache, the dedicated per-core proxy data path, and the per-core back-end
+// proxy buffers in the integrated memory controller. Together they realize
+// the two-phase atomic store with undo+redo logging:
+//
+//   - Phase 1: every regular store allocates (or merges into) a front-end
+//     entry holding the home address plus undo and redo images; the entry
+//     travels the proxy path to the back-end. A region-boundary entry acts as
+//     the commit marker and delimiter.
+//   - Phase 2: once the back-end holds a region's boundary entry, it drains
+//     the region's redo images to NVM, in region order.
+//
+// Register-checkpointing stores never allocate proxy entries; their values
+// are staged in the dedicated register-file storage beside the front-end and
+// travel with the boundary entry (§5.2.1 optimizations). Boundary entries for
+// store-free regions are elided, likewise per §5.2.1.
+//
+// Both buffers are battery-backed: at a power failure their contents (plus
+// entries in flight on the path, which the front-end logically retains until
+// delivery) are exactly what the recovery protocol reads.
+package proxy
+
+import (
+	"fmt"
+
+	"capri/internal/isa"
+)
+
+// EntryKind distinguishes data entries from region-boundary markers.
+type EntryKind uint8
+
+// Entry kinds.
+const (
+	KindData EntryKind = iota
+	KindBoundary
+)
+
+// Entry is one proxy buffer entry (paper Figure 5). Data entries carry the
+// word address with undo and redo values; boundary entries carry the commit
+// metadata: the PC checkpoint (function and block of the *next* region), the
+// stack pointer, and the register checkpoints staged during the region.
+type Entry struct {
+	Kind EntryKind
+
+	// Data entry fields. Seq tracks the newest store merged into the entry
+	// (the redo's version); FirstSeq tracks the oldest (the version right
+	// after the undo image). Recovery must roll back whenever NVM holds any
+	// version >= FirstSeq — a dirty writeback may have persisted an
+	// intermediate store of the region, not just the final one.
+	Addr     uint64
+	Undo     uint64
+	Redo     uint64
+	Seq      uint64
+	FirstSeq uint64
+	Valid    bool // redo valid-bit (§5.3); meaningful in the back-end
+
+	// Boundary entry fields. (PCFunc, PCBlk, PCIdx) is the PC checkpoint —
+	// the exact resume point of the region that begins at this boundary.
+	Region uint64 // region sequence number (per core)
+	PCFunc int32
+	PCBlk  int32
+	PCIdx  int32
+	SP     uint64
+	Ckpts  []RegCkpt
+	Emits  []uint64 // program output staged during the committed region
+	Halt   bool     // final marker of a halted thread
+}
+
+// RegCkpt is one staged register checkpoint travelling with a boundary entry.
+type RegCkpt struct {
+	Reg isa.Reg
+	Val uint64
+}
+
+// FrontEnd is the front-end proxy buffer. Capacity is in entries (Table 1:
+// 32 entries, ~4 KB). Entries drain toward the back-end at the proxy path
+// rate; the core stalls only when the buffer is full (§5.2.1).
+type FrontEnd struct {
+	Capacity int
+	// NoMerge disables same-region address merging (ablation).
+	NoMerge bool
+	// NoElide disables boundary elision for store-free regions (ablation).
+	NoElide bool
+	entries []Entry // FIFO: entries[0] is oldest
+
+	// Register-file checkpoint staging for the current (uncommitted) region.
+	staged []RegCkpt
+
+	// Stats.
+	Allocs    uint64
+	Merges    uint64
+	Boundary  uint64
+	ElidedBds uint64
+	Stalls    uint64 // allocation attempts that found the buffer full
+}
+
+// NewFrontEnd returns a front-end buffer with the given entry capacity.
+func NewFrontEnd(capacity int) *FrontEnd {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("proxy: front-end capacity %d", capacity))
+	}
+	return &FrontEnd{Capacity: capacity}
+}
+
+// Full reports whether a new entry cannot be allocated.
+func (f *FrontEnd) Full() bool { return len(f.entries) >= f.Capacity }
+
+// Len returns the number of buffered entries.
+func (f *FrontEnd) Len() int { return len(f.entries) }
+
+// AddStore records a regular store: undo/redo images for addr. Within the
+// current region, an entry with the same address is merged (redo and seq
+// updated; undo keeps the oldest image). Returns false if the buffer is full
+// — the caller must drain and retry (core stall).
+func (f *FrontEnd) AddStore(addr, undo, redo, seq uint64) bool {
+	// Merge search only within the current region: stop at the most recent
+	// boundary entry (§5.2.1: "does not merge proxy entries even if two
+	// entries have the same address when they belong to different regions").
+	for i := len(f.entries) - 1; i >= 0 && !f.NoMerge; i-- {
+		e := &f.entries[i]
+		if e.Kind == KindBoundary {
+			break
+		}
+		if e.Addr == addr {
+			e.Redo = redo
+			e.Seq = seq
+			f.Merges++
+			return true
+		}
+	}
+	if f.Full() {
+		f.Stalls++
+		return false
+	}
+	f.entries = append(f.entries, Entry{
+		Kind: KindData, Addr: addr, Undo: undo, Redo: redo,
+		Seq: seq, FirstSeq: seq, Valid: true,
+	})
+	f.Allocs++
+	return true
+}
+
+// StageCkpt records a register checkpoint for the current region in the
+// dedicated register-file storage. Later stages of the same register within
+// one region overwrite earlier ones.
+func (f *FrontEnd) StageCkpt(r isa.Reg, val uint64) {
+	for i := range f.staged {
+		if f.staged[i].Reg == r {
+			f.staged[i].Val = val
+			return
+		}
+	}
+	f.staged = append(f.staged, RegCkpt{Reg: r, Val: val})
+}
+
+// StagedLen returns the number of staged register checkpoints.
+func (f *FrontEnd) StagedLen() int { return len(f.staged) }
+
+// AddBoundary commits the current region: it appends a boundary entry
+// carrying the staged register checkpoints, the staged output emits, and the
+// next region's PC/SP. Store-free regions with no staged checkpoints and no
+// emits may elide the entry (elided true), saving proxy-path traffic, unless
+// force is set (halt markers are never elided). Returns ok=false on a full
+// buffer.
+//
+// hadStores reports whether the region allocated any data entries.
+func (f *FrontEnd) AddBoundary(region uint64, pcFunc, pcBlk, pcIdx int32, sp uint64, emits []uint64, hadStores, force, halt bool) (ok, elided bool) {
+	if !hadStores && len(f.staged) == 0 && len(emits) == 0 && !force && !f.NoElide {
+		f.ElidedBds++
+		return true, true
+	}
+	if f.Full() {
+		f.Stalls++
+		return false, false
+	}
+	e := Entry{
+		Kind: KindBoundary, Region: region,
+		PCFunc: pcFunc, PCBlk: pcBlk, PCIdx: pcIdx, SP: sp, Halt: halt,
+	}
+	if len(emits) > 0 {
+		e.Emits = append(e.Emits, emits...)
+	}
+	if len(f.staged) > 0 {
+		e.Ckpts = append(e.Ckpts, f.staged...)
+		f.staged = f.staged[:0]
+	}
+	f.entries = append(f.entries, e)
+	f.Boundary++
+	return true, false
+}
+
+// DiscardStaged drops staged checkpoints (power failure hits before the
+// region commits — the staging storage is logically part of the uncommitted
+// region). The staged values are non-volatile but recovery ignores them, so
+// the machine clears them when rebuilding.
+func (f *FrontEnd) DiscardStaged() { f.staged = f.staged[:0] }
+
+// Pop removes and returns the oldest entry for transmission on the proxy
+// path.
+func (f *FrontEnd) Pop() (Entry, bool) {
+	if len(f.entries) == 0 {
+		return Entry{}, false
+	}
+	e := f.entries[0]
+	f.entries = f.entries[1:]
+	return e, true
+}
+
+// Entries returns the buffered entries oldest-first (recovery reads them
+// after a crash).
+func (f *FrontEnd) Entries() []Entry { return f.entries }
+
+// Staged returns the currently staged register checkpoints (inspection).
+func (f *FrontEnd) Staged() []RegCkpt { return f.staged }

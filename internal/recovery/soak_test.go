@@ -1,0 +1,51 @@
+package recovery
+
+import (
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/progen"
+)
+
+// TestSoakFuzz is the long-running variant of the property tests: many
+// random programs across thread counts, thresholds and optimization levels.
+// Skipped with -short; the full `go test ./...` run exercises it so the
+// recorded test output documents the campaign.
+func TestSoakFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak campaign")
+	}
+	type cfgCase struct {
+		threads   int
+		threshold int
+		level     compile.Level
+	}
+	cases := []cfgCase{
+		{1, 8, compile.LevelCkpt},
+		{1, 32, compile.LevelUnroll},
+		{1, 256, compile.LevelLICM},
+		{2, 16, compile.LevelLICM},
+		{2, 64, compile.LevelPrune},
+		{4, 32, compile.LevelLICM},
+	}
+	const perCase = 15
+	ran := 0
+	for ci, cc := range cases {
+		gcfg := progen.DefaultConfig()
+		gcfg.Threads = cc.threads
+		for i := 0; i < perCase; i++ {
+			seed := uint64(ci*1_000_003 + i*7919 + 101)
+			p := progen.Generate(seed, gcfg)
+			mcfg := testConfig()
+			mcfg.Cores = cc.threads
+			mcfg.Threshold = cc.threshold
+			opts := compile.OptionsForLevel(cc.level, cc.threshold)
+			if _, err := ValidateProgram(p, opts, mcfg, 8); err != nil {
+				t.Errorf("case %d seed %d (threads=%d th=%d level=%s): %v",
+					ci, seed, cc.threads, cc.threshold, cc.level, err)
+			}
+			ran++
+		}
+	}
+	t.Logf("soak: %d random programs crash-swept", ran)
+}

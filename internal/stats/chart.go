@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders a table column as a horizontal ASCII bar chart — the
+// terminal-friendly analogue of the paper's bar figures. Values are scaled
+// to the column maximum; baseline marks a reference value (1.0 for
+// normalized-cycles figures) drawn as a tick on each bar.
+func (t *Table) Chart(col string, baseline float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	type row struct {
+		label string
+		val   float64
+		rule  bool
+	}
+	var rows []row
+	maxVal := baseline
+	for _, r := range t.rows {
+		if r.rule {
+			rows = append(rows, row{rule: true})
+			continue
+		}
+		v, ok := t.Value(r.label, col)
+		if !ok {
+			continue
+		}
+		rows = append(rows, row{label: r.label, val: v})
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+
+	labelW := 16
+	for _, r := range rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s — column %s\n", t.Title, col)
+	}
+	tick := -1
+	if baseline > 0 {
+		tick = int(baseline / maxVal * float64(width))
+		if tick >= width {
+			tick = width - 1
+		}
+	}
+	for _, r := range rows {
+		if r.rule {
+			sb.WriteString(strings.Repeat("-", labelW+width+12))
+			sb.WriteByte('\n')
+			continue
+		}
+		n := int(r.val / maxVal * float64(width))
+		if n > width {
+			n = width
+		}
+		bar := make([]byte, width)
+		for i := range bar {
+			switch {
+			case i < n:
+				bar[i] = '#'
+			case i == tick:
+				bar[i] = '|'
+			default:
+				bar[i] = ' '
+			}
+		}
+		if tick >= 0 && tick < n {
+			bar[tick] = '+' // bar crosses the baseline
+		}
+		fmt.Fprintf(&sb, "%-*s %s %8.3f\n", labelW, r.label, string(bar), r.val)
+	}
+	return sb.String()
+}

@@ -1,0 +1,151 @@
+// Package stats provides the small numeric and formatting helpers the
+// benchmark harness uses to render the paper's tables and figures: geometric
+// means and fixed-width row/column tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (0 for empty input). Non-positive
+// entries are skipped — they indicate a failed run and should not poison the
+// aggregate.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Table is a simple column-aligned table with a leading row-label column.
+type Table struct {
+	Title    string
+	ColNames []string
+	rows     []row
+}
+
+type row struct {
+	label string
+	vals  []float64
+	rule  bool // draw a separator before this row
+}
+
+// NewTable creates a table with the given title and column names.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, ColNames: cols}
+}
+
+// AddRow appends a data row.
+func (t *Table) AddRow(label string, vals ...float64) {
+	t.rows = append(t.rows, row{label: label, vals: vals})
+}
+
+// AddRule appends a horizontal separator before the next row.
+func (t *Table) AddRule() {
+	t.rows = append(t.rows, row{rule: true})
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int {
+	n := 0
+	for _, r := range t.rows {
+		if !r.rule {
+			n++
+		}
+	}
+	return n
+}
+
+// Value returns the cell at (label, col name), and whether it exists.
+func (t *Table) Value(label, col string) (float64, bool) {
+	ci := -1
+	for i, c := range t.ColNames {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.rows {
+		if !r.rule && r.label == label && ci < len(r.vals) {
+			return r.vals[ci], true
+		}
+	}
+	return 0, false
+}
+
+// Column collects one named column's values over all data rows whose label
+// passes keep (nil keeps everything).
+func (t *Table) Column(col string, keep func(label string) bool) []float64 {
+	ci := -1
+	for i, c := range t.ColNames {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return nil
+	}
+	var out []float64
+	for _, r := range t.rows {
+		if r.rule || ci >= len(r.vals) {
+			continue
+		}
+		if keep == nil || keep(r.label) {
+			out = append(out, r.vals[ci])
+		}
+	}
+	return out
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	label := 18
+	for _, r := range t.rows {
+		if len(r.label) > label {
+			label = len(r.label)
+		}
+	}
+	colW := 9
+	for _, c := range t.ColNames {
+		if len(c)+2 > colW {
+			colW = len(c) + 2
+		}
+	}
+
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	fmt.Fprintf(&sb, "%-*s", label, "")
+	for _, c := range t.ColNames {
+		fmt.Fprintf(&sb, "%*s", colW, c)
+	}
+	sb.WriteByte('\n')
+	width := label + colW*len(t.ColNames)
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		if r.rule {
+			sb.WriteString(strings.Repeat("-", width))
+			sb.WriteByte('\n')
+			continue
+		}
+		fmt.Fprintf(&sb, "%-*s", label, r.label)
+		for _, v := range r.vals {
+			fmt.Fprintf(&sb, "%*.3f", colW, v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{4}, 4},
+		{[]float64{2, 8}, 4},
+		{[]float64{1, 1, 1}, 1},
+		{nil, 0},
+		{[]float64{0, -3}, 0},
+		{[]float64{0, 9}, 9}, // non-positive skipped
+	}
+	for _, tc := range cases {
+		if got := Geomean(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Geomean(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestGeomeanProperties(t *testing.T) {
+	// Geomean of positive values lies between min and max, and is
+	// scale-equivariant: Geomean(k*x) = k*Geomean(x).
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a%999) + 1, float64(b%999) + 1, float64(c%999) + 1}
+		g := Geomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if g < lo-1e-9 || g > hi+1e-9 {
+			return false
+		}
+		scaled := Geomean([]float64{3 * xs[0], 3 * xs[1], 3 * xs[2]})
+		return math.Abs(scaled-3*g) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildTable() *Table {
+	t := NewTable("demo", "a", "b")
+	t.AddRow("x", 1.5, 0.5)
+	t.AddRow("y", 3.0, 2.0)
+	t.AddRule()
+	t.AddRow("gmean", 2.12, 1.0)
+	return t
+}
+
+func TestTableAccessors(t *testing.T) {
+	tbl := buildTable()
+	if tbl.Rows() != 3 {
+		t.Errorf("rows = %d", tbl.Rows())
+	}
+	if v, ok := tbl.Value("y", "b"); !ok || v != 2.0 {
+		t.Errorf("Value(y,b) = %v,%v", v, ok)
+	}
+	if _, ok := tbl.Value("zzz", "a"); ok {
+		t.Error("missing row found")
+	}
+	col := tbl.Column("a", nil)
+	if len(col) != 3 || col[0] != 1.5 || col[2] != 2.12 {
+		t.Errorf("Column(a) = %v", col)
+	}
+	filtered := tbl.Column("a", func(l string) bool { return l != "gmean" })
+	if len(filtered) != 2 {
+		t.Errorf("filtered column = %v", filtered)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	s := buildTable().String()
+	for _, want := range []string{"demo", "x", "y", "gmean", "3.000", "-----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	tbl := buildTable()
+	c := tbl.Chart("a", 1.0, 40)
+	lines := strings.Split(strings.TrimSpace(c), "\n")
+	// Header + 2 rows + rule + gmean.
+	if len(lines) != 5 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), c)
+	}
+	// The y row (3.0 = max) must have more # than the x row (1.5).
+	xHashes := strings.Count(lines[1], "#")
+	yHashes := strings.Count(lines[2], "#")
+	if yHashes <= xHashes {
+		t.Errorf("bar lengths not ordered: x=%d y=%d\n%s", xHashes, yHashes, c)
+	}
+	// Baseline tick appears (as + inside bars crossing it).
+	if !strings.Contains(c, "+") {
+		t.Errorf("baseline tick missing:\n%s", c)
+	}
+	// Values printed at line ends.
+	if !strings.Contains(lines[2], "3.000") {
+		t.Errorf("value missing:\n%s", c)
+	}
+}
+
+func TestChartWithoutBaseline(t *testing.T) {
+	tbl := NewTable("t", "v")
+	tbl.AddRow("only", 5)
+	c := tbl.Chart("v", 0, 20)
+	if strings.Contains(c, "+") || strings.Contains(c, "|") {
+		t.Errorf("unexpected baseline marks:\n%s", c)
+	}
+	if !strings.Contains(c, "#") {
+		t.Errorf("no bar drawn:\n%s", c)
+	}
+}
+
+func TestChartUnknownColumn(t *testing.T) {
+	tbl := buildTable()
+	c := tbl.Chart("nope", 1, 20)
+	if strings.Contains(c, "#") {
+		t.Errorf("bars for unknown column:\n%s", c)
+	}
+}
+
+func TestChartClampsTinyWidth(t *testing.T) {
+	tbl := buildTable()
+	c := tbl.Chart("a", 1.0, 1) // clamped to 10
+	if !strings.Contains(c, "#") {
+		t.Errorf("no bars at clamped width:\n%s", c)
+	}
+}

@@ -1,0 +1,37 @@
+package trace
+
+// MachineTracer adapts a Recorder to the machine package's Tracer interface
+// (satisfied structurally, so this package stays independent of machine).
+type MachineTracer struct {
+	R *Recorder
+}
+
+// TraceCommit records a region commit.
+func (t MachineTracer) TraceCommit(core int, cycle, region uint64) {
+	t.R.Record(Event{Kind: KindRegionCommit, Core: core, Cycle: cycle, Region: region})
+}
+
+// TraceDrain records a phase-2 drain completion.
+func (t MachineTracer) TraceDrain(core int, cycle, region uint64) {
+	t.R.Record(Event{Kind: KindPhase2Drain, Core: core, Cycle: cycle, Region: region})
+}
+
+// TraceWriteback records a dirty line reaching the memory controller.
+func (t MachineTracer) TraceWriteback(core int, cycle, addr uint64) {
+	t.R.Record(Event{Kind: KindWriteback, Core: core, Cycle: cycle, Addr: addr})
+}
+
+// TraceStall records a front-end proxy stall.
+func (t MachineTracer) TraceStall(core int, cycle uint64) {
+	t.R.Record(Event{Kind: KindFrontStall, Core: core, Cycle: cycle})
+}
+
+// TraceCrash records a power-failure injection.
+func (t MachineTracer) TraceCrash(cycle uint64) {
+	t.R.Record(Event{Kind: KindCrash, Cycle: cycle})
+}
+
+// TraceRecovery records a completed recovery.
+func (t MachineTracer) TraceRecovery(cores int) {
+	t.R.Record(Event{Kind: KindRecovery, Core: cores, Note: "cores"})
+}

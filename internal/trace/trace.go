@@ -1,0 +1,182 @@
+// Package trace records persistence-relevant events from a machine run: it
+// is the observability layer for debugging region formation and the
+// two-phase store pipeline, and the data source for the event-level tests
+// that assert ordering invariants (per-core region commits are monotone,
+// drains follow commits, and so on).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindRegionCommit Kind = iota // a boundary committed (marker entered the NV front-end)
+	KindPhase2Drain              // a region's redo data finished draining to NVM
+	KindWriteback                // a dirty line reached the memory controller
+	KindFrontStall               // the core stalled on a full front-end proxy
+	KindCrash                    // power failure injected
+	KindRecovery                 // recovery protocol completed
+)
+
+var kindNames = [...]string{
+	KindRegionCommit: "commit",
+	KindPhase2Drain:  "drain",
+	KindWriteback:    "writeback",
+	KindFrontStall:   "stall",
+	KindCrash:        "crash",
+	KindRecovery:     "recovery",
+}
+
+// String returns the event-kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Kind   Kind
+	Core   int
+	Cycle  uint64
+	Region uint64 // for commit/drain events
+	Addr   uint64 // for writeback events
+	Note   string
+}
+
+// String renders the event in a grep-friendly line format.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindRegionCommit, KindPhase2Drain:
+		return fmt.Sprintf("%-9s core=%d cycle=%d region=%d", e.Kind, e.Core, e.Cycle, e.Region)
+	case KindWriteback:
+		return fmt.Sprintf("%-9s core=%d cycle=%d addr=%#x", e.Kind, e.Core, e.Cycle, e.Addr)
+	default:
+		s := fmt.Sprintf("%-9s core=%d cycle=%d", e.Kind, e.Core, e.Cycle)
+		if e.Note != "" {
+			s += " " + e.Note
+		}
+		return s
+	}
+}
+
+// Recorder accumulates events. It is safe for use from a single machine
+// (the machine is single-goroutine) but guards against accidental
+// concurrent use anyway.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int
+}
+
+// NewRecorder returns a Recorder capped at limit events (0 = unlimited).
+// When the cap is hit, further events are dropped and counted.
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Record appends an event, subject to the cap.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Filter returns the events of one kind, in order.
+func (r *Recorder) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTo dumps the trace as text lines.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range r.Events() {
+		m, err := fmt.Fprintln(w, e.String())
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Summary returns per-kind counts as a one-line string.
+func (r *Recorder) Summary() string {
+	counts := map[Kind]int{}
+	for _, e := range r.Events() {
+		counts[e.Kind]++
+	}
+	var parts []string
+	for k := KindRegionCommit; k <= KindRecovery; k++ {
+		if counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty trace)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// CheckRegionOrder verifies the in-order-persistence invariant over the
+// trace: for each core, commit events carry strictly increasing region
+// sequence numbers, and every drain's region was committed earlier in the
+// trace. Returns a descriptive error on the first violation.
+func CheckRegionOrder(events []Event) error {
+	lastCommit := map[int]uint64{}
+	committed := map[int]map[uint64]bool{}
+	lastDrain := map[int]uint64{}
+	for i, e := range events {
+		switch e.Kind {
+		case KindRegionCommit:
+			if prev, ok := lastCommit[e.Core]; ok && e.Region <= prev {
+				return fmt.Errorf("event %d: core %d commit region %d after %d", i, e.Core, e.Region, prev)
+			}
+			lastCommit[e.Core] = e.Region
+			if committed[e.Core] == nil {
+				committed[e.Core] = map[uint64]bool{}
+			}
+			committed[e.Core][e.Region] = true
+		case KindPhase2Drain:
+			if !committed[e.Core][e.Region] {
+				return fmt.Errorf("event %d: core %d drained region %d before its commit", i, e.Core, e.Region)
+			}
+			if prev, ok := lastDrain[e.Core]; ok && e.Region <= prev {
+				return fmt.Errorf("event %d: core %d drain region %d after %d (out of region order)", i, e.Core, e.Region, prev)
+			}
+			lastDrain[e.Core] = e.Region
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"capri/internal/prog"
+)
+
+// Suite identifies which benchmark suite a workload stands in for.
+type Suite string
+
+// Suites of the paper's evaluation.
+const (
+	SuiteSPEC   Suite = "cpu2017"
+	SuiteSTAMP  Suite = "stamp"
+	SuiteSplash Suite = "splash3"
+)
+
+// Benchmark describes one synthetic stand-in workload.
+type Benchmark struct {
+	Name    string
+	Suite   Suite
+	Threads int
+	// ShortLoops marks benchmarks the paper calls out as dominated by short
+	// loops (508.namd, ssca2, volrend, water-*): speculative unrolling gives
+	// them outsized wins.
+	ShortLoops bool
+	// Build constructs the program at the given scale (1 = default figure
+	// scale; tests use smaller).
+	Build func(scale int) *prog.Program
+}
+
+var registry []Benchmark
+
+func register(b Benchmark) { registry = append(registry, b) }
+
+// All returns every benchmark in plotting order: SPEC, STAMP, Splash-3 —
+// matching the x-axes of Figures 8–11. (Registration happens in per-file
+// init functions whose order follows file names, so All sorts by suite
+// explicitly, keeping registration order within each suite.)
+func All() []Benchmark {
+	out := make([]Benchmark, len(registry))
+	copy(out, registry)
+	rank := map[Suite]int{SuiteSPEC: 0, SuiteSTAMP: 1, SuiteSplash: 2}
+	sort.SliceStable(out, func(i, j int) bool {
+		return rank[out[i].Suite] < rank[out[j].Suite]
+	})
+	return out
+}
+
+// BySuite filters All by suite, preserving order.
+func BySuite(s Suite) []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if b.Suite == s {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName returns the named benchmark, searching the paper stand-ins first
+// and then the microbenchmarks.
+func ByName(name string) (Benchmark, error) {
+	if b, ok := byNameAll(name); ok {
+		return b, nil
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (see `capricc -list`)", name)
+}
+
+// Names lists all benchmark names in plotting order.
+func Names() []string {
+	var out []string
+	for _, b := range All() {
+		out = append(out, b.Name)
+	}
+	return out
+}

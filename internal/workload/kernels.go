@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"capri/internal/isa"
+	"capri/internal/machine"
+	"capri/internal/prog"
+)
+
+// Register conventions shared by the kernel emitters. Loop state lives in
+// high registers so argument registers stay free for calls.
+const (
+	rI    = isa.Reg(8)  // induction variable
+	rN    = isa.Reg(9)  // trip count
+	rBase = isa.Reg(10) // data base pointer
+	rVal  = isa.Reg(11) // working value
+	rAcc  = isa.Reg(12) // accumulator
+	rTmp  = isa.Reg(13)
+	rTmp2 = isa.Reg(14)
+	rMask = isa.Reg(15) // address mask for pseudo-random access
+	rPtr  = isa.Reg(16) // pointer-chase cursor
+	rLock = isa.Reg(17) // lock base
+	rScr  = isa.Reg(18) // scratch start; kernels may use rScr..rScr+7
+)
+
+// kernelSpec shapes one loop nest emitted by loopKernel.
+type kernelSpec struct {
+	// iters is the dynamic trip count (unknown to the compiler: the bound is
+	// loaded from memory so every loop is a speculative-unrolling candidate).
+	iters int64
+	// bodyStores is the number of store instructions per iteration.
+	bodyStores int
+	// bodyALU is the number of extra ALU instructions per iteration (between
+	// stores): higher values lower store density.
+	bodyALU int
+	// bodyLoads adds load instructions per iteration.
+	bodyLoads int
+	// stride is the byte stride between iterations' store addresses.
+	stride int64
+	// span is the working-set size in bytes the addresses wrap over.
+	span int64
+	// random makes the access pattern pseudo-random within span.
+	random bool
+	// liveRegs adds this many extra registers carried live around the loop
+	// and *updated* each iteration (checkpoint pressure at every region
+	// boundary, like the paper's per-iteration live-out sets).
+	liveRegs int
+	// invariant adds a loop-invariant multiply whose value is stored (LICM
+	// material).
+	invariant bool
+}
+
+// loopKernel emits one loop into f reading its trip count from mem[bound]
+// (so the compiler cannot know it) and writing within [base, base+span).
+// It returns leaving the current block at the loop exit, so kernels can be
+// chained. seed varies the generated constants.
+func loopKernel(f *prog.FuncBuilder, spec kernelSpec, base uint64, r *rng) {
+	pre := f.Cur()
+	header := f.Block()
+	body := f.Block()
+	exit := f.Block()
+
+	f.SetBlock(pre)
+	f.MovI(rI, 0)
+	f.MovI(rN, spec.iters)
+	f.MovI(rBase, int64(base))
+	f.MovI(rVal, r.i64(1, 1<<20))
+	if spec.span > 0 {
+		f.MovI(rMask, spec.span/8-1) // word-count mask (span must be pow2*8)
+	}
+	// Extra live registers: defined before the loop, consumed after it.
+	for k := 0; k < spec.liveRegs && k < 8; k++ {
+		f.MovI(rScr+isa.Reg(k), r.i64(1, 999))
+	}
+	f.Br(header)
+
+	f.SetBlock(header)
+	f.BrIf(rI, isa.CondGE, rN, exit, body)
+
+	f.SetBlock(body)
+	if spec.invariant {
+		// Loop-invariant computation stored each iteration (LICM material
+		// for both the value's checkpoint and — in a smarter compiler — the
+		// multiply itself).
+		f.MulI(rTmp2, rVal, 7)
+		f.Store(rBase, int64(spec.span)+64, rTmp2)
+	}
+	alusPerStore := 0
+	if spec.bodyStores > 0 {
+		alusPerStore = spec.bodyALU / max(1, spec.bodyStores)
+	}
+	loads := spec.bodyLoads
+	for s := 0; s < spec.bodyStores; s++ {
+		// Address computation.
+		if spec.random {
+			// addr = base + 8 * ((i*2654435761 + s*k) & mask)
+			f.MulI(rTmp, rI, 2654435761)
+			f.AddI(rTmp, rTmp, r.i64(0, 1<<16))
+			f.Op3(isa.OpAnd, rTmp, rTmp, rMask)
+			f.OpI(isa.OpShlI, rTmp, rTmp, 3)
+			f.Add(rTmp, rTmp, rBase)
+		} else {
+			// addr = base + (i*stride + s*8) mod span
+			f.MulI(rTmp, rI, spec.stride)
+			if spec.span > 0 {
+				f.OpI(isa.OpShrI, rTmp2, rTmp, 3)
+				f.Op3(isa.OpAnd, rTmp2, rTmp2, rMask)
+				f.OpI(isa.OpShlI, rTmp, rTmp2, 3)
+			}
+			f.Add(rTmp, rTmp, rBase)
+		}
+		if loads > 0 {
+			f.Load(rTmp2, rTmp, 0)
+			f.Add(rAcc, rAcc, rTmp2)
+			loads--
+		}
+		f.Add(rVal, rVal, rI)
+		f.Store(rTmp, int64(8*s), rVal)
+		for a := 0; a < alusPerStore; a++ {
+			f.OpI(isa.OpAddI, rAcc, rAcc, 3)
+		}
+	}
+	for ; loads > 0; loads-- {
+		f.Load(rTmp2, rBase, int64(8*loads))
+		f.Add(rAcc, rAcc, rTmp2)
+	}
+	// Remaining ALU filler.
+	rest := spec.bodyALU - alusPerStore*spec.bodyStores
+	for a := 0; a < rest; a++ {
+		f.Op3(isa.OpXor, rAcc, rAcc, rVal)
+	}
+	// Update the carried registers so each region must checkpoint them.
+	for k := 0; k < spec.liveRegs && k < 8; k++ {
+		f.Add(rScr+isa.Reg(k), rScr+isa.Reg(k), rI)
+	}
+	f.AddI(rI, rI, 1)
+	f.Br(header)
+
+	f.SetBlock(exit)
+	// Consume the extra live registers so they stay live across the loop.
+	for k := 0; k < spec.liveRegs && k < 8; k++ {
+		f.Add(rAcc, rAcc, rScr+isa.Reg(k))
+	}
+}
+
+// chaseKernel emits a pointer-chase over a ring of nodes laid out at base
+// (node = [next, payload]): one load-dependent step per iteration plus a
+// store every storeEvery iterations — the mcf-like memory-bound,
+// store-sparse pattern. storeEvery must be a power of two.
+func chaseKernel(f *prog.FuncBuilder, iters, nodes int64, base uint64, storeEvery int64) {
+	pre := f.Cur()
+	init := f.Block()
+	initBody := f.Block()
+	chasePre := f.Block()
+	header := f.Block()
+	step := f.Block()
+	storeBlk := f.Block()
+	latch := f.Block()
+	exit := f.Block()
+
+	// Build the ring: node k at base + 16k points to (k*7+1) mod nodes.
+	f.SetBlock(pre)
+	f.MovI(rI, 0)
+	f.MovI(rN, nodes)
+	f.MovI(rBase, int64(base))
+	f.Br(init)
+	f.SetBlock(init)
+	f.BrIf(rI, isa.CondGE, rN, chasePre, initBody)
+	f.SetBlock(initBody)
+	f.MulI(rTmp, rI, 7)
+	f.AddI(rTmp, rTmp, 1)
+	f.Op3(isa.OpRem, rTmp, rTmp, rN)
+	f.OpI(isa.OpShlI, rTmp, rTmp, 4)
+	f.Add(rTmp, rTmp, rBase) // next pointer value
+	f.MulI(rTmp2, rI, 16)
+	f.Add(rTmp2, rTmp2, rBase)
+	f.Store(rTmp2, 0, rTmp) // node.next
+	f.Store(rTmp2, 8, rI)   // node.payload
+	f.AddI(rI, rI, 1)
+	f.Br(init)
+
+	// Chase.
+	f.SetBlock(chasePre)
+	f.MovI(rI, 0)
+	f.MovI(rN, iters)
+	f.Mov(rPtr, rBase)
+	f.MovI(rMask, storeEvery-1)
+	f.MovI(rTmp2, 0)
+	f.Br(header)
+
+	f.SetBlock(header)
+	f.BrIf(rI, isa.CondGE, rN, exit, step)
+
+	f.SetBlock(step)
+	f.Load(rTmp, rPtr, 8) // payload
+	f.Add(rAcc, rAcc, rTmp)
+	f.Load(rPtr, rPtr, 0) // next
+	// Arc evaluation: reduced-cost arithmetic between chase steps.
+	for a := 0; a < 26; a++ {
+		f.OpI(isa.OpAddI, rVal, rVal, int64(2*a+1))
+		f.Op3(isa.OpXor, rAcc, rAcc, rVal)
+	}
+	f.Op3(isa.OpAnd, rTmp, rI, rMask)
+	f.BrIf(rTmp, isa.CondEQ, rTmp2, storeBlk, latch)
+
+	f.SetBlock(storeBlk)
+	f.Store(rPtr, 8, rAcc) // update payload occasionally
+	f.Br(latch)
+
+	f.SetBlock(latch)
+	f.AddI(rI, rI, 1)
+	f.Br(header)
+
+	f.SetBlock(exit)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// heapAt returns a heap address with the given megabyte offset.
+func heapAt(mb int) uint64 { return machine.HeapBase + uint64(mb)<<20 }
+
+// emitBarrier emits a sense-reversing barrier built from recoverable
+// primitives (fetch-and-add plus a spin on a generation word), the way real
+// Splash-3 codes synchronize. The machine's OpBarrier is deliberately not
+// used: barrier state must live in persistent memory so recovery rebuilds it
+// (see exec.go's OpBarrier comment). Layout at base: [count, generation].
+//
+// Registers rTmp/rTmp2/rScr+7 are clobbered.
+func emitBarrier(f *prog.FuncBuilder, base uint64, nthreads int64) {
+	const rGen = rScr + 7 // holds the generation observed at entry
+
+	pre := f.Cur()
+	last := f.Block()
+	spinHdr := f.Block()
+	spinChk := f.Block()
+	exit := f.Block()
+
+	f.SetBlock(pre)
+	f.MovI(rTmp2, int64(base))
+	f.Load(rGen, rTmp2, 8) // current generation
+	f.MovI(rTmp, 1)
+	f.AtomicAdd(rTmp, rTmp2, 0, rTmp) // old count -> rTmp
+	f.MovI(rScr+6, nthreads-1)
+	f.BrIf(rTmp, isa.CondEQ, rScr+6, last, spinHdr)
+
+	// Last arriver: reset the count, bump the generation.
+	f.SetBlock(last)
+	f.MovI(rTmp, 0)
+	f.Store(rTmp2, 0, rTmp)
+	f.MovI(rTmp, 1)
+	f.AtomicAdd(rTmp, rTmp2, 8, rTmp)
+	f.Br(exit)
+
+	// Waiters: spin until the generation changes.
+	f.SetBlock(spinHdr)
+	f.Load(rTmp, rTmp2, 8)
+	f.BrIf(rTmp, isa.CondNE, rGen, exit, spinChk)
+	f.SetBlock(spinChk)
+	f.Br(spinHdr)
+
+	f.SetBlock(exit)
+}

@@ -1,0 +1,40 @@
+// Package workload synthesizes the benchmark programs of the paper's
+// evaluation (§6.1): five SPEC CPU2017 benchmarks, five STAMP benchmarks
+// (compiled as sequential programs, as in the paper), and nine Splash-3
+// multi-threaded kernels. The real suites cannot run on our register-machine
+// IR, so each generator reproduces the characteristics that drive Capri's
+// figures — store density, loop-body length, live-register pressure, working
+// set, sharing pattern, call frequency — calibrated so the per-benchmark
+// ordering and crossovers of Figures 8–11 reproduce (see DESIGN.md's
+// substitution table).
+package workload
+
+// rng is a splitmix64 deterministic generator: workload construction must be
+// reproducible across runs and platforms, so math/rand is avoided.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a deterministic value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// i64 returns a small positive pseudo-random constant.
+func (r *rng) i64(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + int64(r.next()%uint64(hi-lo))
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"capri/internal/isa"
+	"capri/internal/machine"
+	"capri/internal/prog"
+)
+
+// SPEC CPU2017 stand-ins (single-threaded; the paper reports ~0% geomean
+// overhead at threshold 256). These programs are store-sparse relative to
+// STAMP/Splash and carry longer basic blocks, so region formation has room
+// and checkpoint traffic stays small.
+
+func init() {
+	register(Benchmark{
+		Name: "505.mcf_r", Suite: SuiteSPEC, Threads: 1,
+		Build: buildMCF,
+	})
+	register(Benchmark{
+		Name: "531.deepsjeng_r", Suite: SuiteSPEC, Threads: 1,
+		Build: buildDeepsjeng,
+	})
+	register(Benchmark{
+		Name: "541.leela_r", Suite: SuiteSPEC, Threads: 1,
+		Build: buildLeela,
+	})
+	register(Benchmark{
+		Name: "508.namd_r", Suite: SuiteSPEC, Threads: 1, ShortLoops: true,
+		Build: buildNamd,
+	})
+	register(Benchmark{
+		Name: "519.lbm_r", Suite: SuiteSPEC, Threads: 1,
+		Build: buildLBM,
+	})
+}
+
+// singleMain wraps a body emitter into a single-threaded program ending in
+// Emit(rAcc); Halt.
+func singleMain(name string, body func(f *prog.FuncBuilder, r *rng)) *prog.Program {
+	bd := prog.NewBuilder(name)
+	f := bd.Func("main")
+	f.Block()
+	f.MovI(isa.SP, int64(machine.StackBase(0)))
+	f.MovI(rAcc, 0)
+	body(f, newRNG(hash64(name)))
+	f.Emit(rAcc)
+	f.Halt()
+	bd.SetThreadEntries(f)
+	return bd.Program()
+}
+
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// buildMCF: minimum-cost-flow is dominated by pointer chasing over network
+// arcs with sparse updates — long-latency loads, very few stores.
+func buildMCF(scale int) *prog.Program {
+	return singleMain("505.mcf_r", func(f *prog.FuncBuilder, r *rng) {
+		chaseKernel(f, int64(scale)*30000, 4096, heapAt(0), 16)
+		loopKernel(f, kernelSpec{
+			iters: int64(scale) * 2000, bodyStores: 1, bodyALU: 14, bodyLoads: 3,
+			stride: 64, span: 1 << 18, random: true, liveRegs: 2,
+		}, heapAt(1), r)
+	})
+}
+
+// buildDeepsjeng: game-tree search — deep call chains, moderate stores to
+// hash tables, branchy evaluation.
+func buildDeepsjeng(scale int) *prog.Program {
+	bd := prog.NewBuilder("531.deepsjeng_r")
+
+	eval := bd.Func("eval") // leaf evaluation: ALU-heavy, one TT store
+	eval.Block()
+	eval.MulI(rTmp, isa.A0, 2654435761)
+	eval.OpI(isa.OpShrI, rTmp, rTmp, 16)
+	eval.OpI(isa.OpAndI, rTmp, rTmp, (1<<14)-1)
+	eval.OpI(isa.OpShlI, rTmp, rTmp, 3)
+	eval.MovI(rTmp2, int64(heapAt(2)))
+	eval.Add(rTmp, rTmp, rTmp2)
+	for i := 0; i < 90; i++ {
+		eval.OpI(isa.OpAddI, isa.A0, isa.A0, int64(3*i+1))
+		eval.Op3(isa.OpXor, isa.A0, isa.A0, rTmp)
+		if i%8 == 7 {
+			eval.Load(rTmp2, rTmp, int64(8*(i%4)))
+			eval.Add(isa.A0, isa.A0, rTmp2)
+		}
+	}
+	eval.Store(rTmp, 0, isa.A0) // transposition-table update
+	eval.Store(rTmp, 8, rTmp)   // depth/age tag
+	eval.Ret()
+
+	search := bd.Func("search") // calls eval in a short loop
+	sEntry := search.Block()
+	sHdr := search.Block()
+	sBody := search.Block()
+	sExit := search.Block()
+	search.SetBlock(sEntry)
+	search.MovI(isa.Reg(20), 0)
+	search.MovI(isa.Reg(21), 8) // branching factor
+	search.Br(sHdr)
+	search.SetBlock(sHdr)
+	search.BrIf(isa.Reg(20), isa.CondGE, isa.Reg(21), sExit, sBody)
+	search.SetBlock(sBody)
+	search.Add(isa.A0, isa.A0, isa.Reg(20))
+	search.Call(eval)
+	search.AddI(isa.Reg(20), isa.Reg(20), 1)
+	search.Br(sHdr)
+	search.SetBlock(sExit)
+	search.Ret()
+
+	main := bd.Func("main")
+	mEntry := main.Block()
+	mHdr := main.Block()
+	mBody := main.Block()
+	mExit := main.Block()
+	main.SetBlock(mEntry)
+	main.MovI(isa.SP, int64(machine.StackBase(0)))
+	main.MovI(rAcc, 0)
+	main.MovI(rI, 0)
+	main.MovI(rN, int64(scale)*420)
+	main.MovI(isa.A0, 7)
+	main.Br(mHdr)
+	main.SetBlock(mHdr)
+	main.BrIf(rI, isa.CondGE, rN, mExit, mBody)
+	main.SetBlock(mBody)
+	main.Call(search)
+	main.Add(rAcc, rAcc, isa.A0)
+	main.AddI(rI, rI, 1)
+	main.Br(mHdr)
+	main.SetBlock(mExit)
+	main.Emit(rAcc)
+	main.Halt()
+	bd.SetThreadEntries(main)
+	return bd.Program()
+}
+
+// buildLeela: Monte-Carlo tree search — similar to deepsjeng but with a
+// larger ALU-to-store ratio and random playout writes.
+func buildLeela(scale int) *prog.Program {
+	return singleMain("541.leela_r", func(f *prog.FuncBuilder, r *rng) {
+		loopKernel(f, kernelSpec{
+			iters: int64(scale) * 6000, bodyStores: 2, bodyALU: 38, bodyLoads: 4,
+			stride: 128, span: 1 << 19, random: true, liveRegs: 3,
+		}, heapAt(3), r)
+		loopKernel(f, kernelSpec{
+			iters: int64(scale) * 3000, bodyStores: 1, bodyALU: 28, bodyLoads: 2,
+			stride: 8, span: 1 << 15, liveRegs: 2,
+		}, heapAt(4), r)
+	})
+}
+
+// buildNamd: molecular dynamics — the paper's canonical short-loop SPEC
+// benchmark: tiny force-accumulation inner loops with a handful of stores,
+// repeated over particle pairs. Speculative unrolling lengthens these
+// regions dramatically.
+func buildNamd(scale int) *prog.Program {
+	return singleMain("508.namd_r", func(f *prog.FuncBuilder, r *rng) {
+		// Many invocations of a very short loop (2 stores, small body).
+		for k := 0; k < 6; k++ {
+			loopKernel(f, kernelSpec{
+				iters: int64(scale) * 2500, bodyStores: 2, bodyALU: 4, bodyLoads: 2,
+				stride: 16, span: 1 << 14, liveRegs: 3, invariant: k%2 == 0,
+			}, heapAt(5+k%2), r)
+		}
+	})
+}
+
+// buildLBM: lattice-Boltzmann — streaming stencil sweeps: dense sequential
+// stores with modest computation, large working set.
+func buildLBM(scale int) *prog.Program {
+	return singleMain("519.lbm_r", func(f *prog.FuncBuilder, r *rng) {
+		for k := 0; k < 2; k++ {
+			loopKernel(f, kernelSpec{
+				iters: int64(scale) * 6000, bodyStores: 3, bodyALU: 12, bodyLoads: 3,
+				stride: 24, span: 1 << 21, liveRegs: 2,
+			}, heapAt(7), r)
+		}
+	})
+}

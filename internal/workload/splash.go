@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"capri/internal/isa"
+	"capri/internal/machine"
+	"capri/internal/prog"
+)
+
+// Splash-3 stand-ins: multi-threaded scientific kernels (paper: 9.1% geomean
+// overhead at threshold 256). Each thread works on a disjoint partition;
+// shared reductions go through a spin lock or atomics, which the compiler
+// turns into mandatory region boundaries — the multi-threaded correctness
+// lever of §4.1.
+
+const splashThreads = 4
+
+func init() {
+	register(Benchmark{Name: "barnes", Suite: SuiteSplash, Threads: splashThreads,
+		Build: splashBuilder("barnes", kernelSpec{bodyStores: 2, bodyALU: 14, bodyLoads: 4, stride: 48, span: 1 << 17, random: true, liveRegs: 4}, 2600, 24)})
+	register(Benchmark{Name: "fmm", Suite: SuiteSplash, Threads: splashThreads,
+		Build: splashBuilder("fmm", kernelSpec{bodyStores: 2, bodyALU: 18, bodyLoads: 3, stride: 32, span: 1 << 16, liveRegs: 5}, 2400, 32)})
+	register(Benchmark{Name: "ocean", Suite: SuiteSplash, Threads: splashThreads,
+		Build: splashBuilder("ocean", kernelSpec{bodyStores: 3, bodyALU: 10, bodyLoads: 4, stride: 24, span: 1 << 19, liveRegs: 3}, 2800, 40)})
+	register(Benchmark{Name: "radiosity", Suite: SuiteSplash, Threads: splashThreads,
+		Build: splashBuilder("radiosity", kernelSpec{bodyStores: 2, bodyALU: 12, bodyLoads: 3, stride: 40, span: 1 << 17, random: true, liveRegs: 4}, 2400, 16)})
+	register(Benchmark{Name: "raytrace", Suite: SuiteSplash, Threads: splashThreads,
+		Build: splashBuilder("raytrace", kernelSpec{bodyStores: 1, bodyALU: 20, bodyLoads: 4, stride: 8, span: 1 << 18, random: true, liveRegs: 5}, 2600, 8)})
+	register(Benchmark{Name: "volrend", Suite: SuiteSplash, Threads: splashThreads, ShortLoops: true,
+		Build: splashBuilder("volrend", kernelSpec{bodyStores: 1, bodyALU: 4, bodyLoads: 2, stride: 8, span: 1 << 15, liveRegs: 2}, 6000, 8)})
+	register(Benchmark{Name: "water-nsquared", Suite: SuiteSplash, Threads: splashThreads, ShortLoops: true,
+		Build: splashBuilder("water-nsquared", kernelSpec{bodyStores: 2, bodyALU: 5, bodyLoads: 2, stride: 16, span: 1 << 14, liveRegs: 3}, 4200, 8)})
+	register(Benchmark{Name: "water-spatial", Suite: SuiteSplash, Threads: splashThreads, ShortLoops: true,
+		Build: splashBuilder("water-spatial", kernelSpec{bodyStores: 2, bodyALU: 6, bodyLoads: 2, stride: 16, span: 1 << 15, liveRegs: 3}, 3800, 8)})
+	register(Benchmark{Name: "radix", Suite: SuiteSplash, Threads: splashThreads,
+		Build: splashBuilder("radix", kernelSpec{bodyStores: 2, bodyALU: 6, bodyLoads: 2, stride: 8, span: 1 << 18, random: true, liveRegs: 2}, 3400, 48)})
+}
+
+// splashBuilder returns a Build function: each of splashThreads workers runs
+// the kernel over a private partition, taking a shared lock every lockEvery
+// outer chunks to fold its partial accumulator into a global sum (the
+// synchronized reduction that makes the workload DRF).
+func splashBuilder(name string, spec kernelSpec, itersPerThread int64, lockEvery int) func(scale int) *prog.Program {
+	return func(scale int) *prog.Program {
+		bd := prog.NewBuilder(name)
+		r := newRNG(hash64(name))
+		var workers []*prog.FuncBuilder
+		const chunks = 8
+
+		for t := 0; t < splashThreads; t++ {
+			f := bd.Func(name + "-worker")
+			f.Block()
+			f.MovI(isa.SP, int64(machine.StackBase(t)))
+			f.MovI(rAcc, 0)
+			f.MovI(rLock, int64(heapAt(20)))
+
+			s := spec
+			s.iters = int64(scale) * itersPerThread / chunks
+			base := heapAt(21 + t) // disjoint per-thread partitions
+			for ch := 0; ch < chunks; ch++ {
+				loopKernel(f, s, base, r)
+				if lockEvery > 0 && ch%max(1, lockEvery/chunks+1) == 0 {
+					// Synchronized reduction into the shared sum.
+					f.Lock(rLock, 0)
+					f.Load(rTmp, rLock, 8)
+					f.Add(rTmp, rTmp, rAcc)
+					f.Store(rLock, 8, rTmp)
+					f.Unlock(rLock, 0)
+				}
+			}
+			// Final atomic fold.
+			f.AtomicAdd(rTmp, rLock, 16, rAcc)
+			f.Emit(rAcc)
+			f.Halt()
+			workers = append(workers, f)
+		}
+		bd.SetThreadEntries(workers...)
+		return bd.Program()
+	}
+}

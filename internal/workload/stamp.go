@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"capri/internal/isa"
+	"capri/internal/machine"
+	"capri/internal/prog"
+)
+
+// STAMP stand-ins. The paper compiles STAMP as sequential programs (§6.1) and
+// reports the highest overhead suite (12.4% geomean at threshold 256): these
+// workloads are store-dense transactional kernels over shared data
+// structures, so checkpoint and proxy traffic matter.
+
+func init() {
+	register(Benchmark{Name: "genome", Suite: SuiteSTAMP, Threads: 1, Build: buildGenome})
+	register(Benchmark{Name: "intruder", Suite: SuiteSTAMP, Threads: 1, Build: buildIntruder})
+	register(Benchmark{Name: "labyrinth", Suite: SuiteSTAMP, Threads: 1, Build: buildLabyrinth})
+	register(Benchmark{Name: "ssca2", Suite: SuiteSTAMP, Threads: 1, ShortLoops: true, Build: buildSSCA2})
+	register(Benchmark{Name: "vacation", Suite: SuiteSTAMP, Threads: 1, Build: buildVacation})
+}
+
+// buildGenome: gene sequencing — hash-table segment insertion (random
+// single-store updates) followed by sequential overlap matching.
+func buildGenome(scale int) *prog.Program {
+	return singleMain("genome", func(f *prog.FuncBuilder, r *rng) {
+		// Phase 1: hash inserts (random stores, store-dense).
+		loopKernel(f, kernelSpec{
+			iters: int64(scale) * 5000, bodyStores: 2, bodyALU: 4, bodyLoads: 2,
+			stride: 8, span: 1 << 18, random: true, liveRegs: 8,
+		}, heapAt(8), r)
+		// Phase 2: sequential matching (load-heavy, sparse stores).
+		loopKernel(f, kernelSpec{
+			iters: int64(scale) * 4000, bodyStores: 1, bodyALU: 8, bodyLoads: 4,
+			stride: 8, span: 1 << 17, liveRegs: 5,
+		}, heapAt(9), r)
+	})
+}
+
+// buildIntruder: network-intrusion detection — packet queue manipulation:
+// short bursts of pointer updates (dense stores) per packet with branchy
+// decoding between bursts.
+func buildIntruder(scale int) *prog.Program {
+	return singleMain("intruder", func(f *prog.FuncBuilder, r *rng) {
+		for k := 0; k < 3; k++ {
+			loopKernel(f, kernelSpec{
+				iters: int64(scale) * 2600, bodyStores: 3, bodyALU: 5, bodyLoads: 3,
+				stride: 40, span: 1 << 16, random: k == 1, liveRegs: 8,
+			}, heapAt(10+k%2), r)
+		}
+	})
+}
+
+// buildLabyrinth: maze routing — grid relaxation sweeps writing path costs:
+// the densest store pattern in STAMP, over a large grid.
+func buildLabyrinth(scale int) *prog.Program {
+	return singleMain("labyrinth", func(f *prog.FuncBuilder, r *rng) {
+		for k := 0; k < 2; k++ {
+			loopKernel(f, kernelSpec{
+				iters: int64(scale) * 4500, bodyStores: 4, bodyALU: 4, bodyLoads: 2,
+				stride: 32, span: 1 << 20, liveRegs: 8,
+			}, heapAt(12), r)
+		}
+	})
+}
+
+// buildSSCA2: scale-free graph kernels — the paper's short-loop STAMP
+// benchmark: tiny adjacency-update loops (1–2 stores) dominate, making
+// speculative unrolling decisive.
+func buildSSCA2(scale int) *prog.Program {
+	return singleMain("ssca2", func(f *prog.FuncBuilder, r *rng) {
+		for k := 0; k < 8; k++ {
+			loopKernel(f, kernelSpec{
+				iters: int64(scale) * 1800, bodyStores: 1, bodyALU: 3, bodyLoads: 1,
+				stride: 8, span: 1 << 16, random: k%2 == 0, liveRegs: 2,
+			}, heapAt(13), r)
+		}
+	})
+}
+
+// buildVacation: travel-reservation system — red-black-tree-like lookups
+// (call-heavy) with clustered reservation updates.
+func buildVacation(scale int) *prog.Program {
+	bd := prog.NewBuilder("vacation")
+
+	lookup := bd.Func("lookup") // tree walk: loads + one update store
+	lEntry := lookup.Block()
+	lHdr := lookup.Block()
+	lBody := lookup.Block()
+	lExit := lookup.Block()
+	lookup.SetBlock(lEntry)
+	lookup.MovI(isa.Reg(20), 0)
+	lookup.MovI(isa.Reg(21), 10) // tree depth
+	lookup.MovI(isa.Reg(22), int64(heapAt(14)))
+	lookup.Br(lHdr)
+	lookup.SetBlock(lHdr)
+	lookup.BrIf(isa.Reg(20), isa.CondGE, isa.Reg(21), lExit, lBody)
+	lookup.SetBlock(lBody)
+	lookup.MulI(isa.A0, isa.A0, 6364136223846793005)
+	lookup.OpI(isa.OpShrI, rTmp, isa.A0, 33)
+	lookup.OpI(isa.OpAndI, rTmp, rTmp, (1<<15)-1)
+	lookup.OpI(isa.OpShlI, rTmp, rTmp, 3)
+	lookup.Add(rTmp, rTmp, isa.Reg(22))
+	lookup.Load(rTmp2, rTmp, 0)
+	lookup.Add(isa.A0, isa.A0, rTmp2)
+	lookup.AddI(isa.Reg(20), isa.Reg(20), 1)
+	lookup.Br(lHdr)
+	lookup.SetBlock(lExit)
+	lookup.Store(rTmp, 0, isa.A0) // reservation update at the found node
+	lookup.Ret()
+
+	main := bd.Func("main")
+	mEntry := main.Block()
+	mHdr := main.Block()
+	mBody := main.Block()
+	mExit := main.Block()
+	const (
+		rRate      = isa.Reg(23) // loop-invariant pricing rate (LICM material)
+		rBasePrice = isa.Reg(24)
+	)
+	main.SetBlock(mEntry)
+	main.MovI(isa.SP, int64(machine.StackBase(0)))
+	main.MovI(rAcc, 0)
+	main.MovI(rI, 0)
+	main.MovI(rN, int64(scale)*1500)
+	main.MovI(isa.A0, 99991)
+	main.MovI(rBasePrice, 137)
+	main.Br(mHdr)
+	main.SetBlock(mHdr)
+	main.BrIf(rI, isa.CondGE, rN, mExit, mBody)
+	main.SetBlock(mBody)
+	// Loop-invariant pricing computation, live across the call: the compiler
+	// checkpoints it before the call every iteration until checkpoint LICM
+	// hoists the (def, ckpt) pair to the preheader (paper §4.4.2).
+	main.MulI(rRate, rBasePrice, 3)
+	main.Call(lookup)
+	main.Add(rAcc, rAcc, isa.A0)
+	// Reservation record: a burst of stores (one priced by the rate).
+	main.MovI(rTmp, int64(heapAt(15)))
+	main.MulI(rTmp2, rI, 32)
+	main.OpI(isa.OpAndI, rTmp2, rTmp2, (1<<16)-8)
+	main.Add(rTmp, rTmp, rTmp2)
+	main.Store(rTmp, 0, rAcc)
+	main.Store(rTmp, 8, rI)
+	main.Store(rTmp, 16, isa.A0)
+	main.Store(rTmp, 24, rRate)
+	main.AddI(rI, rI, 1)
+	main.Br(mHdr)
+	main.SetBlock(mExit)
+	main.Emit(rAcc)
+	main.Halt()
+	bd.SetThreadEntries(main)
+	return bd.Program()
+}

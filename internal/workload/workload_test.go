@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/machine"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("registry has %d benchmarks, want 19", len(all))
+	}
+	if len(BySuite(SuiteSPEC)) != 5 {
+		t.Errorf("SPEC count = %d", len(BySuite(SuiteSPEC)))
+	}
+	if len(BySuite(SuiteSTAMP)) != 5 {
+		t.Errorf("STAMP count = %d", len(BySuite(SuiteSTAMP)))
+	}
+	if len(BySuite(SuiteSplash)) != 9 {
+		t.Errorf("Splash count = %d", len(BySuite(SuiteSplash)))
+	}
+	// Plotting order: SPEC first, then STAMP, then Splash.
+	order := map[Suite]int{SuiteSPEC: 0, SuiteSTAMP: 1, SuiteSplash: 2}
+	prev := -1
+	for _, b := range all {
+		if order[b.Suite] < prev {
+			t.Errorf("benchmark %s out of suite order", b.Name)
+		}
+		prev = order[b.Suite]
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("ssca2")
+	if err != nil || b.Name != "ssca2" || !b.ShortLoops {
+		t.Errorf("ByName(ssca2) = %+v, %v", b, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if len(Names()) != 19 {
+		t.Errorf("Names() = %d", len(Names()))
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	c := newRNG(43)
+	if newRNG(42).next() == c.next() {
+		t.Error("different seeds produced identical first values")
+	}
+	r := newRNG(7)
+	for i := 0; i < 100; i++ {
+		if v := r.intn(10); v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+		if v := r.i64(5, 9); v < 5 || v >= 9 {
+			t.Fatalf("i64 out of range: %d", v)
+		}
+	}
+}
+
+func TestAllBenchmarksBuildAndVerify(t *testing.T) {
+	for _, b := range All() {
+		p := b.Build(1)
+		if err := p.Verify(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if p.NumThreads() != b.Threads {
+			t.Errorf("%s: program threads = %d, registry says %d", b.Name, p.NumThreads(), b.Threads)
+		}
+	}
+}
+
+func TestAllBenchmarksCompile(t *testing.T) {
+	for _, b := range All() {
+		p := b.Build(1)
+		for _, th := range []int{32, 256} {
+			opts := compile.DefaultOptions()
+			opts.Threshold = th
+			if _, err := compile.Compile(p, opts); err != nil {
+				t.Errorf("%s @%d: %v", b.Name, th, err)
+			}
+		}
+	}
+}
+
+// TestAllBenchmarksRunDeterministically runs every benchmark (small scale)
+// on the baseline machine twice and checks identical outputs, then runs the
+// Capri-compiled version and checks functional equivalence with baseline.
+func TestAllBenchmarksRunDeterministically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite execution")
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			src := b.Build(1)
+			cfgB := machine.DefaultConfig()
+			cfgB.Capri = false
+			cfgB.L2Size = 512 << 10
+			cfgB.DRAMSize = 4 << 20
+			run := func() *machine.Machine {
+				m, err := machine.New(src, cfgB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			m1, m2 := run(), run()
+			for th := 0; th < src.NumThreads(); th++ {
+				o1, o2 := m1.Output(th), m2.Output(th)
+				if len(o1) == 0 {
+					t.Fatalf("thread %d produced no output", th)
+				}
+				for i := range o1 {
+					if o1[i] != o2[i] {
+						t.Fatalf("thread %d nondeterministic output", th)
+					}
+				}
+			}
+
+			// Capri functional equivalence.
+			opts := compile.DefaultOptions()
+			res, err := compile.Compile(src, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgC := cfgB
+			cfgC.Capri = true
+			cfgC.Threshold = opts.Threshold
+			mc, err := machine.New(res.Program, cfgC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mc.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for th := 0; th < src.NumThreads(); th++ {
+				o1, oc := m1.Output(th), mc.Output(th)
+				if len(o1) != len(oc) {
+					t.Fatalf("thread %d output len: baseline %d capri %d", th, len(o1), len(oc))
+				}
+				for i := range o1 {
+					if o1[i] != oc[i] {
+						t.Fatalf("thread %d output[%d]: baseline %d capri %d", th, i, o1[i], oc[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMicroRegistrySeparate(t *testing.T) {
+	ms := Micros()
+	if len(ms) < 4 {
+		t.Fatalf("micros = %d", len(ms))
+	}
+	// Micros must not leak into the figure set.
+	for _, b := range All() {
+		if b.Suite == SuiteMicro {
+			t.Errorf("micro %s leaked into All()", b.Name)
+		}
+	}
+	// But ByName finds them.
+	if _, err := ByName("seqwrite"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("storm"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMicrosBuildAndRun(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Capri = false
+	cfg.L2Size = 512 << 10
+	cfg.DRAMSize = 4 << 20
+	for _, b := range Micros() {
+		p := b.Build(1)
+		if err := p.Verify(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		m, err := machine.New(p, cfg)
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if err := m.Run(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestMicrosCompile(t *testing.T) {
+	for _, b := range Micros() {
+		if _, err := compile.Compile(b.Build(1), compile.DefaultOptions()); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
