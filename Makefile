@@ -1,0 +1,49 @@
+# Capri build/check targets. Everything here uses only the Go toolchain and
+# git — no external dependencies.
+
+GO ?= go
+
+.PHONY: all build test check bench perf perf-seed clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# check is the pre-merge tier: vet, the race-sensitive packages under the
+# race detector, the store differential sweep, and a perf-harness smoke run
+# (catches BENCH_sim.json pipeline bit-rot without judging the numbers).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/machine ./internal/figures
+	$(GO) test -run 'Differential' .
+	$(GO) run ./cmd/capribench -perf -scale 1 -perfout /tmp/BENCH_sim.smoke.json
+
+# bench runs the perf-regression micro-benchmarks (raw store and proxy
+# throughput plus the end-to-end simulator benchmark).
+bench:
+	$(GO) test -bench 'Mem|NVM|Proxy|Path' -benchmem -run '^$$' ./internal/mem ./internal/proxy
+	$(GO) test -bench 'SimulatorThroughput' -run '^$$' .
+
+# perf regenerates BENCH_sim.json for the current tree.
+perf:
+	$(GO) run ./cmd/capribench -perf -scale 1
+
+# perf-seed additionally measures the growth seed's binary (built from git)
+# on this machine and records the end-to-end speedup in BENCH_sim.json —
+# the ISSUE's >= 1.5x Figure-8 target is judged against this number.
+SEED_COMMIT ?= 605d3ef
+perf-seed:
+	rm -rf /tmp/capri-seed-wt
+	git worktree add --force /tmp/capri-seed-wt $(SEED_COMMIT)
+	cd /tmp/capri-seed-wt && $(GO) build -o /tmp/capribench-seed ./cmd/capribench
+	git worktree remove --force /tmp/capri-seed-wt
+	$(GO) build -o /tmp/capribench-new ./cmd/capribench
+	SEED_WALL=$$( { t0=$$(date +%s%N); /tmp/capribench-seed -fig 8 >/dev/null; t1=$$(date +%s%N); echo $$(( (t1-t0)/1000000 )); } ); \
+	/tmp/capribench-new -perf -scale 1 -seedwall $$(awk "BEGIN{print $$SEED_WALL/1000}")
+
+clean:
+	rm -f capri.test /tmp/capribench-seed /tmp/capribench-new /tmp/BENCH_sim.smoke.json

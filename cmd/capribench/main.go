@@ -9,6 +9,7 @@
 //	capribench -all              # everything
 //	capribench -headline         # suite geomeans only
 //	capribench -list             # benchmark inventory
+//	capribench -perf             # time the sweeps, write BENCH_sim.json
 package main
 
 import (
@@ -30,8 +31,17 @@ func main() {
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		chart    = flag.String("chart", "", "additionally render one column as an ASCII bar chart (e.g. \"256\" for fig 8, \"+licm\" for fig 9)")
+		perf     = flag.Bool("perf", false, "time the figure sweeps and write a perf-regression report")
+		perfOut  = flag.String("perfout", "BENCH_sim.json", "perf report output path (with -perf)")
+		perfRef  = flag.Bool("perfref", true, "with -perf, also time the Figure-8 sweep on the map-backed reference store and record the speedup")
+		seedWall = flag.Float64("seedwall", 0, "with -perf, record this externally measured seed-binary `capribench -fig 8` wall-clock (seconds); see `make perf-seed`")
 	)
 	flag.Parse()
+
+	if *perf {
+		check(runPerf(*scale, *perfRef, *seedWall, *perfOut))
+		return
+	}
 
 	if *list {
 		for _, b := range append(workload.All(), workload.Micros()...) {

@@ -1,0 +1,208 @@
+package capri
+
+// Differential tests proving the paged memory store (internal/mem's flat
+// page-directory backing) is cycle-for-cycle and image-identical to the
+// map-backed reference store the seed used. The reference implementation is
+// kept selectable via machine.Config.RefStore, so both runs execute the
+// identical machine code — any divergence in cycle counts, memory images,
+// recovery behavior or committed output is a real store bug, not noise.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/machine"
+	"capri/internal/prog"
+	"capri/internal/progen"
+	"capri/internal/workload"
+)
+
+// diffConfig mirrors the figures harness configuration (shrunken caches) so
+// the differential runs cover the same hierarchy behavior the figures exercise.
+func diffConfig(threads, threshold int, refStore bool) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Capri = true
+	cfg.Threshold = threshold
+	cfg.RefStore = refStore
+	if threads > cfg.Cores {
+		cfg.Cores = threads
+	}
+	cfg.L2Size = 2 << 20
+	cfg.DRAMSize = 16 << 20
+	return cfg
+}
+
+// machineImage is everything a differential comparison must find identical.
+type machineImage struct {
+	Cycles  uint64
+	Instret uint64
+	Mem     map[uint64]uint64
+	NVM     map[uint64]uint64
+	Outputs [][]uint64
+}
+
+func imageOf(m *machine.Machine, threads int) machineImage {
+	img := machineImage{
+		Cycles:  m.Cycles(),
+		Instret: m.Instret(),
+		Mem:     m.MemSnapshot(),
+		NVM:     m.NVMSnapshot(),
+	}
+	for t := 0; t < threads; t++ {
+		img.Outputs = append(img.Outputs, m.Output(t))
+	}
+	return img
+}
+
+func requireIdentical(t *testing.T, what string, paged, ref machineImage) {
+	t.Helper()
+	if paged.Cycles != ref.Cycles {
+		t.Errorf("%s: cycles diverge: paged %d, ref %d", what, paged.Cycles, ref.Cycles)
+	}
+	if paged.Instret != ref.Instret {
+		t.Errorf("%s: instret diverge: paged %d, ref %d", what, paged.Instret, ref.Instret)
+	}
+	if !reflect.DeepEqual(paged.Mem, ref.Mem) {
+		t.Errorf("%s: architectural memory images diverge (%d vs %d words)", what, len(paged.Mem), len(ref.Mem))
+	}
+	if !reflect.DeepEqual(paged.NVM, ref.NVM) {
+		t.Errorf("%s: NVM images diverge (%d vs %d words)", what, len(paged.NVM), len(ref.NVM))
+	}
+	if !reflect.DeepEqual(paged.Outputs, ref.Outputs) {
+		t.Errorf("%s: committed outputs diverge", what)
+	}
+}
+
+// runPair executes the same program on the paged and reference stores and
+// returns both final images.
+func runPair(t *testing.T, what string, p *prog.Program, threads, threshold int) (machineImage, machineImage) {
+	t.Helper()
+	var imgs [2]machineImage
+	for i, ref := range []bool{false, true} {
+		m, err := machine.New(p, diffConfig(threads, threshold, ref))
+		if err != nil {
+			t.Fatalf("%s (ref=%v): %v", what, ref, err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("%s (ref=%v): %v", what, ref, err)
+		}
+		imgs[i] = imageOf(m, threads)
+	}
+	return imgs[0], imgs[1]
+}
+
+// TestDifferentialBenchmarks runs every paper benchmark (all 19 stand-ins) to
+// completion on both stores and requires byte-identical outcomes: same cycle
+// count, same architectural and NVM images, same committed output.
+func TestDifferentialBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential benchmark sweep is not short")
+	}
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			src := b.Build(benchScale)
+			res, err := compile.Compile(src, compile.OptionsForLevel(compile.LevelLICM, 256))
+			if err != nil {
+				t.Fatal(err)
+			}
+			paged, ref := runPair(t, b.Name, res.Program, b.Threads, 256)
+			requireIdentical(t, b.Name, paged, ref)
+		})
+	}
+}
+
+// crashRecoverImage crashes the program at the given retired-instruction
+// count, recovers, resumes to completion, and returns the final image. ok is
+// false when the program finished before the crash point.
+func crashRecoverImage(t *testing.T, what string, p *prog.Program, threads, threshold int, refStore bool, crashAt uint64) (machineImage, bool) {
+	t.Helper()
+	m, err := machine.New(p, diffConfig(threads, threshold, refStore))
+	if err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	if err := m.RunUntil(crashAt); err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	if m.Done() {
+		return machineImage{}, false
+	}
+	img, err := m.Crash()
+	if err != nil {
+		t.Fatalf("%s: crash: %v", what, err)
+	}
+	r, _, err := machine.Recover(img)
+	if err != nil {
+		t.Fatalf("%s: recover: %v", what, err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("%s: resume: %v", what, err)
+	}
+	return imageOf(r, threads), true
+}
+
+// TestDifferentialProgenCrashSweep fuzzes >=100 generated programs (mixed
+// single- and multi-threaded, including SPMD barrier programs), runs each to
+// completion on both stores, and sweeps crash points through each program on
+// both stores — recovery must land on identical final images everywhere. This
+// is the property-based half of the store-equivalence proof: progen programs
+// hit address and control-flow shapes the curated benchmarks do not.
+func TestDifferentialProgenCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("progen differential sweep is not short")
+	}
+	const seeds = 104 // 4 shapes x 26 seeds
+	shapes := []progen.Config{
+		{Funcs: 3, MaxDepth: 3, MaxStmts: 5, MaxLoopTrip: 6, Threads: 1},
+		{Funcs: 2, MaxDepth: 2, MaxStmts: 4, MaxLoopTrip: 4, Threads: 2},
+		{Funcs: 4, MaxDepth: 3, MaxStmts: 6, MaxLoopTrip: 5, Threads: 1},
+		{Funcs: 2, MaxDepth: 2, MaxStmts: 4, MaxLoopTrip: 4, Threads: 2, Barriers: true},
+	}
+	for s := 0; s < seeds; s++ {
+		shape := shapes[s%len(shapes)]
+		name := fmt.Sprintf("seed%d_t%d", s, shape.Threads)
+		src := progen.Generate(uint64(s)*0x9e3779b9+1, shape)
+		res, err := compile.Compile(src, compile.OptionsForLevel(compile.LevelLICM, 64))
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		p := res.Program
+		paged, ref := runPair(t, name, p, shape.Threads, 64)
+		requireIdentical(t, name+" golden", paged, ref)
+		if t.Failed() {
+			t.Fatalf("%s: stopping after golden divergence", name)
+		}
+
+		// Crash sweep: 5 points through the golden instruction count.
+		total := paged.Instret
+		if total < 2 {
+			continue
+		}
+		step := total/5 + 1
+		for crashAt := step / 2; crashAt < total; crashAt += step {
+			what := fmt.Sprintf("%s crash@%d", name, crashAt)
+			pg, ok1 := crashRecoverImage(t, what, p, shape.Threads, 64, false, crashAt)
+			rf, ok2 := crashRecoverImage(t, what, p, shape.Threads, 64, true, crashAt)
+			if ok1 != ok2 {
+				t.Fatalf("%s: crash reached on one store only (paged %v, ref %v)", what, ok1, ok2)
+			}
+			if !ok1 {
+				continue
+			}
+			requireIdentical(t, what, pg, rf)
+			// Recovered runs must also match the golden run's functional
+			// outcome (cycles differ after a crash; the images must not).
+			if !reflect.DeepEqual(pg.Outputs, paged.Outputs) {
+				t.Errorf("%s: recovered output diverges from golden", what)
+			}
+			if !reflect.DeepEqual(pg.Mem, paged.Mem) {
+				t.Errorf("%s: recovered memory diverges from golden", what)
+			}
+			if t.Failed() {
+				t.Fatalf("%s: stopping after first divergence", what)
+			}
+		}
+	}
+}

@@ -9,13 +9,35 @@ package cache
 
 import "capri/internal/mem"
 
+// wordsPerLine is the number of words a 64 B line holds (and therefore the
+// maximum dirty words one writeback can carry).
+const wordsPerLine = mem.LineSize / mem.WordSize
+
 // Writeback describes a dirty line eviction travelling toward the memory
-// controller.
+// controller. Writebacks returned by Access and Invalidate point into a
+// per-cache scratch buffer that is reused by the next Access/Invalidate on
+// the same cache — consume (or copy) them before touching that cache again.
 type Writeback struct {
 	Line  uint64   // line address
-	Words []uint64 // dirty word addresses within the line
+	Words []uint64 // dirty word addresses within the line (aliases buf)
 	Seq   uint64   // newest store sequence among the dirty words
 	Core  int      // core whose store most recently dirtied the line
+
+	buf [wordsPerLine]uint64
+}
+
+// fill populates the writeback from an evicted dirty line without heap
+// allocation: Words aliases the writeback's own fixed-size buffer.
+func (wb *Writeback) fill(l *line) {
+	wb.Line, wb.Seq, wb.Core = l.tag, l.seq, l.core
+	n := 0
+	for w := uint64(0); w < wordsPerLine; w++ {
+		if l.words&(1<<w) != 0 {
+			wb.buf[n] = l.tag + w*mem.WordSize
+			n++
+		}
+	}
+	wb.Words = wb.buf[:n]
 }
 
 // line is one cache line's metadata.
@@ -31,9 +53,12 @@ type line struct {
 
 // Cache is a set-associative writeback cache.
 type Cache struct {
-	sets  [][]line
-	ways  int
-	clock uint64
+	sets    [][]line
+	setMask uint64 // len(sets)-1 when a power of two, else 0
+	ways    int
+	clock   uint64
+
+	scratch Writeback // reused by Access/Invalidate writeback returns
 
 	Hits      uint64
 	Misses    uint64
@@ -52,18 +77,27 @@ func New(capacity uint64, ways int) *Cache {
 	for i := range sets {
 		sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
 	}
-	return &Cache{sets: sets, ways: ways}
+	c := &Cache{sets: sets, ways: ways}
+	if n := uint64(nsets); n&(n-1) == 0 {
+		c.setMask = n - 1
+	}
+	return c
 }
 
 func (c *Cache) set(lineAddr uint64) []line {
-	return c.sets[(lineAddr/mem.LineSize)%uint64(len(c.sets))]
+	s := lineAddr / mem.LineSize
+	if c.setMask != 0 || len(c.sets) == 1 {
+		return c.sets[s&c.setMask]
+	}
+	return c.sets[s%uint64(len(c.sets))]
 }
 
 // Lookup probes the cache without modifying state. It reports a hit.
 func (c *Cache) Lookup(addr uint64) bool {
 	la := mem.LineAddr(addr)
-	for i := range c.set(la) {
-		l := &c.set(la)[i]
+	set := c.set(la)
+	for i := range set {
+		l := &set[i]
 		if l.valid && l.tag == la {
 			return true
 		}
@@ -73,7 +107,8 @@ func (c *Cache) Lookup(addr uint64) bool {
 
 // Access performs a read or write access to addr by core. For writes, seq is
 // the store's global sequence number. It returns whether the access hit and,
-// when the fill evicted a dirty line, the resulting writeback.
+// when the fill evicted a dirty line, the resulting writeback (valid until
+// the next Access/Invalidate on this cache).
 func (c *Cache) Access(addr uint64, write bool, seq uint64, core int) (hit bool, wb *Writeback) {
 	la := mem.LineAddr(addr)
 	set := c.set(la)
@@ -110,7 +145,8 @@ func (c *Cache) Access(addr uint64, write bool, seq uint64, core int) (hit bool,
 	}
 	if set[victim].dirty {
 		c.Evictions++
-		wb = wbOf(&set[victim])
+		c.scratch.fill(&set[victim])
+		wb = &c.scratch
 	}
 fill:
 	l := &set[victim]
@@ -124,27 +160,20 @@ fill:
 	return false, wb
 }
 
-func wbOf(l *line) *Writeback {
-	wb := &Writeback{Line: l.tag, Seq: l.seq, Core: l.core}
-	for w := uint64(0); w < mem.LineSize/mem.WordSize; w++ {
-		if l.words&(1<<w) != 0 {
-			wb.Words = append(wb.Words, l.tag+w*mem.WordSize)
-		}
-	}
-	return wb
-}
-
 // FlushAll evicts every dirty line, returning the writebacks in set order.
 // The machine uses it for the baseline (non-Capri) configuration's shutdown
 // and for tests; Capri itself never flushes caches (§4.1: "Capri does not
-// insert cache-flush instructions").
+// insert cache-flush instructions"). Unlike Access, the returned writebacks
+// are independently allocated (this is a cold path).
 func (c *Cache) FlushAll() []*Writeback {
 	var out []*Writeback
 	for si := range c.sets {
 		for wi := range c.sets[si] {
 			l := &c.sets[si][wi]
 			if l.valid && l.dirty {
-				out = append(out, wbOf(l))
+				wb := &Writeback{}
+				wb.fill(l)
+				out = append(out, wb)
 				l.dirty = false
 				l.words = 0
 			}
@@ -154,8 +183,8 @@ func (c *Cache) FlushAll() []*Writeback {
 }
 
 // Invalidate drops the line containing addr if present, returning its
-// writeback if it was dirty. Used by the coherence glue when another core
-// writes the same line.
+// writeback if it was dirty (valid until the next Access/Invalidate on this
+// cache). Used by the coherence glue when another core writes the same line.
 func (c *Cache) Invalidate(addr uint64) *Writeback {
 	la := mem.LineAddr(addr)
 	set := c.set(la)
@@ -164,7 +193,8 @@ func (c *Cache) Invalidate(addr uint64) *Writeback {
 		if l.valid && l.tag == la {
 			var wb *Writeback
 			if l.dirty {
-				wb = wbOf(l)
+				c.scratch.fill(l)
+				wb = &c.scratch
 			}
 			l.valid = false
 			l.dirty = false

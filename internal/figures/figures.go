@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"capri/internal/compile"
 	"capri/internal/machine"
@@ -27,14 +28,29 @@ var Fig8Thresholds = []int{32, 64, 128, 256, 512, 1024}
 type Harness struct {
 	// Scale multiplies workload trip counts (1 = figure scale).
 	Scale int
-	// Cores overrides the machine core count (0 = default 8).
+	// Cores overrides the machine core count (0 = default 8). A pinned
+	// value is never silently raised: a benchmark needing more threads than
+	// the pinned core count fails its run instead.
 	Cores int
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// RefStore runs every simulation on the map-backed reference memory
+	// store instead of the paged store (perf-baseline measurement only).
+	RefStore bool
 
 	mu       sync.Mutex
-	baseline map[string]uint64
+	baseline map[string]*baselineRun
 	results  map[runKey]Result
+	instret  atomic.Uint64
+}
+
+// baselineRun is one benchmark's baseline simulation, executed exactly once
+// no matter how many callers race for it: losers of the map race share the
+// winner's once and block until the single simulation finishes.
+type baselineRun struct {
+	once   sync.Once
+	cycles uint64
+	err    error
 }
 
 type runKey struct {
@@ -47,10 +63,15 @@ type runKey struct {
 func NewHarness(scale int) *Harness {
 	return &Harness{
 		Scale:    scale,
-		baseline: map[string]uint64{},
+		baseline: map[string]*baselineRun{},
 		results:  map[runKey]Result{},
 	}
 }
+
+// Instret returns the total instructions simulated through this harness
+// (baseline and Capri runs; cache hits do not re-count). The perf harness
+// divides it by wall-clock for instructions-per-second.
+func (h *Harness) Instret() uint64 { return h.instret.Load() }
 
 // sem returns a semaphore channel bounding parallel runs.
 func (h *Harness) sem() chan struct{} {
@@ -61,17 +82,23 @@ func (h *Harness) sem() chan struct{} {
 	return make(chan struct{}, n)
 }
 
-// config builds the machine configuration for a run.
-func (h *Harness) config(threads, threshold int, capri bool) machine.Config {
+// config builds the machine configuration for a run. It errors instead of
+// silently overriding an explicitly pinned core count: if the caller set
+// h.Cores and a benchmark needs more threads, that is a configuration
+// mistake the run must surface, not clobber.
+func (h *Harness) config(threads, threshold int, capri bool) (machine.Config, error) {
 	cfg := machine.DefaultConfig()
 	cfg.Capri = capri
+	cfg.RefStore = h.RefStore
 	if capri {
 		cfg.Threshold = threshold
 	}
 	if h.Cores > 0 {
 		cfg.Cores = h.Cores
-	}
-	if threads > cfg.Cores {
+		if threads > cfg.Cores {
+			return cfg, fmt.Errorf("figures: benchmark needs %d threads but Cores is pinned to %d", threads, h.Cores)
+		}
+	} else if threads > cfg.Cores {
 		cfg.Cores = threads
 	}
 	// The synthetic working sets are scaled down relative to the paper's
@@ -79,30 +106,41 @@ func (h *Harness) config(threads, threshold int, capri bool) machine.Config {
 	// still differentiates the benchmarks.
 	cfg.L2Size = 2 << 20
 	cfg.DRAMSize = 16 << 20
-	return cfg
+	return cfg, nil
 }
 
-// Baseline returns the volatile-machine cycle count for a benchmark,
-// caching by name. Safe for concurrent use.
+// Baseline returns the volatile-machine cycle count for a benchmark. Each
+// benchmark's baseline is simulated exactly once even under concurrent
+// callers (a per-benchmark once guard, not just a result cache). Safe for
+// concurrent use.
 func (h *Harness) Baseline(b workload.Benchmark) (uint64, error) {
 	h.mu.Lock()
-	if c, ok := h.baseline[b.Name]; ok {
-		h.mu.Unlock()
-		return c, nil
+	e, ok := h.baseline[b.Name]
+	if !ok {
+		e = &baselineRun{}
+		h.baseline[b.Name] = e
 	}
 	h.mu.Unlock()
-	p := b.Build(h.Scale)
-	m, err := machine.New(p, h.config(b.Threads, 0, false))
-	if err != nil {
-		return 0, fmt.Errorf("%s baseline: %w", b.Name, err)
-	}
-	if err := m.Run(); err != nil {
-		return 0, fmt.Errorf("%s baseline: %w", b.Name, err)
-	}
-	h.mu.Lock()
-	h.baseline[b.Name] = m.Cycles()
-	h.mu.Unlock()
-	return m.Cycles(), nil
+	e.once.Do(func() {
+		cfg, err := h.config(b.Threads, 0, false)
+		if err != nil {
+			e.err = fmt.Errorf("%s baseline: %w", b.Name, err)
+			return
+		}
+		p := b.Build(h.Scale)
+		m, err := machine.New(p, cfg)
+		if err != nil {
+			e.err = fmt.Errorf("%s baseline: %w", b.Name, err)
+			return
+		}
+		if err := m.Run(); err != nil {
+			e.err = fmt.Errorf("%s baseline: %w", b.Name, err)
+			return
+		}
+		h.instret.Add(m.Instret())
+		e.cycles = m.Cycles()
+	})
+	return e.cycles, e.err
 }
 
 // Result is one Capri run's outcome.
@@ -134,7 +172,11 @@ func (h *Harness) Run(b workload.Benchmark, level compile.Level, threshold int) 
 	if err != nil {
 		return Result{}, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
-	m, err := machine.New(res.Program, h.config(b.Threads, threshold, true))
+	cfg, err := h.config(b.Threads, threshold, true)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
+	}
+	m, err := machine.New(res.Program, cfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
@@ -142,6 +184,7 @@ func (h *Harness) Run(b workload.Benchmark, level compile.Level, threshold int) 
 		return Result{}, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
 	ms := m.Stats()
+	h.instret.Add(ms.Instret)
 	out := Result{
 		Norm:         float64(ms.Cycles) / float64(base),
 		Machine:      ms,

@@ -1,7 +1,9 @@
 package figures
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"capri/internal/compile"
@@ -31,6 +33,89 @@ func TestBaselineCaching(t *testing.T) {
 	if c1 != c2 || c1 == 0 {
 		t.Errorf("baseline cache broken: %d vs %d", c1, c2)
 	}
+}
+
+// TestBaselineRunsExactlyOnceUnderRace: many goroutines racing for a cold
+// baseline must trigger exactly one simulation. The seed's check-then-run
+// cache let every racer that missed simulate the baseline redundantly; the
+// per-benchmark once guard closes that. Instret counts every simulated
+// instruction, so a double run is visible as a doubled count.
+func TestBaselineRunsExactlyOnceUnderRace(t *testing.T) {
+	b, err := workload.ByName("ssca2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one sequential baseline's instruction count.
+	hseq := quick()
+	if _, err := hseq.Baseline(b); err != nil {
+		t.Fatal(err)
+	}
+	want := hseq.Instret()
+	if want == 0 {
+		t.Fatal("baseline simulated nothing")
+	}
+
+	h := quick()
+	const racers = 8
+	cycles := make([]uint64, racers)
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cycles[i], errs[i] = h.Baseline(b)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < racers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if cycles[i] != cycles[0] {
+			t.Errorf("racer %d saw cycles %d, racer 0 saw %d", i, cycles[i], cycles[0])
+		}
+	}
+	if got := h.Instret(); got != want {
+		t.Errorf("racing baseline simulated %d instructions, want exactly one run's %d", got, want)
+	}
+}
+
+// TestPinnedCoresErrors: an explicitly pinned core count must never be
+// silently raised — a benchmark needing more threads fails its run with a
+// diagnostic instead (the seed silently overrode Cores, so sweeps that meant
+// to model a small machine quietly simulated a bigger one).
+func TestPinnedCoresErrors(t *testing.T) {
+	h := quick()
+	h.Cores = 1
+	mt, err := firstMultithreaded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run(mt, compile.LevelLICM, 256); err == nil {
+		t.Fatalf("%s (%d threads) ran on a harness pinned to 1 core", mt.Name, mt.Threads)
+	} else if !strings.Contains(err.Error(), "pinned") {
+		t.Errorf("error %q does not mention the pinned core count", err)
+	}
+	if _, err := h.Baseline(mt); err == nil {
+		t.Fatalf("%s baseline ran on a harness pinned to 1 core", mt.Name)
+	}
+
+	// Unpinned harnesses still auto-size to the benchmark.
+	if _, err := quick().Baseline(mt); err != nil {
+		t.Errorf("unpinned harness refused %s: %v", mt.Name, err)
+	}
+}
+
+func firstMultithreaded() (workload.Benchmark, error) {
+	for _, b := range workload.All() {
+		if b.Threads > 1 {
+			return b, nil
+		}
+	}
+	return workload.Benchmark{}, fmt.Errorf("no multithreaded benchmark registered")
 }
 
 func TestRunProducesSaneNorm(t *testing.T) {

@@ -95,6 +95,40 @@ func TestRoundTripInMemory(t *testing.T) {
 	}
 }
 
+// TestSerializationDeterministic: serializing one crash image twice — and
+// serializing the images of two identical runs — must produce byte-identical
+// files. This pins down every ordering decision in the pipeline: NVM.Entries
+// is sorted by address, JSON map keys are sorted, and gzip carries no
+// timestamp. Without it, content-addressed image storage and golden-file
+// tests would see spurious diffs (the seed's map-iteration Entries order made
+// exactly that happen).
+func TestSerializationDeterministic(t *testing.T) {
+	img, _ := makeCrashImage(t, 7, 400)
+
+	var a, b bytes.Buffer
+	if err := Write(&a, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, img); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serializing the same image twice produced different bytes")
+	}
+
+	// A second, independent run crashed at the same point must serialize to
+	// the same bytes too (the simulator is deterministic; the image format
+	// must not launder that determinism away).
+	img2, _ := makeCrashImage(t, 7, 400)
+	var c bytes.Buffer
+	if err := Write(&c, img2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("identical runs serialized to different bytes")
+	}
+}
+
 func TestSaveLoadFile(t *testing.T) {
 	img, golden := makeCrashImage(t, 11, 300)
 	path := filepath.Join(t.TempDir(), "crash.img")

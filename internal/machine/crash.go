@@ -111,9 +111,10 @@ func RecoverAttached(img *CrashImage, devices ...OutputDevice) (*Machine, *Recov
 	var uncommitted []undoEntry
 	for t, stream := range img.Streams {
 		var pending []proxy.Entry
-		for _, e := range stream {
+		for i := range stream {
+			e := &stream[i]
 			if e.Kind == proxy.KindData {
-				pending = append(pending, e)
+				pending = append(pending, *e)
 				continue
 			}
 			// Commit marker: redo the region.
@@ -159,14 +160,16 @@ func RecoverAttached(img *CrashImage, devices ...OutputDevice) (*Machine, *Recov
 		}
 	}
 
-	// Phase C: rebuild architectural memory from consistent NVM and resume
-	// every core at its last committed boundary.
-	m.mem = mem.FromSnapshot(m.nvm.Snapshot())
+	// Phase C: rebuild architectural memory from consistent NVM (page-copied,
+	// keeping the image's backing kind) and resume every core at its last
+	// committed boundary.
+	m.mem = mem.MemFromNVM(m.nvm)
 	for t := range m.cores {
 		c := m.cores[t]
 		rec := m.records[t]
 		c.resumeAt(rec)
 		if rec.Halted {
+			m.haltedCores++
 			rep.CoresHalted++
 			continue
 		}

@@ -18,13 +18,15 @@ const (
 // step executes one instruction on core c, advancing its cycle count and PC.
 // Spin-lock retries consume cycles without retiring an instruction.
 func (m *Machine) step(c *core) {
-	f := m.prog.Funcs[c.fn]
-	b := f.Blocks[c.blk]
-	if c.idx >= len(b.Insts) {
+	if c.blkFn != c.fn || c.blkId != c.blk {
+		c.blkInsts = m.prog.Funcs[c.fn].Blocks[c.blk].Insts
+		c.blkFn, c.blkId = c.fn, c.blk
+	}
+	if c.idx >= len(c.blkInsts) {
 		m.fatalf("core %d: PC f%d b%d idx %d beyond block", c.id, c.fn, c.blk, c.idx)
 		return
 	}
-	in := &b.Insts[c.idx]
+	in := &c.blkInsts[c.idx]
 	c.curInsts++
 
 	advance := true
@@ -170,6 +172,7 @@ func (m *Machine) step(c *core) {
 			return // front-end full; retry
 		}
 		c.halted = true
+		m.haltedCores++
 		c.instret++
 		c.endRegionStats()
 		return

@@ -51,6 +51,16 @@ type core struct {
 
 	halted bool
 
+	// Current-block instruction cache: step refreshes it when (fn, blk)
+	// moves, saving two pointer chases per executed instruction.
+	blkFn    int
+	blkId    int
+	blkInsts []isa.Inst
+
+	// lineSeen is scheduleDrain's distinct-line scratch, reused (and
+	// cleared) per region instead of allocating a map per boundary.
+	lineSeen map[uint64]struct{}
+
 	l1    *cache.Cache
 	front *proxy.FrontEnd
 	path  *proxy.Path
@@ -105,6 +115,8 @@ type Machine struct {
 	seq          uint64 // global store sequence
 	nvmWriteFree uint64 // shared NVM write queue availability
 	steps        uint64
+	retired      uint64 // running sum of core instret (crash-point check)
+	haltedCores  int    // running count of halted cores (Done fast path)
 
 	crashed bool
 	fatal   error
@@ -167,11 +179,16 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 		dram: mem.NewDRAMCache(cfg.DRAMSize),
 		l2:   cache.New(cfg.L2Size, cfg.L2Ways),
 	}
+	if cfg.RefStore {
+		m.mem = mem.NewMemRef()
+		m.nvm = mem.NewNVMRef()
+	}
 	for t := 0; t < p.NumThreads(); t++ {
 		c := &core{
-			id: t,
-			l1: cache.New(cfg.L1Size, cfg.L1Ways),
-			fn: p.EntryFunc(t),
+			id:    t,
+			l1:    cache.New(cfg.L1Size, cfg.L1Ways),
+			fn:    p.EntryFunc(t),
+			blkFn: -1,
 		}
 		c.blk = p.Funcs[c.fn].Entry
 		c.regs[isa.SP] = StackBase(t)
@@ -202,12 +219,7 @@ func (m *Machine) Program() *prog.Program { return m.prog }
 
 // Done reports whether every core has halted.
 func (m *Machine) Done() bool {
-	for _, c := range m.cores {
-		if !c.halted {
-			return false
-		}
-	}
-	return true
+	return m.haltedCores == len(m.cores)
 }
 
 // Cycles returns the maximum core cycle count — the parallel makespan the
@@ -253,11 +265,15 @@ func (m *Machine) Instret() uint64 {
 }
 
 func (m *Machine) run(crashAt uint64) error {
+	// The crash-point check uses a running retired-instruction counter
+	// instead of re-summing every core's instret each step; step retires at
+	// most one instruction per call, so the delta around it is 0 or 1.
+	m.retired = m.Instret()
 	for !m.Done() {
 		if m.fatal != nil {
 			return m.fatal
 		}
-		if m.Instret() >= crashAt {
+		if m.retired >= crashAt {
 			m.crashed = true
 			return nil
 		}
@@ -270,7 +286,9 @@ func (m *Machine) run(crashAt uint64) error {
 			return fmt.Errorf("machine: no runnable core")
 		}
 		m.service(c)
+		before := c.instret
 		m.step(c)
+		m.retired += c.instret - before
 	}
 	// Quiesce: let every pending region finish phase 2 so the NVM image and
 	// output tapes are complete.

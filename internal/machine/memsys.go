@@ -102,9 +102,11 @@ func (m *Machine) service(c *core) {
 	}
 	now := c.cycle
 
-	// Retire finished phase-2 drains.
+	// Retire finished phase-2 drains. Pop by copy-down so the slice's
+	// backing array is reused instead of leaking capacity off the front.
 	for len(c.drainDone) > 0 && c.drainDone[0] <= now {
-		c.drainDone = c.drainDone[1:]
+		n := copy(c.drainDone, c.drainDone[1:])
+		c.drainDone = c.drainDone[:n]
 		region, ok := c.back.PopRegion()
 		if !ok {
 			m.fatalf("core %d: drain scheduled but no region buffered", c.id)
@@ -113,12 +115,15 @@ func (m *Machine) service(c *core) {
 		m.applyPhase2(c, region)
 	}
 
-	// Deliver arrived packets into the back-end.
-	for _, e := range c.path.Deliver(now) {
+	// Deliver arrived packets into the back-end (pointer iteration: Entry is
+	// large, and this loop runs once per serviced instruction).
+	delivered := c.path.Deliver(now)
+	for i := range delivered {
+		e := &delivered[i]
 		if e.Kind == proxy.KindData {
 			c.inflightData--
 		}
-		if !c.back.Accept(e) {
+		if !c.back.Accept(*e) {
 			m.fatalf("core %d: back-end proxy overflow (threshold %d)", c.id, m.cfg.Threshold)
 			return
 		}
@@ -139,14 +144,13 @@ func (m *Machine) drainFront(c *core) {
 		if c.path.Backlog() > now {
 			return // no departure slot yet
 		}
-		e := c.front.Entries()[0]
-		if e.Kind == proxy.KindData {
+		if c.front.Peek().Kind == proxy.KindData {
 			// Reserve back-end space including packets already in flight.
 			if c.back.Len()+c.path.InFlight() >= m.cfg.Threshold {
 				return
 			}
 		}
-		e, _ = c.front.Pop()
+		e, _ := c.front.Pop()
 		if e.Kind == proxy.KindData {
 			c.inflightData++
 		}
@@ -166,8 +170,13 @@ func (m *Machine) scheduleDrain(c *core, now uint64) {
 	scheduled := len(c.drainDone)
 	seen := 0
 	writes := uint64(0)
-	lines := map[uint64]bool{}
-	for _, e := range entries {
+	if c.lineSeen == nil {
+		c.lineSeen = make(map[uint64]struct{}, 64)
+	} else {
+		clear(c.lineSeen)
+	}
+	for i := range entries {
+		e := &entries[i]
 		if e.Kind == proxy.KindBoundary {
 			seen++
 			if seen == scheduled+1 {
@@ -179,10 +188,10 @@ func (m *Machine) scheduleDrain(c *core, now uint64) {
 			continue
 		}
 		if seen == scheduled && e.Valid {
-			lines[mem.LineAddr(e.Addr)] = true
+			c.lineSeen[mem.LineAddr(e.Addr)] = struct{}{}
 		}
 	}
-	writes += uint64(len(lines))
+	writes += uint64(len(c.lineSeen))
 	start := c.drainFree
 	if start < now {
 		start = now
@@ -199,18 +208,18 @@ func (m *Machine) applyPhase2(c *core, region proxy.CommittedRegion) {
 	if m.tracer != nil {
 		m.tracer.TraceDrain(c.id, c.cycle, region.Boundary.Region)
 	}
-	for _, e := range region.Data {
-		if e.Valid {
+	for i := range region.Data {
+		if e := &region.Data[i]; e.Valid {
 			m.nvm.Write(e.Addr, e.Redo, e.Seq)
 			m.nvm.Writes++
 		}
 	}
-	m.applyMarker(c.id, region.Boundary)
+	m.applyMarker(c.id, &region.Boundary)
 }
 
 // applyMarker folds a committed boundary entry into core t's NVM recovery
 // record and durable output.
-func (m *Machine) applyMarker(t int, e proxy.Entry) {
+func (m *Machine) applyMarker(t int, e *proxy.Entry) {
 	rec := &m.records[t]
 	for _, ck := range e.Ckpts {
 		rec.Regs[ck.Reg] = ck.Val

@@ -9,6 +9,7 @@ package mem
 // lingering dirty here, so the cache only ever holds clean lines.
 type DRAMCache struct {
 	sets []uint64 // tag per set; 0 means empty (tag = lineAddr | 1)
+	mask uint64   // len(sets)-1 when the set count is a power of two, else 0
 
 	Hits   uint64
 	Misses uint64
@@ -20,14 +21,29 @@ func NewDRAMCache(capacity uint64) *DRAMCache {
 	if n == 0 {
 		n = 1
 	}
-	return &DRAMCache{sets: make([]uint64, n)}
+	d := &DRAMCache{sets: make([]uint64, n)}
+	if n&(n-1) == 0 {
+		d.mask = n - 1
+	}
+	return d
+}
+
+// idx maps a line address to its set. Every realistic capacity yields a
+// power-of-two set count, indexed with a mask; the modulo path exists only
+// for odd capacities and is bit-identical to the mask for power-of-two ones.
+func (d *DRAMCache) idx(line uint64) uint64 {
+	s := line / LineSize
+	if d.mask != 0 || len(d.sets) == 1 {
+		return s & d.mask
+	}
+	return s % uint64(len(d.sets))
 }
 
 // Access looks up the line containing addr, filling it on miss. It reports
 // whether the access hit.
 func (d *DRAMCache) Access(addr uint64) bool {
 	line := LineAddr(addr)
-	idx := (line / LineSize) % uint64(len(d.sets))
+	idx := d.idx(line)
 	tag := line | 1
 	if d.sets[idx] == tag {
 		d.Hits++
@@ -42,8 +58,7 @@ func (d *DRAMCache) Access(addr uint64) bool {
 // (used when writebacks pass through the controller).
 func (d *DRAMCache) Fill(addr uint64) {
 	line := LineAddr(addr)
-	idx := (line / LineSize) % uint64(len(d.sets))
-	d.sets[idx] = line | 1
+	d.sets[d.idx(line)] = line | 1
 }
 
 // Reset drops all lines (power failure).

@@ -14,6 +14,8 @@ type BackEnd struct {
 	// NoMerge disables same-region address merging (ablation).
 	NoMerge bool
 	entries []Entry // FIFO across regions; boundary entries delimit
+	ndata   int     // data entries among entries (space accounting)
+	scratch []Entry // reusable Data backing for PopRegion
 
 	// Stats.
 	Received       uint64
@@ -41,17 +43,7 @@ func (b *BackEnd) SpaceFor(e Entry) bool {
 	if e.Kind == KindBoundary {
 		return true
 	}
-	return b.dataLen() < b.Capacity
-}
-
-func (b *BackEnd) dataLen() int {
-	n := 0
-	for i := range b.entries {
-		if b.entries[i].Kind == KindData {
-			n++
-		}
-	}
-	return n
+	return b.ndata < b.Capacity
 }
 
 // Len returns the number of buffered entries (data + boundary).
@@ -92,6 +84,9 @@ func (b *BackEnd) Accept(e Entry) bool {
 	}
 	b.Received++
 	b.entries = append(b.entries, e)
+	if e.Kind == KindData {
+		b.ndata++
+	}
 	return true
 }
 
@@ -123,15 +118,24 @@ type CommittedRegion struct {
 
 // PopRegion removes and returns the oldest complete region (data entries up
 // to and including a boundary entry), if one is present. This is the unit of
-// the second phase of the atomic store.
+// the second phase of the atomic store. The returned Data slice aliases a
+// per-buffer scratch that is reused by the next PopRegion call — phase 2
+// consumes it immediately, so no allocation is needed per region.
 func (b *BackEnd) PopRegion() (CommittedRegion, bool) {
 	for i := range b.entries {
 		if b.entries[i].Kind == KindBoundary {
+			b.scratch = append(b.scratch[:0], b.entries[:i]...)
 			r := CommittedRegion{
-				Data:     append([]Entry(nil), b.entries[:i]...),
+				Data:     b.scratch,
 				Boundary: b.entries[i],
 			}
-			b.entries = append(b.entries[:0], b.entries[i+1:]...)
+			n := copy(b.entries, b.entries[i+1:])
+			dead := b.entries[n:]
+			for j := range dead {
+				dead[j] = Entry{} // drop Ckpts/Emits references
+			}
+			b.entries = b.entries[:n]
+			b.ndata -= i
 			return r, true
 		}
 	}

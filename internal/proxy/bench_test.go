@@ -1,0 +1,57 @@
+package proxy
+
+import "testing"
+
+// BenchmarkProxyDrain drives the full two-phase pipeline at steady state —
+// front-end allocation, path transmission, back-end acceptance, and phase-2
+// region pops — the way the machine's per-instruction service loop does. The
+// steady state must be allocation-free: front-end and path recycle their
+// rings, and PopRegion reuses its scratch.
+func BenchmarkProxyDrain(b *testing.B) {
+	f := NewFrontEnd(32)
+	p := NewPath(40, 8)
+	be := NewBackEnd(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := uint64(0)
+	seq := uint64(0)
+	for i := 0; i < b.N; i++ {
+		// One small region: four stores (two merging) and a boundary.
+		for s := 0; s < 4; s++ {
+			seq++
+			f.AddStore(uint64(0x1000+(s&1)*8), 0, seq, seq)
+		}
+		f.AddBoundary(uint64(i), 0, 0, 0, 0x8000, nil, true, false, false)
+		// Drain front -> path -> back at the path's bandwidth.
+		for f.Len() > 0 {
+			e, _ := f.Pop()
+			now = p.Send(e, now) + 1
+		}
+		for _, e := range p.Deliver(now + p.Latency) {
+			if !be.Accept(e) {
+				b.Fatal("back-end overflow")
+			}
+		}
+		for be.HasRegion() {
+			if _, ok := be.PopRegion(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkPathServiceIdle measures the per-instruction cost of servicing an
+// empty path — the common case between stores, which the machine pays on
+// every executed instruction.
+func BenchmarkPathServiceIdle(b *testing.B) {
+	p := NewPath(40, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n += len(p.Deliver(uint64(i)))
+	}
+	if n != 0 {
+		b.Fatal("idle path delivered entries")
+	}
+}

@@ -17,7 +17,15 @@ type Path struct {
 
 	nextDepart uint64 // earliest cycle the next entry may depart
 
+	// In-flight FIFO with a head index: departures append at the tail,
+	// deliveries advance head (arrival times are monotonic, so the
+	// deliverable packets are always a prefix). This keeps Deliver from
+	// recopying every still-flying packet on each call — the machine
+	// services the path once per instruction, so that copy was the single
+	// hottest operation in the whole simulator.
 	inflight []packet
+	head     int
+	outBuf   []Entry // reusable Deliver return backing
 
 	// Monitoring window: address -> (expiry cycle, writeback seq).
 	window map[uint64]windowEntry
@@ -55,30 +63,41 @@ func (p *Path) Send(e Entry, now uint64) uint64 {
 		depart = p.nextDepart
 	}
 	p.nextDepart = depart + p.Interval
+	if len(p.inflight) == cap(p.inflight) && p.head > 0 {
+		n := copy(p.inflight, p.inflight[p.head:])
+		for i := n; i < len(p.inflight); i++ {
+			p.inflight[i] = packet{}
+		}
+		p.inflight = p.inflight[:n]
+		p.head = 0
+	}
 	p.inflight = append(p.inflight, packet{e: e, arrives: depart + p.Latency})
 	p.Sent++
 	return depart
 }
 
 // InFlight returns the number of entries on the wire.
-func (p *Path) InFlight() int { return len(p.inflight) }
+func (p *Path) InFlight() int { return len(p.inflight) - p.head }
 
 // Backlog reports the earliest cycle at which the path could accept a new
 // entry — the machine uses it to model front-end drain pacing.
 func (p *Path) Backlog() uint64 { return p.nextDepart }
 
 // Deliver pops every entry that has arrived by `now`, applying the
-// monitoring window to unset stale redo valid-bits.
+// monitoring window to unset stale redo valid-bits. The returned slice
+// aliases a per-path scratch reused by the next Deliver call.
 func (p *Path) Deliver(now uint64) []Entry {
-	var out []Entry
-	kept := p.inflight[:0]
-	for _, pk := range p.inflight {
+	if p.head >= len(p.inflight) {
+		return nil
+	}
+	out := p.outBuf[:0]
+	for p.head < len(p.inflight) {
+		pk := &p.inflight[p.head]
 		if pk.arrives > now {
-			kept = append(kept, pk)
-			continue
+			break
 		}
 		e := pk.e
-		if e.Kind == KindData {
+		if e.Kind == KindData && len(p.window) > 0 {
 			if w, ok := p.window[e.Addr]; ok && pk.arrives <= w.expiry && e.Seq <= w.seq {
 				e.Valid = false
 				p.WindowHits++
@@ -86,8 +105,14 @@ func (p *Path) Deliver(now uint64) []Entry {
 		}
 		p.Delivered++
 		out = append(out, e)
+		*pk = packet{}
+		p.head++
 	}
-	p.inflight = kept
+	if p.head == len(p.inflight) {
+		p.inflight = p.inflight[:0]
+		p.head = 0
+	}
+	p.outBuf = out
 	return out
 }
 
@@ -113,10 +138,11 @@ func (p *Path) NoteWriteback(addr uint64, seq uint64, now uint64) {
 // in-flight packets are logically part of the front-end's non-volatile
 // contents, so recovery sees them in order).
 func (p *Path) DrainAll() []Entry {
-	out := make([]Entry, 0, len(p.inflight))
-	for _, pk := range p.inflight {
-		out = append(out, pk.e)
+	out := make([]Entry, 0, p.InFlight())
+	for i := p.head; i < len(p.inflight); i++ {
+		out = append(out, p.inflight[i].e)
 	}
 	p.inflight = p.inflight[:0]
+	p.head = 0
 	return out
 }

@@ -82,7 +82,12 @@ type FrontEnd struct {
 	NoMerge bool
 	// NoElide disables boundary elision for store-free regions (ablation).
 	NoElide bool
-	entries []Entry // FIFO: entries[0] is oldest
+	// FIFO backed by a ring-ish slice: entries[head:] are live,
+	// entries[head] is oldest. Pop advances head; push compacts the live
+	// window to the front when the backing array is exhausted, so the
+	// buffer reaches a steady state with zero allocations.
+	entries []Entry
+	head    int
 
 	// Register-file checkpoint staging for the current (uncommitted) region.
 	staged []RegCkpt
@@ -100,14 +105,34 @@ func NewFrontEnd(capacity int) *FrontEnd {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("proxy: front-end capacity %d", capacity))
 	}
-	return &FrontEnd{Capacity: capacity}
+	return &FrontEnd{Capacity: capacity, entries: make([]Entry, 0, capacity)}
 }
 
 // Full reports whether a new entry cannot be allocated.
-func (f *FrontEnd) Full() bool { return len(f.entries) >= f.Capacity }
+func (f *FrontEnd) Full() bool { return f.Len() >= f.Capacity }
 
 // Len returns the number of buffered entries.
-func (f *FrontEnd) Len() int { return len(f.entries) }
+func (f *FrontEnd) Len() int { return len(f.entries) - f.head }
+
+// push appends an entry, compacting the live window first if the backing
+// array has no room at the tail but dead space at the head.
+func (f *FrontEnd) push(e Entry) {
+	if len(f.entries) == cap(f.entries) && f.head > 0 {
+		n := copy(f.entries, f.entries[f.head:])
+		clearEntries(f.entries[n:])
+		f.entries = f.entries[:n]
+		f.head = 0
+	}
+	f.entries = append(f.entries, e)
+}
+
+// clearEntries zeroes dead entries so their Ckpts/Emits slices are not
+// retained past their lifetime.
+func clearEntries(dead []Entry) {
+	for i := range dead {
+		dead[i] = Entry{}
+	}
+}
 
 // AddStore records a regular store: undo/redo images for addr. Within the
 // current region, an entry with the same address is merged (redo and seq
@@ -117,7 +142,7 @@ func (f *FrontEnd) AddStore(addr, undo, redo, seq uint64) bool {
 	// Merge search only within the current region: stop at the most recent
 	// boundary entry (§5.2.1: "does not merge proxy entries even if two
 	// entries have the same address when they belong to different regions").
-	for i := len(f.entries) - 1; i >= 0 && !f.NoMerge; i-- {
+	for i := len(f.entries) - 1; i >= f.head && !f.NoMerge; i-- {
 		e := &f.entries[i]
 		if e.Kind == KindBoundary {
 			break
@@ -133,7 +158,7 @@ func (f *FrontEnd) AddStore(addr, undo, redo, seq uint64) bool {
 		f.Stalls++
 		return false
 	}
-	f.entries = append(f.entries, Entry{
+	f.push(Entry{
 		Kind: KindData, Addr: addr, Undo: undo, Redo: redo,
 		Seq: seq, FirstSeq: seq, Valid: true,
 	})
@@ -185,7 +210,7 @@ func (f *FrontEnd) AddBoundary(region uint64, pcFunc, pcBlk, pcIdx int32, sp uin
 		e.Ckpts = append(e.Ckpts, f.staged...)
 		f.staged = f.staged[:0]
 	}
-	f.entries = append(f.entries, e)
+	f.push(e)
 	f.Boundary++
 	return true, false
 }
@@ -196,20 +221,30 @@ func (f *FrontEnd) AddBoundary(region uint64, pcFunc, pcBlk, pcIdx int32, sp uin
 // the machine clears them when rebuilding.
 func (f *FrontEnd) DiscardStaged() { f.staged = f.staged[:0] }
 
+// Peek returns the oldest buffered entry without removing it. The pointer is
+// valid until the next mutation; callers must not retain it. Peeking an empty
+// buffer panics — check Len first.
+func (f *FrontEnd) Peek() *Entry { return &f.entries[f.head] }
+
 // Pop removes and returns the oldest entry for transmission on the proxy
 // path.
 func (f *FrontEnd) Pop() (Entry, bool) {
-	if len(f.entries) == 0 {
+	if f.head >= len(f.entries) {
 		return Entry{}, false
 	}
-	e := f.entries[0]
-	f.entries = f.entries[1:]
+	e := f.entries[f.head]
+	f.entries[f.head] = Entry{} // drop Ckpts/Emits references
+	f.head++
+	if f.head == len(f.entries) {
+		f.entries = f.entries[:0]
+		f.head = 0
+	}
 	return e, true
 }
 
 // Entries returns the buffered entries oldest-first (recovery reads them
 // after a crash).
-func (f *FrontEnd) Entries() []Entry { return f.entries }
+func (f *FrontEnd) Entries() []Entry { return f.entries[f.head:] }
 
 // Staged returns the currently staged register checkpoints (inspection).
 func (f *FrontEnd) Staged() []RegCkpt { return f.staged }
