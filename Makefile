@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check bench perf perf-seed clean
+.PHONY: all build test check docs-verify bench perf perf-seed clean
 
 all: build
 
@@ -14,13 +14,22 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 # check is the pre-merge tier: vet, the race-sensitive packages under the
-# race detector, the store differential sweep, and a perf-harness smoke run
-# (catches BENCH_sim.json pipeline bit-rot without judging the numbers).
+# race detector, the store differential sweep, the documentation-freshness
+# check, and a perf-harness smoke run (catches BENCH_sim.json pipeline
+# bit-rot without judging the numbers).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/machine ./internal/figures
 	$(GO) test -run 'Differential' .
+	$(MAKE) docs-verify
 	$(GO) run ./cmd/capribench -perf -scale 1 -perfout /tmp/BENCH_sim.smoke.json
+
+# docs-verify re-runs the stall-attribution tables (deterministic simulator,
+# fixed workload scale) and byte-compares them against the marked blocks in
+# EXPERIMENTS.md, so the documented numbers can never drift from the code.
+# Regenerate with: go run ./cmd/capribench -explain
+docs-verify:
+	$(GO) run ./cmd/capribench -explain -verify EXPERIMENTS.md
 
 # bench runs the perf-regression micro-benchmarks (raw store and proxy
 # throughput plus the end-to-end simulator benchmark).

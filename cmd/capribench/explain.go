@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"capri/internal/compile"
+	"capri/internal/figures"
+	"capri/internal/workload"
+)
+
+// The explain blocks embedded in EXPERIMENTS.md. Each one is a full
+// stall-attribution table at a configuration the paper's figures discuss:
+// the figure-8 endpoints (tight threshold 32, default 256) and figure 9's
+// +ckpt level, where checkpoint overhead peaks before unrolling/pruning/LICM
+// claw it back. `capribench -explain` prints them; `-explain -verify FILE`
+// re-runs the simulations and diffs the output against the blocks in FILE
+// (the `make docs-verify` target).
+var explainBlocks = []struct {
+	name      string
+	level     compile.Level
+	threshold int
+}{
+	{"fig8-t32", compile.LevelLICM, 32},
+	{"fig8-t256", compile.LevelLICM, 256},
+	{"fig9-ckpt", compile.LevelCkpt, 256},
+}
+
+// renderExplainBlock builds one block's canonical markdown content: a fenced
+// code block holding the attribution table. This exact text lives between the
+// `<!-- explain:NAME -->` markers in EXPERIMENTS.md.
+func renderExplainBlock(h *figures.Harness, level compile.Level, threshold int) (string, error) {
+	tbl, err := h.Explain(level, threshold)
+	if err != nil {
+		return "", err
+	}
+	if err := checkResiduals(h, level, threshold, tbl); err != nil {
+		return "", err
+	}
+	return "```text\n" + tbl.String() + "```\n", nil
+}
+
+// checkResiduals enforces the explain contract: on every benchmark, the named
+// causes account for at least 95% of the Capri-vs-baseline gap (residual at
+// most 5% of the gap). The ledger is exhaustive, so the residual should be
+// exactly zero — a violation means some cycle increment lost its cause tag.
+func checkResiduals(h *figures.Harness, level compile.Level, threshold int, tbl interface {
+	Value(label, col string) (float64, bool)
+}) error {
+	for _, b := range workload.All() {
+		resid, ok1 := tbl.Value(b.Name, "resid")
+		total, ok2 := tbl.Value(b.Name, "total")
+		if !ok1 || !ok2 {
+			return fmt.Errorf("explain %s@%d: %s missing from table", level, threshold, b.Name)
+		}
+		limit := 0.05 * math.Abs(total)
+		if limit < 1e-9 {
+			limit = 1e-9 // a zero-gap benchmark still must have zero residual
+		}
+		if math.Abs(resid) > limit {
+			return fmt.Errorf("explain %s@%d: %s residual %.4f%% exceeds 5%% of the %.4f%% gap",
+				level, threshold, b.Name, resid, total)
+		}
+	}
+	return nil
+}
+
+// runExplain prints every explain block (verifyPath empty), or re-renders
+// them and diffs against the marked blocks inside verifyPath, failing on any
+// mismatch. The simulator is deterministic, so byte equality is the contract.
+func runExplain(scale int, verifyPath string) error {
+	h := figures.NewHarness(scale)
+	if verifyPath == "" {
+		for _, blk := range explainBlocks {
+			content, err := renderExplainBlock(h, blk.level, blk.threshold)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("<!-- explain:%s -->\n%s<!-- /explain:%s -->\n\n", blk.name, content, blk.name)
+		}
+		return nil
+	}
+
+	data, err := os.ReadFile(verifyPath)
+	if err != nil {
+		return err
+	}
+	doc := string(data)
+	var failed []string
+	for _, blk := range explainBlocks {
+		want, err := extractBlock(doc, blk.name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", verifyPath, err)
+		}
+		got, err := renderExplainBlock(h, blk.level, blk.threshold)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			failed = append(failed, blk.name)
+			fmt.Printf("explain block %q is stale in %s.\n--- documented:\n%s--- measured:\n%s",
+				blk.name, verifyPath, want, got)
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("docs-verify: %d stale explain block(s) in %s: %s (run `capribench -explain` and update)",
+			len(failed), verifyPath, strings.Join(failed, ", "))
+	}
+	fmt.Printf("docs-verify: %d explain blocks in %s match the simulator\n", len(explainBlocks), verifyPath)
+	return nil
+}
+
+// extractBlock returns the text between `<!-- explain:name -->\n` and
+// `<!-- /explain:name -->` in doc.
+func extractBlock(doc, name string) (string, error) {
+	open := fmt.Sprintf("<!-- explain:%s -->\n", name)
+	close := fmt.Sprintf("<!-- /explain:%s -->", name)
+	i := strings.Index(doc, open)
+	if i < 0 {
+		return "", fmt.Errorf("explain block %q not found (missing %q)", name, strings.TrimSpace(open))
+	}
+	rest := doc[i+len(open):]
+	j := strings.Index(rest, close)
+	if j < 0 {
+		return "", fmt.Errorf("explain block %q not terminated (missing %q)", name, close)
+	}
+	return rest[:j], nil
+}

@@ -10,6 +10,8 @@
 //	capribench -headline         # suite geomeans only
 //	capribench -list             # benchmark inventory
 //	capribench -perf             # time the sweeps, write BENCH_sim.json
+//	capribench -explain          # stall-attribution tables (cycle ledger)
+//	capribench -explain -verify EXPERIMENTS.md   # diff tables vs the docs
 package main
 
 import (
@@ -35,11 +37,18 @@ func main() {
 		perfOut  = flag.String("perfout", "BENCH_sim.json", "perf report output path (with -perf)")
 		perfRef  = flag.Bool("perfref", true, "with -perf, also time the Figure-8 sweep on the map-backed reference store and record the speedup")
 		seedWall = flag.Float64("seedwall", 0, "with -perf, record this externally measured seed-binary `capribench -fig 8` wall-clock (seconds); see `make perf-seed`")
+		explain  = flag.Bool("explain", false, "print the stall-attribution tables (where the Capri-vs-baseline cycles went)")
+		verify   = flag.String("verify", "", "with -explain, diff the tables against the marked blocks in this file instead of printing")
 	)
 	flag.Parse()
 
 	if *perf {
 		check(runPerf(*scale, *perfRef, *seedWall, *perfOut))
+		return
+	}
+
+	if *explain {
+		check(runExplain(*scale, *verify))
 		return
 	}
 

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"capri/internal/asm"
 	"capri/internal/compile"
@@ -36,7 +37,7 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "run on the volatile baseline machine (no Capri)")
 		stats     = flag.Bool("stats", false, "print machine statistics")
 		imgPath   = flag.String("image", "", "persistent state file: recover from it if present; crashes write it")
-		tracePath = flag.String("trace", "", "write a persistence event trace to this file")
+		tracePath = flag.String("trace", "", "write a persistence event trace to this file (.json: Chrome trace-event format for Perfetto)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -64,11 +65,32 @@ func main() {
 		return
 	}
 
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder(0)
+		defer func() {
+			f, err := os.Create(*tracePath)
+			check(err)
+			if strings.HasSuffix(*tracePath, ".json") {
+				check(rec.WriteChromeTo(f))
+			} else {
+				_, err = rec.WriteTo(f)
+				check(err)
+			}
+			check(f.Close())
+			fmt.Printf("trace: %s (%s)\n", *tracePath, rec.Summary())
+		}()
+	}
+
 	// Recover from a prior invocation's persistent image if one exists.
 	if *imgPath != "" {
 		if img, err := image.LoadFile(*imgPath); err == nil {
 			fmt.Printf("recovering from %s ...\n", *imgPath)
-			r, rep, err := machine.Recover(img)
+			var tr machine.Tracer
+			if rec != nil {
+				tr = trace.MachineTracer{R: rec}
+			}
+			r, rep, err := machine.RecoverTraced(img, tr)
 			check(err)
 			fmt.Printf("recovered: %d regions redone, %d entries undone, %d slices, %d cores resumed\n",
 				rep.RegionsRedone, rep.EntriesUndone, rep.SlicesExecuted, rep.CoresResumed)
@@ -103,18 +125,8 @@ func main() {
 	m, err := machine.New(res.Program, cfg)
 	check(err)
 
-	var rec *trace.Recorder
-	if *tracePath != "" {
-		rec = trace.NewRecorder(0)
+	if rec != nil {
 		m.SetTracer(trace.MachineTracer{R: rec})
-		defer func() {
-			f, err := os.Create(*tracePath)
-			check(err)
-			_, err = rec.WriteTo(f)
-			check(err)
-			check(f.Close())
-			fmt.Printf("trace: %s (%s)\n", *tracePath, rec.Summary())
-		}()
 	}
 
 	if *crashAt == 0 {
@@ -137,7 +149,14 @@ func main() {
 		fmt.Printf("persistent state saved to %s; rerun with -image to recover\n", *imgPath)
 		return
 	}
-	r, rep, err := machine.Recover(img)
+	// Keep tracing across the crash: the recovered machine reuses the same
+	// recorder, so the trace shows the crash edge, the recovery edge, and the
+	// re-executed regions in one timeline.
+	var tr machine.Tracer
+	if rec != nil {
+		tr = trace.MachineTracer{R: rec}
+	}
+	r, rep, err := machine.RecoverTraced(img, tr)
 	check(err)
 	fmt.Printf("recovered: %d regions redone, %d entries undone (%d applied), %d slices, %d cores resumed\n",
 		rep.RegionsRedone, rep.EntriesUndone, rep.UndoneApplied, rep.SlicesExecuted, rep.CoresResumed)

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	caprisim -bench water-spatial -threshold 256 [-scale 1]
+//	caprisim -bench genome -trace-out trace.json   # Chrome/Perfetto trace
+//	caprisim -bench genome -metrics                # occupancy histograms
 //	caprisim -file prog.casm    # simulate a text program instead
 //	caprisim -config            # print the paper's Table 1 configuration
 package main
@@ -19,6 +21,8 @@ import (
 	"capri/internal/figures"
 	"capri/internal/machine"
 	"capri/internal/prog"
+	"capri/internal/stats"
+	"capri/internal/trace"
 	"capri/internal/workload"
 )
 
@@ -30,6 +34,8 @@ func main() {
 		scale     = flag.Int("scale", 1, "workload scale factor")
 		config    = flag.Bool("config", false, "print the Table 1 machine configuration and exit")
 		file      = flag.String("file", "", "simulate a .casm text program instead of a benchmark")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		metrics   = flag.Bool("metrics", false, "collect and print occupancy/latency histograms")
 	)
 	flag.Parse()
 
@@ -67,20 +73,59 @@ func main() {
 		}
 	}
 	h := figures.NewHarness(*scale)
-	base, err := h.Baseline(b)
+	baseStats, err := h.BaselineStats(b)
 	if err != nil {
 		fatal(err)
 	}
-	r, err := h.Run(b, level, *threshold)
-	if err != nil {
-		fatal(err)
+	base := baseStats.Cycles
+
+	var s machine.Stats
+	var norm float64
+	var hist *machine.Metrics
+	if *traceOut != "" || *metrics {
+		// Instrumented path: run the machine directly with a recorder and/or
+		// histogram collection attached (the cached harness path cannot carry
+		// per-run instrumentation).
+		var tr machine.Tracer
+		var rec *trace.Recorder
+		if *traceOut != "" {
+			rec = trace.NewRecorder(0)
+			tr = trace.MachineTracer{R: rec}
+		}
+		m, err := h.RunInstrumented(b, level, *threshold, tr, *metrics)
+		if err != nil {
+			fatal(err)
+		}
+		s = m.Stats()
+		norm = float64(s.Cycles) / float64(base)
+		hist = m.Metrics()
+		if rec != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.WriteChromeTo(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace              %s: %d events (%s) -> %s\n",
+				b.Name, rec.Len(), rec.Summary(), *traceOut)
+		}
+	} else {
+		r, err := h.Run(b, level, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		s = r.Machine
+		norm = r.Norm
 	}
-	s := r.Machine
 
 	fmt.Printf("benchmark          %s (%s, %d threads), level %s, threshold %d\n",
 		b.Name, b.Suite, b.Threads, level, *threshold)
 	fmt.Printf("baseline cycles    %d\n", base)
-	fmt.Printf("capri cycles       %d  (normalized %.3f)\n", s.Cycles, r.Norm)
+	fmt.Printf("capri cycles       %d  (normalized %.3f)\n", s.Cycles, norm)
 	fmt.Printf("instructions       %d retired (%d stores, %d ckpt stores, %d boundaries)\n",
 		s.Instret, s.Stores, s.Ckpts, s.Boundaries)
 	fmt.Printf("regions            %d dynamic; avg %.1f insts, %.1f stores per region\n",
@@ -93,6 +138,39 @@ func main() {
 	fmt.Printf("caches             L1 %d/%d hit/miss, L2 %d/%d, DRAM$ %d/%d\n",
 		s.L1Hits, s.L1Misses, s.L2Hits, s.L2Misses, s.DRAMHits, s.DRAMMisses)
 	fmt.Printf("stall cycles       %d\n", s.StallCycles)
+
+	// Critical-core cycle breakdown from the always-on ledger: where the
+	// makespan went. The rows sum exactly to the cycle count.
+	fmt.Printf("cycle breakdown (critical core):\n")
+	for cc := machine.CycleCause(0); cc < machine.NumCycleCauses; cc++ {
+		n := s.CycleBy[cc]
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  %-11s %12d  (%5.1f%%)\n", cc, n, 100*float64(n)/float64(s.Cycles))
+	}
+
+	if hist != nil {
+		fmt.Printf("histograms (sampled at region boundaries / controller writebacks):\n")
+		for _, hh := range []struct {
+			name string
+			h    *stats.Hist
+		}{
+			{"front-end occupancy", &hist.FrontOcc},
+			{"back-end occupancy", &hist.BackOcc},
+			{"path in flight", &hist.PathInFlight},
+			{"monitoring window", &hist.WindowLive},
+			{"dirty L1 lines", &hist.L1Dirty},
+			{"WPQ depth", &hist.WPQDepth},
+			{"drain-bank depth", &hist.DrainQueue},
+			{"region insts", &hist.RegionInsts},
+			{"region stores", &hist.RegionStores},
+			{"commit latency", &hist.CommitLat},
+		} {
+			fmt.Printf("  %-20s %s\n", hh.name, hh.h)
+		}
+		fmt.Printf("commit latency distribution (cycles):\n%s", hist.CommitLat.Bars(40))
+	}
 }
 
 func fatal(err error) {

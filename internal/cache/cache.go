@@ -205,6 +205,22 @@ func (c *Cache) Invalidate(addr uint64) *Writeback {
 	return nil
 }
 
+// DirtyLines counts currently dirty lines. Observability only (sampled into
+// the metrics histograms at region boundaries); it walks every set, so keep it
+// off hot paths.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.valid && l.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Reset clears the cache (power failure: all volatile contents lost).
 func (c *Cache) Reset() {
 	for si := range c.sets {

@@ -1,0 +1,43 @@
+package figures
+
+import (
+	"math"
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/workload"
+)
+
+// TestExplainDecomposition checks the explain contract on the default
+// configuration: for every benchmark the per-cause deltas sum to the total
+// gap with (near-)zero residual — far inside the documented 5% bound — and
+// the total column agrees with the Figure-8 normalized overhead.
+func TestExplainDecomposition(t *testing.T) {
+	h := NewHarness(1)
+	tbl, err := h.Explain(compile.LevelLICM, compile.DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range workload.All() {
+		resid, ok := tbl.Value(b.Name, "resid")
+		if !ok {
+			t.Fatalf("%s missing from explain table", b.Name)
+		}
+		total, _ := tbl.Value(b.Name, "total")
+		// The ledger is exhaustive; the only slack allowed is float rounding
+		// of the percentage conversion.
+		if math.Abs(resid) > 1e-6 {
+			t.Errorf("%s: residual %.9f%% (total %.3f%%), want 0", b.Name, resid, total)
+		}
+
+		// Cross-check against the cached Run result: total == 100*(norm-1).
+		r, err := h.Run(b, compile.LevelLICM, compile.DefaultThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 100 * (r.Norm - 1)
+		if math.Abs(total-want) > 1e-6 {
+			t.Errorf("%s: explain total %.6f%% != figure overhead %.6f%%", b.Name, total, want)
+		}
+	}
+}

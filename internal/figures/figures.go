@@ -48,9 +48,9 @@ type Harness struct {
 // no matter how many callers race for it: losers of the map race share the
 // winner's once and block until the single simulation finishes.
 type baselineRun struct {
-	once   sync.Once
-	cycles uint64
-	err    error
+	once  sync.Once
+	stats machine.Stats
+	err   error
 }
 
 type runKey struct {
@@ -114,6 +114,14 @@ func (h *Harness) config(threads, threshold int, capri bool) (machine.Config, er
 // callers (a per-benchmark once guard, not just a result cache). Safe for
 // concurrent use.
 func (h *Harness) Baseline(b workload.Benchmark) (uint64, error) {
+	s, err := h.BaselineStats(b)
+	return s.Cycles, err
+}
+
+// BaselineStats is Baseline returning the full counter snapshot — in
+// particular the baseline machine's cycle-accounting ledger (Stats.CycleBy),
+// which the explain decomposition subtracts from the Capri run's.
+func (h *Harness) BaselineStats(b workload.Benchmark) (machine.Stats, error) {
 	h.mu.Lock()
 	e, ok := h.baseline[b.Name]
 	if !ok {
@@ -138,9 +146,9 @@ func (h *Harness) Baseline(b workload.Benchmark) (uint64, error) {
 			return
 		}
 		h.instret.Add(m.Instret())
-		e.cycles = m.Cycles()
+		e.stats = m.Stats()
 	})
-	return e.cycles, e.err
+	return e.stats, e.err
 }
 
 // Result is one Capri run's outcome.
@@ -196,6 +204,38 @@ func (h *Harness) Run(b workload.Benchmark, level compile.Level, threshold int) 
 	h.results[key] = out
 	h.mu.Unlock()
 	return out, nil
+}
+
+// RunInstrumented executes one Capri run outside the result cache, with the
+// given tracer attached and (when collect is set) histogram metrics enabled.
+// It returns the finished machine so callers can inspect its metrics, stats
+// and configuration — the backing for `caprisim -trace-out` / `-metrics`.
+// Instrumented runs are never cached: the tracer makes them side-effecting.
+func (h *Harness) RunInstrumented(b workload.Benchmark, level compile.Level, threshold int, tr machine.Tracer, collect bool) (*machine.Machine, error) {
+	src := b.Build(h.Scale)
+	res, err := compile.Compile(src, compile.OptionsForLevel(level, threshold))
+	if err != nil {
+		return nil, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
+	}
+	cfg, err := h.config(b.Threads, threshold, true)
+	if err != nil {
+		return nil, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
+	}
+	m, err := machine.New(res.Program, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
+	}
+	if tr != nil {
+		m.SetTracer(tr)
+	}
+	if collect {
+		m.EnableMetrics()
+	}
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
+	}
+	h.instret.Add(m.Instret())
+	return m, nil
 }
 
 // Prefetch runs the given (benchmark × level × threshold) grid concurrently,

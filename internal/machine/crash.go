@@ -85,6 +85,21 @@ func Recover(img *CrashImage) (*Machine, *RecoveryReport, error) {
 	return RecoverAttached(img)
 }
 
+// RecoverTraced is RecoverAttached with a tracer installed on the recovered
+// machine before the protocol runs; when recovery completes it emits a
+// recovery event (so a trace spanning crash and restart shows both edges).
+func RecoverTraced(img *CrashImage, tr Tracer, devices ...OutputDevice) (*Machine, *RecoveryReport, error) {
+	m, rep, err := RecoverAttached(img, devices...)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.tracer = tr
+	if tr != nil {
+		tr.TraceRecovery(rep.CoresResumed + rep.CoresHalted)
+	}
+	return m, rep, nil
+}
+
 // RecoverAttached is Recover with output devices registered before the
 // protocol runs, so regions that committed before the crash but had not yet
 // finished phase 2 deliver their output to the devices during replay —

@@ -33,89 +33,89 @@ func (m *Machine) step(c *core) {
 	switch in.Op {
 	case isa.OpAdd:
 		c.regs[in.Rd] = c.regs[in.Ra] + c.regs[in.Rb]
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpSub:
 		c.regs[in.Rd] = c.regs[in.Ra] - c.regs[in.Rb]
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpMul:
 		c.regs[in.Rd] = c.regs[in.Ra] * c.regs[in.Rb]
-		c.cycle += costMul
+		c.tick(CauseExec, costMul)
 	case isa.OpDiv:
 		if d := c.regs[in.Rb]; d == 0 {
 			c.regs[in.Rd] = 0
 		} else {
 			c.regs[in.Rd] = uint64(int64(c.regs[in.Ra]) / int64(d))
 		}
-		c.cycle += costDiv
+		c.tick(CauseExec, costDiv)
 	case isa.OpRem:
 		if d := c.regs[in.Rb]; d == 0 {
 			c.regs[in.Rd] = 0
 		} else {
 			c.regs[in.Rd] = uint64(int64(c.regs[in.Ra]) % int64(d))
 		}
-		c.cycle += costDiv
+		c.tick(CauseExec, costDiv)
 	case isa.OpAnd:
 		c.regs[in.Rd] = c.regs[in.Ra] & c.regs[in.Rb]
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpOr:
 		c.regs[in.Rd] = c.regs[in.Ra] | c.regs[in.Rb]
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpXor:
 		c.regs[in.Rd] = c.regs[in.Ra] ^ c.regs[in.Rb]
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpShl:
 		c.regs[in.Rd] = c.regs[in.Ra] << (c.regs[in.Rb] & 63)
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpShr:
 		c.regs[in.Rd] = c.regs[in.Ra] >> (c.regs[in.Rb] & 63)
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpMin:
 		if int64(c.regs[in.Ra]) < int64(c.regs[in.Rb]) {
 			c.regs[in.Rd] = c.regs[in.Ra]
 		} else {
 			c.regs[in.Rd] = c.regs[in.Rb]
 		}
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpMax:
 		if int64(c.regs[in.Ra]) > int64(c.regs[in.Rb]) {
 			c.regs[in.Rd] = c.regs[in.Ra]
 		} else {
 			c.regs[in.Rd] = c.regs[in.Rb]
 		}
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpAddI:
 		c.regs[in.Rd] = c.regs[in.Ra] + uint64(in.Imm)
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpMulI:
 		c.regs[in.Rd] = c.regs[in.Ra] * uint64(in.Imm)
-		c.cycle += costMul
+		c.tick(CauseExec, costMul)
 	case isa.OpAndI:
 		c.regs[in.Rd] = c.regs[in.Ra] & uint64(in.Imm)
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpShlI:
 		c.regs[in.Rd] = c.regs[in.Ra] << (uint64(in.Imm) & 63)
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpShrI:
 		c.regs[in.Rd] = c.regs[in.Ra] >> (uint64(in.Imm) & 63)
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpMovI:
 		c.regs[in.Rd] = uint64(in.Imm)
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpMov:
 		c.regs[in.Rd] = c.regs[in.Ra]
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 	case isa.OpSel:
 		if c.regs[in.Ra] != 0 {
 			c.regs[in.Rd] = c.regs[in.Rb]
 		} else {
 			c.regs[in.Rd] = c.regs[in.Rc]
 		}
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 
 	case isa.OpLoad:
 		addr := c.regs[in.Ra] + uint64(in.Imm)
 		c.regs[in.Rd] = m.mem.Load(addr)
-		c.cycle += m.loadCost(c, addr)
+		m.chargeLoad(c, addr)
 
 	case isa.OpStore:
 		addr := c.regs[in.Ra] + uint64(in.Imm)
@@ -126,12 +126,12 @@ func (m *Machine) step(c *core) {
 		c.curStores++
 
 	case isa.OpBr:
-		c.cycle += costBranch
+		c.tick(CauseExec, costBranch)
 		c.blk, c.idx = int(in.Target), 0
 		c.instret++
 		return
 	case isa.OpBrIf:
-		c.cycle += costBranch
+		c.tick(CauseExec, costBranch)
 		if in.Cond.Eval(c.regs[in.Ra], c.regs[in.Rb]) {
 			c.blk = int(in.Target)
 		} else {
@@ -150,14 +150,14 @@ func (m *Machine) step(c *core) {
 		}
 		c.dynStores++
 		c.curStores++
-		c.cycle += costBranch
+		c.tick(CauseExec, costBranch)
 		callee := m.prog.Funcs[in.Callee]
 		c.fn, c.blk, c.idx = int(in.Callee), callee.Entry, 0
 		c.instret++
 		return
 	case isa.OpRet:
 		tok := m.mem.Load(c.regs[isa.SP])
-		c.cycle += m.loadCost(c, c.regs[isa.SP])
+		m.chargeLoad(c, c.regs[isa.SP])
 		c.regs[isa.SP] += mem.WordSize
 		if tok >= uint64(len(m.prog.RetSites)) {
 			m.fatalf("core %d: corrupt return token %d", c.id, tok)
@@ -180,7 +180,7 @@ func (m *Machine) step(c *core) {
 	case isa.OpFence:
 		// Ordering is implicit in this in-order-retire functional model; a
 		// fence is a region boundary (compiler) plus a pipeline bubble.
-		c.cycle += 4
+		c.tick(CauseFence, 4)
 
 	case isa.OpAtomicAdd:
 		addr := c.regs[in.Ra] + uint64(in.Imm)
@@ -197,14 +197,13 @@ func (m *Machine) step(c *core) {
 			}
 		} else {
 			c.regs[in.Rd] = old
-			c.cycle += m.cfg.L1Hit + costALU
+			c.tick(CauseSync, m.cfg.L1Hit+costALU)
 		}
 	case isa.OpLock:
 		addr := c.regs[in.Ra] + uint64(in.Imm)
 		if m.mem.Load(addr) != 0 {
 			// Spin: consume back-off cycles, do not retire.
-			c.cycle += m.cfg.LockRetry
-			c.stallCycles += m.cfg.LockRetry
+			c.stall(CauseLockSpin, c.cycle+m.cfg.LockRetry)
 			c.curInsts--
 			return
 		}
@@ -219,11 +218,11 @@ func (m *Machine) step(c *core) {
 	case isa.OpBarrier:
 		// Reserved: multi-threaded workloads build barriers from atomics so
 		// they are recoverable; a bare OpBarrier acts as a fence.
-		c.cycle += 4
+		c.tick(CauseFence, 4)
 
 	case isa.OpEmit:
 		c.stagedEmits = append(c.stagedEmits, c.regs[in.Ra])
-		c.cycle += costALU
+		c.tick(CauseExec, costALU)
 
 	case isa.OpBoundary:
 		// Commit the region that just ended; the new region resumes after
@@ -235,7 +234,7 @@ func (m *Machine) step(c *core) {
 		c.dynBounds++
 		c.curInsts-- // boundary instructions are not counted as region body
 		c.endRegionStats()
-		c.cycle += 2 * costALU
+		c.tick(CauseBoundary, 2*costALU)
 
 	case isa.OpCkpt:
 		if m.cfg.Capri {
@@ -243,7 +242,7 @@ func (m *Machine) step(c *core) {
 		}
 		c.dynCkpts++
 		c.curStores++
-		c.cycle += 2 * costStore // register read + staging-storage port
+		c.tick(CauseCkpt, 2*costStore) // register read + staging-storage port
 
 	default:
 		m.fatalf("core %d: cannot execute %s", c.id, in)
@@ -272,8 +271,7 @@ func (m *Machine) doStore(c *core, addr uint64, val uint64) bool {
 			if stall <= c.cycle {
 				stall = c.cycle + m.cfg.ProxyInterval
 			}
-			c.stallCycles += stall - c.cycle
-			c.cycle = stall
+			c.stall(m.frontStallCause(c), stall)
 			m.seq-- // the store did not happen
 			if m.tracer != nil {
 				m.tracer.TraceStall(c.id, c.cycle)
@@ -282,12 +280,12 @@ func (m *Machine) doStore(c *core, addr uint64, val uint64) bool {
 		}
 		c.regionStores = true
 		m.mem.Store(addr, val)
-		c.cycle += m.storeAccess(c, addr, m.seq) + costStore
+		c.tick(CauseStore, m.storeAccess(c, addr, m.seq)+costStore)
 		return true
 	}
 	m.seq++
 	m.mem.Store(addr, val)
-	c.cycle += m.storeAccess(c, addr, m.seq) + costStore
+	c.tick(CauseStore, m.storeAccess(c, addr, m.seq)+costStore)
 	return true
 }
 
@@ -309,7 +307,7 @@ func (m *Machine) doSyncStore(c *core, in *isa.Inst, addr, newVal uint64, rd isa
 		if d, ok := in.Def(); ok {
 			c.regs[d] = old
 		}
-		c.cycle += m.storeAccess(c, addr, m.seq) + costDiv
+		c.tick(CauseSync, m.storeAccess(c, addr, m.seq)+costDiv)
 		return true
 	}
 	m.service(c)
@@ -319,8 +317,7 @@ func (m *Machine) doSyncStore(c *core, in *isa.Inst, addr, newVal uint64, rd isa
 		if stall <= c.cycle {
 			stall = c.cycle + 2*m.cfg.ProxyInterval
 		}
-		c.stallCycles += stall - c.cycle
-		c.cycle = stall
+		c.stall(m.frontStallCause(c), stall)
 		return false
 	}
 	undo := m.mem.Load(addr)
@@ -331,7 +328,7 @@ func (m *Machine) doSyncStore(c *core, in *isa.Inst, addr, newVal uint64, rd isa
 	}
 	c.regionStores = true
 	m.mem.Store(addr, newVal)
-	c.cycle += m.storeAccess(c, addr, m.seq) + costDiv
+	c.tick(CauseSync, m.storeAccess(c, addr, m.seq)+costDiv)
 	c.dynStores++
 	c.curStores++
 
@@ -358,7 +355,7 @@ func (m *Machine) commitRegion(c *core, fn, blk, idx int32, force, halt bool) bo
 	}
 	m.service(c)
 	c.regionSeq++
-	ok, _ := c.front.AddBoundary(c.regionSeq, fn, blk, idx, c.regs[isa.SP],
+	ok, elided := c.front.AddBoundary(c.regionSeq, fn, blk, idx, c.regs[isa.SP],
 		c.stagedEmits, c.regionStores, force || len(c.stagedEmits) > 0, halt)
 	if !ok {
 		c.regionSeq--
@@ -366,12 +363,14 @@ func (m *Machine) commitRegion(c *core, fn, blk, idx int32, force, halt bool) bo
 		if stall <= c.cycle {
 			stall = c.cycle + m.cfg.ProxyInterval
 		}
-		c.stallCycles += stall - c.cycle
-		c.cycle = stall
+		c.stall(m.frontStallCause(c), stall)
 		return false
 	}
 	c.stagedEmits = c.stagedEmits[:0]
 	c.regionStores = false
+	if m.metrics != nil {
+		m.sampleBoundary(c, elided)
+	}
 	if BoundaryHook != nil {
 		BoundaryHook(c.id, c.regionSeq, c.regs, fn, blk, idx)
 	}

@@ -91,6 +91,16 @@ type core struct {
 	dynBounds   uint64
 	stallCycles uint64
 
+	// cycleBy is the always-on cycle-accounting ledger: every cycle added to
+	// c.cycle is attributed to exactly one CycleCause (see causes.go), so the
+	// buckets always sum to c.cycle. `capribench -explain` is built on it.
+	cycleBy [NumCycleCauses]uint64
+
+	// commitCycles queues the commit cycle of each non-elided boundary, in
+	// order, for the commit-latency histogram (metrics enabled only; boundary
+	// FIFO order equals drain order per core, so a simple queue pairs them).
+	commitCycles []uint64
+
 	// per-region dynamic shape (Figures 10 & 11)
 	curInsts     uint64
 	curStores    uint64
@@ -112,16 +122,16 @@ type Machine struct {
 	cores   []*core
 	records []CoreRecord // NVM-resident recovery records
 
-	seq          uint64 // global store sequence
-	nvmWriteFree uint64 // shared NVM write queue availability
-	steps        uint64
+	seq   uint64 // global store sequence
+	steps uint64
 	retired      uint64 // running sum of core instret (crash-point check)
 	haltedCores  int    // running count of halted cores (Done fast path)
 
 	crashed bool
 	fatal   error
 
-	tracer Tracer
+	tracer  Tracer
+	metrics *Metrics // nil: histogram collection off
 
 	// devices receive each core's committed output exactly once (§3.3's
 	// open I/O problem: effects are released only when their region's
@@ -320,7 +330,7 @@ func (m *Machine) quiesce() {
 		// Push everything out of the front-end and the path.
 		for c.front.Len() > 0 || c.path.InFlight() > 0 || c.back.Len() > 0 || len(c.drainDone) > 0 {
 			now := c.cycle + m.cfg.ProxyLatency + m.cfg.ProxyInterval*uint64(m.cfg.FrontEndEntries+2)
-			c.cycle = now
+			c.stall(CauseDrainWait, now)
 			m.service(c)
 			if c.front.Len() > 0 {
 				m.drainFront(c)

@@ -9,28 +9,68 @@ import (
 	"capri/internal/proxy"
 )
 
-// loadCost walks the hierarchy for a load by core c and returns the stall
-// charged to the core. Post-L1 latency is divided by LoadOverlap to stand in
-// for OoO memory-level parallelism.
-func (m *Machine) loadCost(c *core, addr uint64) uint64 {
+// chargeLoad walks the hierarchy for a load by core c and charges the stall
+// to the core, attributed to the level that served the access. Post-L1
+// latency is divided by LoadOverlap to stand in for OoO memory-level
+// parallelism.
+func (m *Machine) chargeLoad(c *core, addr uint64) {
 	hit, wb := c.l1.Access(addr, false, 0, c.id)
 	if wb != nil {
 		m.l1Writeback(c, wb)
 	}
 	if hit {
-		return m.cfg.L1Hit
+		c.tick(CauseLoadL1, m.cfg.L1Hit)
+		return
 	}
 	l2hit, l2wb := m.l2.Access(addr, false, 0, c.id)
 	if l2wb != nil {
 		m.controllerWriteback(c.cycle, l2wb)
 	}
 	if l2hit {
-		return m.cfg.L1Hit + m.cfg.L2Hit/m.cfg.LoadOverlap
+		c.tick(CauseLoadL2, m.cfg.L1Hit+m.cfg.L2Hit/m.cfg.LoadOverlap)
+		return
 	}
 	if m.dram.Access(addr) {
-		return m.cfg.L1Hit + m.cfg.DRAMHit/m.cfg.LoadOverlap
+		c.tick(CauseLoadDRAM, m.cfg.L1Hit+m.cfg.DRAMHit/m.cfg.LoadOverlap)
+		return
 	}
-	return m.cfg.L1Hit + m.cfg.NVMRead/m.cfg.LoadOverlap
+	c.tick(CauseLoadNVM, m.cfg.L1Hit+m.cfg.NVMRead/m.cfg.LoadOverlap)
+}
+
+// frontStallCause classifies a front-end-proxy-full stall by its root cause:
+// the buffer cannot drain either because the back-end (plus in-flight
+// packets) has no room for its oldest data entry — back-pressure, further
+// split into waiting-on-the-WPQ when a phase-2 drain is already booked — or
+// because the proxy path has no departure slot (plain front-full).
+func (m *Machine) frontStallCause(c *core) CycleCause {
+	if c.front.Len() > 0 && c.front.Peek().Kind == proxy.KindData &&
+		c.back.Len()+c.path.InFlight() >= m.cfg.Threshold {
+		if len(c.drainDone) > 0 {
+			return CauseNVMQueue
+		}
+		return CauseBackPressure
+	}
+	return CauseFrontFull
+}
+
+// sampleBoundary records the occupancy histograms at a committed region
+// boundary (metrics enabled only — this is the observability layer's main
+// sampling point; boundaries are frequent enough to characterize the
+// distributions and rare enough to keep the overhead negligible).
+func (m *Machine) sampleBoundary(c *core, elided bool) {
+	mt := m.metrics
+	mt.FrontOcc.Record(uint64(c.front.Len()))
+	mt.BackOcc.Record(uint64(c.back.Len()))
+	mt.PathInFlight.Record(uint64(c.path.InFlight()))
+	mt.WindowLive.Record(uint64(c.path.WindowLen()))
+	mt.L1Dirty.Record(uint64(c.l1.DirtyLines()))
+	mt.RegionInsts.Record(c.curInsts)
+	mt.RegionStores.Record(c.curStores)
+	if !elided {
+		// Pair this boundary with its eventual phase-2 completion (FIFO per
+		// core), for the commit-latency histogram.
+		c.commitCycles = append(c.commitCycles, c.cycle)
+	}
 }
 
 // storeAccess updates the timing caches for a store by core c with global
@@ -76,10 +116,10 @@ func (m *Machine) controllerWriteback(now uint64, wb *cache.Writeback) {
 		m.tracer.TraceWriteback(wb.Core, now, wb.Line)
 	}
 	m.dram.Fill(wb.Line)
-	if m.nvmWriteFree < now {
-		m.nvmWriteFree = now
+	depth := m.nvm.BookLineWrite(now, m.cfg.NVMWrite)
+	if m.metrics != nil {
+		m.metrics.WPQDepth.Record(depth)
 	}
-	m.nvmWriteFree += m.cfg.NVMWrite
 	m.nvm.Writes++
 	for _, w := range wb.Words {
 		m.nvm.Write(w, m.mem.Load(w), wb.Seq)
@@ -196,6 +236,11 @@ func (m *Machine) scheduleDrain(c *core, now uint64) {
 	if start < now {
 		start = now
 	}
+	if m.metrics != nil && m.cfg.NVMEntryWrite > 0 {
+		// Depth of this core's phase-2 WPQ bank in pending entry-writes,
+		// including the region just booked.
+		m.metrics.DrainQueue.Record((start - now + m.cfg.NVMEntryWrite - 1) / m.cfg.NVMEntryWrite + writes)
+	}
 	finish := start + writes*m.cfg.NVMEntryWrite
 	c.drainFree = finish
 	c.drainDone = append(c.drainDone, finish)
@@ -207,6 +252,12 @@ func (m *Machine) scheduleDrain(c *core, now uint64) {
 func (m *Machine) applyPhase2(c *core, region proxy.CommittedRegion) {
 	if m.tracer != nil {
 		m.tracer.TraceDrain(c.id, c.cycle, region.Boundary.Region)
+	}
+	if m.metrics != nil && len(c.commitCycles) > 0 {
+		// Oldest queued boundary commit pairs with this drain (FIFO per core).
+		m.metrics.CommitLat.Record(c.cycle - c.commitCycles[0])
+		n := copy(c.commitCycles, c.commitCycles[1:])
+		c.commitCycles = c.commitCycles[:n]
 	}
 	for i := range region.Data {
 		if e := &region.Data[i]; e.Valid {

@@ -10,6 +10,14 @@ type Stats struct {
 	Boundaries  uint64 // boundary instructions retired
 	StallCycles uint64 // cycles lost to proxy backpressure and spin locks
 
+	// CycleBy is the critical core's cycle-accounting ledger: per-cause cycle
+	// totals for the core whose cycle count equals Cycles (the makespan).
+	// Its entries sum exactly to Cycles, so two runs' CycleBy can be
+	// subtracted to decompose their makespan gap with zero residual — that is
+	// what `capribench -explain` prints. (Summing ledgers across cores would
+	// instead sum to total core-cycles, which is not what the figures plot.)
+	CycleBy [NumCycleCauses]uint64
+
 	// Persistence machinery.
 	NVMWrites       uint64 // 64B write-queue occupancies (redo + writebacks)
 	NVMWordWrites   uint64
@@ -47,7 +55,11 @@ func (m *Machine) Stats() Stats {
 		DRAMHits:      m.dram.Hits,
 		DRAMMisses:    m.dram.Misses,
 	}
+	var crit *core
 	for _, c := range m.cores {
+		if crit == nil || c.cycle > crit.cycle {
+			crit = c
+		}
 		s.Instret += c.instret
 		s.Stores += c.dynStores
 		s.Ckpts += c.dynCkpts
@@ -68,6 +80,9 @@ func (m *Machine) Stats() Stats {
 			s.WindowHits += c.path.WindowHits
 			s.RedoSkipped += c.back.SkippedInvalid
 		}
+	}
+	if crit != nil {
+		s.CycleBy = crit.cycleBy
 	}
 	if s.Regions > 0 {
 		s.AvgRegionInsts /= float64(s.Regions)

@@ -72,6 +72,12 @@ type NVM struct {
 
 	ref map[uint64]Word // non-nil: map-backed reference implementation
 
+	// writeFree is the write-pending queue's availability cycle: the device
+	// timing the memory controller sees when it pushes a 64B line write. The
+	// queue drains one line per device write latency, so its depth at any
+	// instant is the backlog divided by that latency.
+	writeFree uint64
+
 	// Stats
 	Writes     uint64 // 64B-equivalent write operations accepted
 	WordWrites uint64 // word-granularity writes
@@ -94,6 +100,22 @@ func NewNVMRef() *NVM {
 
 // IsRef reports whether this image uses the map-backed reference store.
 func (n *NVM) IsRef() bool { return n.ref != nil }
+
+// BookLineWrite reserves one 64B line write in the write-pending queue at
+// cycle now, where writeCost is the device's per-line write latency, and
+// returns the queue depth (in pending line writes, including this one) right
+// after booking. The returned depth feeds the WPQ-depth histogram; timing
+// callers only need the booking side effect.
+func (n *NVM) BookLineWrite(now, writeCost uint64) uint64 {
+	if n.writeFree < now {
+		n.writeFree = now
+	}
+	n.writeFree += writeCost
+	if writeCost == 0 {
+		return 1
+	}
+	return (n.writeFree - now + writeCost - 1) / writeCost
+}
 
 // page returns the page containing word index wi, or nil if absent.
 func (n *NVM) page(wi uint64) *nvmPage {
@@ -346,6 +368,7 @@ func (n *NVM) Clone() *NVM {
 			}
 		}
 	}
+	c.writeFree = n.writeFree
 	c.Writes, c.WordWrites, c.Reads, c.StaleSkips = n.Writes, n.WordWrites, n.Reads, n.StaleSkips
 	return c
 }

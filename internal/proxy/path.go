@@ -79,6 +79,11 @@ func (p *Path) Send(e Entry, now uint64) uint64 {
 // InFlight returns the number of entries on the wire.
 func (p *Path) InFlight() int { return len(p.inflight) - p.head }
 
+// WindowLen returns the number of live monitoring-window entries (expired
+// entries that have not been pruned yet count — pruning is opportunistic).
+// Observability only; the occupancy histogram samples it at boundaries.
+func (p *Path) WindowLen() int { return len(p.window) }
+
 // Backlog reports the earliest cycle at which the path could accept a new
 // entry — the machine uses it to model front-end drain pacing.
 func (p *Path) Backlog() uint64 { return p.nextDepart }

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Hist is a zero-allocation histogram over uint64 samples with power-of-two
+// buckets: bucket i counts values whose bit length is i, i.e. bucket 0 holds
+// zeros and bucket i (i>0) holds [2^(i-1), 2^i). Recording is two adds and
+// two indexed stores, so the simulator can sample occupancies and latencies
+// on live paths without heap traffic. The value type embeds its whole state;
+// aggregating across cores or runs is Merge.
+type Hist struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64 // meaningful when Count > 0
+	Max     uint64
+	Buckets [65]uint64
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v uint64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[bits.Len64(v)]++
+}
+
+// Merge folds another histogram into h.
+func (h *Hist) Merge(o *Hist) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,100]):
+// the top of the power-of-two bucket containing that rank, clamped to the
+// exact observed Min/Max. Resolution is the bucket width (a factor of two),
+// which is what occupancy/latency distributions need — orders of magnitude,
+// not exact ranks.
+func (h *Hist) Percentile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(p / 100 * float64(h.Count-1))
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen > rank {
+			var hi uint64
+			if i == 0 {
+				hi = 0
+			} else {
+				hi = 1<<uint(i) - 1
+			}
+			if hi > h.Max {
+				hi = h.Max
+			}
+			if hi < h.Min {
+				hi = h.Min
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
+// String renders a one-line summary: count, mean, p50/p90/p99 and max.
+func (h *Hist) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p90=%d p99=%d max=%d",
+		h.Count, h.Mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99), h.Max)
+}
+
+// Bars renders the occupied buckets as a small ASCII bar chart (one line per
+// non-empty bucket, width-scaled to the fullest bucket), for `caprisim
+// -metrics` output.
+func (h *Hist) Bars(width int) string {
+	if h.Count == 0 {
+		return "  (no samples)\n"
+	}
+	if width <= 0 {
+		width = 40
+	}
+	var peak uint64
+	for _, n := range h.Buckets {
+		if n > peak {
+			peak = n
+		}
+	}
+	var sb strings.Builder
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		var lo, hi uint64
+		if i > 0 {
+			lo = 1 << uint(i-1)
+			hi = 1<<uint(i) - 1
+		}
+		bar := int(n * uint64(width) / peak)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "  [%12d-%12d] %-*s %d\n", lo, hi, width, strings.Repeat("#", bar), n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if got := h.String(); got != "n=0" {
+		t.Fatalf("empty String() = %q", got)
+	}
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatalf("empty hist percentile/mean not zero")
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100} {
+		h.Record(v)
+	}
+	if h.Count != 6 || h.Sum != 110 || h.Min != 0 || h.Max != 100 {
+		t.Fatalf("count/sum/min/max = %d/%d/%d/%d", h.Count, h.Sum, h.Min, h.Max)
+	}
+	if h.Buckets[0] != 1 { // the zero
+		t.Fatalf("bucket 0 = %d, want 1", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 || h.Buckets[2] != 2 || h.Buckets[3] != 1 || h.Buckets[7] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets[:8])
+	}
+}
+
+func TestHistPercentileBounds(t *testing.T) {
+	// The percentile is an upper bound: for every p, the true p-th rank value
+	// must be <= Percentile(p), and the result stays within [Min, Max].
+	rng := rand.New(rand.NewSource(7))
+	var h Hist
+	vals := make([]uint64, 0, 500)
+	for i := 0; i < 500; i++ {
+		v := uint64(rng.Intn(1 << uint(rng.Intn(16))))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{0, 10, 50, 90, 99, 100} {
+		got := h.Percentile(p)
+		exact := vals[int(p/100*float64(len(vals)-1))]
+		if got < exact {
+			t.Errorf("Percentile(%v) = %d < exact rank value %d", p, got, exact)
+		}
+		if got < h.Min || got > h.Max {
+			t.Errorf("Percentile(%v) = %d outside [%d,%d]", p, got, h.Min, h.Max)
+		}
+	}
+	if h.Percentile(100) != h.Max {
+		t.Errorf("Percentile(100) = %d, want Max %d", h.Percentile(100), h.Max)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	// Merging two histograms must equal recording the union of samples.
+	rng := rand.New(rand.NewSource(11))
+	var a, b, all Hist
+	for i := 0; i < 300; i++ {
+		v := uint64(rng.Intn(1 << 20))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	merged := a // Hist is a value type: plain copy
+	merged.Merge(&b)
+	if merged != all {
+		t.Fatalf("merge mismatch:\n merged=%+v\n want  =%+v", merged, all)
+	}
+	// Merging an empty histogram is a no-op, in both directions.
+	var empty Hist
+	merged.Merge(&empty)
+	if merged != all {
+		t.Fatalf("merging empty changed the histogram")
+	}
+	empty.Merge(&all)
+	if empty != all {
+		t.Fatalf("merge into empty = %+v, want %+v", empty, all)
+	}
+}
+
+func TestHistBars(t *testing.T) {
+	var h Hist
+	if got := h.Bars(10); got != "  (no samples)\n" {
+		t.Fatalf("empty Bars = %q", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(4)
+	}
+	h.Record(1000)
+	out := h.Bars(20)
+	if out == "" {
+		t.Fatal("Bars produced no output")
+	}
+	// Two occupied buckets -> two lines.
+	lines := 0
+	for _, ch := range out {
+		if ch == '\n' {
+			lines++
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("Bars rendered %d lines, want 2:\n%s", lines, out)
+	}
+}

@@ -1,6 +1,8 @@
 // Package stats provides the small numeric and formatting helpers the
-// benchmark harness uses to render the paper's tables and figures: geometric
-// means and fixed-width row/column tables.
+// benchmark harness uses to render the paper's tables and figures (geometric
+// means and fixed-width row/column tables), plus Hist, the zero-allocation
+// power-of-two-bucket histogram behind the simulator's occupancy and latency
+// metrics (DESIGN.md §4c).
 package stats
 
 import (

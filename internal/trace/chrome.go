@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: renders a recorded trace in the Trace Event
+// Format consumed by Perfetto (https://ui.perfetto.dev) and chrome://tracing.
+// Cycles map directly onto the format's microsecond timestamps, so one
+// "microsecond" on the timeline is one simulated cycle.
+//
+// The mapping:
+//
+//   - Each core becomes a named thread ("core N") of process 0.
+//   - A region's persistence lifetime — boundary commit to phase-2 drain
+//     completion — becomes an async span ("b"/"e" pair, category "region"),
+//     so in-flight regions stack visually per core.
+//   - Writebacks and front-end stalls become thread-scoped instant events.
+//   - Crash and recovery become global instant events.
+//
+// Output is deterministic for a given event slice: one JSON object per line,
+// fields in fixed order, map-free.
+
+// chromeEvent is one entry of the traceEvents array. Field order here is the
+// serialization order (encoding/json respects struct order), which keeps
+// golden tests byte-stable.
+type chromeEvent struct {
+	Name  string      `json:"name"`
+	Cat   string      `json:"cat,omitempty"`
+	Phase string      `json:"ph"`
+	TS    uint64      `json:"ts"`
+	PID   int         `json:"pid"`
+	TID   int         `json:"tid"`
+	ID    string      `json:"id,omitempty"`
+	Scope string      `json:"s,omitempty"`
+	Args  *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries the per-event payload (a struct, not a map, for stable
+// key order).
+type chromeArgs struct {
+	Name   string `json:"name,omitempty"`   // thread_name metadata
+	Region uint64 `json:"region,omitempty"` // commit/drain spans
+	Addr   string `json:"addr,omitempty"`   // writebacks
+	Cores  int    `json:"cores,omitempty"`  // recovery
+}
+
+// WriteChrome writes events as a Chrome trace-event JSON document. The
+// timeline unit is one simulated cycle per microsecond. Load the file in
+// Perfetto or chrome://tracing.
+func WriteChrome(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ce chromeEvent) error {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err = fmt.Fprintf(w, "%s%s", sep, b)
+		return err
+	}
+
+	// Thread-name metadata for every core that appears, in first-appearance
+	// order (deterministic: the event slice is deterministic).
+	seen := map[int]bool{}
+	for _, e := range events {
+		if e.Kind == KindCrash || e.Kind == KindRecovery || seen[e.Core] {
+			continue
+		}
+		seen[e.Core] = true
+		if err := emit(chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   0,
+			TID:   e.Core,
+			Args:  &chromeArgs{Name: fmt.Sprintf("core %d", e.Core)},
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range events {
+		var ce chromeEvent
+		switch e.Kind {
+		case KindRegionCommit:
+			ce = chromeEvent{
+				Name: "region", Cat: "region", Phase: "b",
+				TS: e.Cycle, TID: e.Core,
+				ID:   fmt.Sprintf("c%d-r%d", e.Core, e.Region),
+				Args: &chromeArgs{Region: e.Region},
+			}
+		case KindPhase2Drain:
+			ce = chromeEvent{
+				Name: "region", Cat: "region", Phase: "e",
+				TS: e.Cycle, TID: e.Core,
+				ID: fmt.Sprintf("c%d-r%d", e.Core, e.Region),
+			}
+		case KindWriteback:
+			ce = chromeEvent{
+				Name: "writeback", Cat: "mem", Phase: "i",
+				TS: e.Cycle, TID: e.Core, Scope: "t",
+				Args: &chromeArgs{Addr: fmt.Sprintf("%#x", e.Addr)},
+			}
+		case KindFrontStall:
+			ce = chromeEvent{
+				Name: "front-stall", Cat: "proxy", Phase: "i",
+				TS: e.Cycle, TID: e.Core, Scope: "t",
+			}
+		case KindCrash:
+			ce = chromeEvent{
+				Name: "crash", Cat: "power", Phase: "i",
+				TS: e.Cycle, Scope: "g",
+			}
+		case KindRecovery:
+			// The recovery event's Core field carries the recovered core
+			// count (see MachineTracer.TraceRecovery).
+			ce = chromeEvent{
+				Name: "recovery", Cat: "power", Phase: "i",
+				TS: e.Cycle, Scope: "g",
+				Args: &chromeArgs{Cores: e.Core},
+			}
+		default:
+			continue
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// WriteChromeTo renders the recorder's events with WriteChrome.
+func (r *Recorder) WriteChromeTo(w io.Writer) error {
+	return WriteChrome(w, r.Events())
+}

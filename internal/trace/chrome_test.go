@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/machine"
+	"capri/internal/progen"
+)
+
+// TestWriteChromeGolden locks the exporter's byte-level output for a trace
+// that exercises every event kind. The format is consumed by external tools
+// (Perfetto, chrome://tracing), so accidental drift matters.
+func TestWriteChromeGolden(t *testing.T) {
+	events := []Event{
+		{Kind: KindRegionCommit, Core: 0, Cycle: 10, Region: 1},
+		{Kind: KindWriteback, Core: 1, Cycle: 15, Addr: 0x1040},
+		{Kind: KindFrontStall, Core: 0, Cycle: 18},
+		{Kind: KindPhase2Drain, Core: 0, Cycle: 30, Region: 1},
+		{Kind: KindCrash, Cycle: 40},
+		{Kind: KindRecovery, Core: 2},
+	}
+	const want = `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"core 0"}},
+{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":1,"args":{"name":"core 1"}},
+{"name":"region","cat":"region","ph":"b","ts":10,"pid":0,"tid":0,"id":"c0-r1","args":{"region":1}},
+{"name":"writeback","cat":"mem","ph":"i","ts":15,"pid":0,"tid":1,"s":"t","args":{"addr":"0x1040"}},
+{"name":"front-stall","cat":"proxy","ph":"i","ts":18,"pid":0,"tid":0,"s":"t"},
+{"name":"region","cat":"region","ph":"e","ts":30,"pid":0,"tid":0,"id":"c0-r1"},
+{"name":"crash","cat":"power","ph":"i","ts":40,"pid":0,"tid":0,"s":"g"},
+{"name":"recovery","cat":"power","ph":"i","ts":0,"pid":0,"tid":0,"s":"g","args":{"cores":2}}
+]}
+`
+	var sb strings.Builder
+	if err := WriteChrome(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("chrome output drifted:\n got: %s\nwant: %s", sb.String(), want)
+	}
+}
+
+// TestWriteChromeMachineRun exports a real machine run and checks the result
+// is well-formed: valid JSON, every async begin ("b") paired or still open,
+// and every end ("e") preceded by its begin.
+func TestWriteChromeMachineRun(t *testing.T) {
+	gcfg := progen.DefaultConfig()
+	gcfg.Threads = 2
+	p := progen.Generate(13, gcfg)
+	res, err := compile.Compile(p, compile.OptionsForLevel(compile.LevelLICM, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 2
+	cfg.Threshold = 16
+	cfg.L2Size = 256 << 10
+	cfg.DRAMSize = 1 << 20
+	m, err := machine.New(res.Program, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(0)
+	m.SetTracer(MachineTracer{R: rec})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := rec.WriteChromeTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    uint64 `json:"ts"`
+			TID   int    `json:"tid"`
+			ID    string `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	open := map[string]bool{}
+	begins, ends := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "b":
+			if open[e.ID] {
+				t.Errorf("span %s begun twice", e.ID)
+			}
+			open[e.ID] = true
+			begins++
+		case "e":
+			if !open[e.ID] {
+				t.Errorf("span %s ended without begin", e.ID)
+			}
+			delete(open, e.ID)
+			ends++
+		}
+	}
+	if begins == 0 || ends == 0 {
+		t.Errorf("no region spans exported (b=%d e=%d)", begins, ends)
+	}
+	// The still-open spans are exactly the elided boundaries (committed,
+	// never drained).
+	if got, want := len(open), int(m.Stats().ElidedBds); got != want {
+		t.Errorf("%d unclosed spans, want %d (elided boundaries)", got, want)
+	}
+}

@@ -2,7 +2,14 @@
 // is the observability layer for debugging region formation and the
 // two-phase store pipeline, and the data source for the event-level tests
 // that assert ordering invariants (per-core region commits are monotone,
-// drains follow commits, and so on).
+// drains follow commits, and so on — see CheckRegionOrder, which is also
+// crash-aware: traces spanning a power failure and recovery check the
+// re-commit rules of elided boundaries).
+//
+// Recorded traces export two ways: WriteTo renders grep-friendly text lines,
+// and WriteChrome renders the Chrome trace-event JSON consumed by Perfetto
+// and chrome://tracing (`caprisim -trace-out trace.json`), with region
+// commit→drain lifetimes as per-core async spans.
 package trace
 
 import (
@@ -152,13 +159,26 @@ func (r *Recorder) Summary() string {
 // CheckRegionOrder verifies the in-order-persistence invariant over the
 // trace: for each core, commit events carry strictly increasing region
 // sequence numbers, and every drain's region was committed earlier in the
-// trace. Returns a descriptive error on the first violation.
+// trace. The check is crash-aware: a KindCrash event resets each core's
+// commit watermark to its last drained region, because commits above the
+// drain watermark may not have left a durable marker (elided store-free
+// boundaries never do), so after recovery those region numbers legitimately
+// commit again — while drained regions are durable and must never recommit.
+// Returns a descriptive error on the first violation.
 func CheckRegionOrder(events []Event) error {
 	lastCommit := map[int]uint64{}
 	committed := map[int]map[uint64]bool{}
 	lastDrain := map[int]uint64{}
 	for i, e := range events {
 		switch e.Kind {
+		case KindCrash:
+			for core := range lastCommit {
+				if d, ok := lastDrain[core]; ok {
+					lastCommit[core] = d
+				} else {
+					delete(lastCommit, core)
+				}
+			}
 		case KindRegionCommit:
 			if prev, ok := lastCommit[e.Core]; ok && e.Region <= prev {
 				return fmt.Errorf("event %d: core %d commit region %d after %d", i, e.Core, e.Region, prev)
