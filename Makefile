@@ -14,12 +14,15 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 # check is the pre-merge tier: vet, the race-sensitive packages under the
-# race detector, the store differential sweep, the documentation-freshness
-# check, and a perf-harness smoke run (catches BENCH_sim.json pipeline
-# bit-rot without judging the numbers).
+# race detector (compile carries the shared compile cache), the full
+# verifier matrix (semantic region verifier after every pass for every
+# benchmark x level x threshold), the store differential sweep, the
+# documentation-freshness check, and a perf-harness smoke run (catches
+# BENCH_sim.json pipeline bit-rot without judging the numbers).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/machine ./internal/figures
+	$(GO) test -race ./internal/machine ./internal/figures ./internal/compile
+	$(GO) test -run 'TestVerifierMatrix|TestMutation' ./internal/compile
 	$(GO) test -run 'Differential' .
 	$(MAKE) docs-verify
 	$(GO) run ./cmd/capribench -perf -scale 1 -perfout /tmp/BENCH_sim.smoke.json

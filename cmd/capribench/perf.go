@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"capri/internal/compile"
 	"capri/internal/figures"
 )
 
@@ -58,6 +59,11 @@ type perfReport struct {
 	// >= 1.5x.
 	SeedFig8WallSeconds float64 `json:"seed_fig8_wall_seconds,omitempty"`
 	SpeedupVsSeed       float64 `json:"speedup_vs_seed,omitempty"`
+	// Compile-cache accounting per harness: a sweep that compiles the same
+	// (benchmark, level, threshold) twice shows up here as hits shy of the
+	// expected count, entries above it.
+	Fig8CompileCache   compile.CacheStats `json:"fig8_compile_cache"`
+	FigureCompileCache compile.CacheStats `json:"figure_compile_cache"`
 }
 
 // measure times fn, attributing instruction and allocation deltas.
@@ -128,6 +134,8 @@ func runPerf(scale int, withRef bool, seedWall float64, outPath string) error {
 	for _, f := range rep.Figures {
 		rep.TotalWallSeconds += f.WallSeconds
 	}
+	rep.Fig8CompileCache = h8.CompileCacheStats()
+	rep.FigureCompileCache = h.CompileCacheStats()
 
 	if withRef {
 		href := figures.NewHarness(scale)
@@ -161,6 +169,13 @@ func runPerf(scale int, withRef bool, seedWall float64, outPath string) error {
 	for _, f := range rep.Figures {
 		fmt.Printf("  %-10s %8.3fs  %9d inst  %10.0f inst/s  %6.1f mallocs/kinst\n",
 			f.Figure, f.WallSeconds, f.Instructions, f.InstPerSec, f.MallocsPerKInst)
+	}
+	for _, cc := range []struct {
+		name string
+		s    compile.CacheStats
+	}{{"fig8", rep.Fig8CompileCache}, {"fig9-11", rep.FigureCompileCache}} {
+		fmt.Printf("  compile cache %-8s %4d compiles, %4d hits (%d distinct configurations)\n",
+			cc.name, cc.s.Misses, cc.s.Hits, cc.s.Entries)
 	}
 	if rep.RefFig8 != nil {
 		fmt.Printf("  %-10s %8.3fs  (map-backed reference store, same binary)\n", rep.RefFig8.Figure, rep.RefFig8.WallSeconds)

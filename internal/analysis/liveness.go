@@ -20,6 +20,12 @@ func (s RegSet) Has(r isa.Reg) bool { return s&(1<<r) != 0 }
 // Union returns s ∪ t.
 func (s RegSet) Union(t RegSet) RegSet { return s | t }
 
+// Intersect returns s ∩ t.
+func (s RegSet) Intersect(t RegSet) RegSet { return s & t }
+
+// AllRegs is the set of every architectural register.
+const AllRegs = RegSet(1<<isa.NumRegs - 1)
+
 // Count returns the set's cardinality.
 func (s RegSet) Count() int {
 	n := 0
@@ -75,7 +81,7 @@ func (lv *Liveness) instUses(in *isa.Inst, dst []isa.Reg) []isa.Reg {
 //   - OpCall is treated as using SP and defining nothing; registers live
 //     across the call stay live (the callee may read args and the caller's
 //     continuation may read anything preserved).
-func ComputeLiveness(c *CFG) *Liveness { return ComputeLivenessCallAware(c, nil) }
+func ComputeLiveness(c *CFG) *Liveness { return ComputeLivenessWithRet(c, nil, AllRegs) }
 
 // ComputeLivenessCallAware is ComputeLiveness with calls additionally using
 // callUse(callee) — typically the callee's transitive may-read register
@@ -85,6 +91,17 @@ func ComputeLiveness(c *CFG) *Liveness { return ComputeLivenessCallAware(c, nil)
 // dead before the call, which is exactly the blind spot that would let an
 // unsound transformation through.
 func ComputeLivenessCallAware(c *CFG, callUse func(callee int32) RegSet) *Liveness {
+	return ComputeLivenessWithRet(c, callUse, AllRegs)
+}
+
+// ComputeLivenessWithRet generalizes the live-at-return seed: retLive is the
+// set treated as live-out at every OpRet instead of the conservative AllRegs.
+// The semantic region verifier passes the function's interprocedural
+// return-need summary here, so "live at a boundary" means "actually read on
+// some path after the boundary" — in this function, in a callee (via
+// callUse), or in a caller's continuation (via retLive) — rather than "not
+// provably dead before an all-registers return".
+func ComputeLivenessWithRet(c *CFG, callUse func(callee int32) RegSet, retLive RegSet) *Liveness {
 	n := len(c.F.Blocks)
 	lv := &Liveness{
 		LiveIn:  make([]RegSet, n),
@@ -93,7 +110,6 @@ func ComputeLivenessCallAware(c *CFG, callUse func(callee int32) RegSet) *Livene
 		Def:     make([]RegSet, n),
 		callUse: callUse,
 	}
-	const allRegs = RegSet(1<<isa.NumRegs - 1)
 
 	var uses []isa.Reg
 	for _, b := range c.F.Blocks {
@@ -123,7 +139,7 @@ func ComputeLivenessCallAware(c *CFG, callUse func(callee int32) RegSet) *Livene
 			var out RegSet
 			blk := c.F.Blocks[b]
 			if t, ok := blk.Terminator(); ok && t.Op == isa.OpRet {
-				out = allRegs
+				out = retLive
 			}
 			for _, s := range c.Succ[b] {
 				out = out.Union(lv.LiveIn[s])

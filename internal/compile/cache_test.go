@@ -1,0 +1,183 @@
+package compile
+
+import (
+	"sync"
+	"testing"
+
+	"capri/internal/workload"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	b, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Build(1)
+	c := NewCache()
+
+	r1, err := c.Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("second identical compile did not return the cached *Result")
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats after hit: %+v", s)
+	}
+
+	// A different threshold is a different key.
+	opts := DefaultOptions()
+	opts.Threshold = 64
+	if _, err := c.Compile(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	// A structurally different program is a different key.
+	if _, err := c.Compile(b.Build(2), DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 3 || s.Entries != 3 {
+		t.Errorf("stats after distinct keys: %+v", s)
+	}
+}
+
+func TestCacheCanonicalOptionsShareEntries(t *testing.T) {
+	b, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Build(1)
+	c := NewCache()
+
+	// MaxUnroll 0 (automatic) and the explicit automatic value compile to the
+	// same program, so they must share one cache entry; likewise VerifyAfter
+	// never changes output.
+	o1 := DefaultOptions()
+	o2 := DefaultOptions()
+	o2.MaxUnroll = autoMaxUnroll(o2.Threshold)
+	o3 := DefaultOptions()
+	o3.VerifyAfter = VerifyAfterAll
+	for _, o := range []Options{o1, o2, o3} {
+		if _, err := c.Compile(p, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 2 {
+		t.Errorf("canonicalized options did not share an entry: %+v", s)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	b, err := workload.ByName("vacation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Build(1)
+	c := NewCache()
+
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([]*Result, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.Compile(p, DefaultOptions())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Errorf("%d racing compiles produced %d misses, want 1", n, s.Misses)
+	}
+	if s.Hits != n-1 {
+		t.Errorf("hits = %d, want %d", s.Hits, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d got a different *Result", i)
+		}
+	}
+}
+
+func TestCacheInvalidOptionsNotCached(t *testing.T) {
+	b, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Build(1)
+	c := NewCache()
+	if _, err := c.Compile(p, Options{Threshold: 0}); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Misses != 0 {
+		t.Errorf("invalid options polluted the cache: %+v", s)
+	}
+}
+
+// TestCacheMetamorphic is the metamorphic acceptance check: for every
+// workload benchmark, the result a cache hit returns is byte-identical
+// (content-hash equal) to an independent fresh compilation, and every level
+// pipeline is deterministic across two independent runs.
+func TestCacheMetamorphic(t *testing.T) {
+	c := NewCache()
+	for _, b := range workload.All() {
+		p := b.Build(1)
+		for _, l := range Levels {
+			opts := OptionsForLevel(l, DefaultThreshold)
+
+			first, err := c.Compile(p, opts)
+			if err != nil {
+				t.Fatalf("%s %s: %v", b.Name, l, err)
+			}
+			cached, err := c.Compile(b.Build(1), opts)
+			if err != nil {
+				t.Fatalf("%s %s: %v", b.Name, l, err)
+			}
+			if first != cached {
+				t.Errorf("%s %s: identical rebuild missed the cache", b.Name, l)
+			}
+
+			fresh, err := Compile(b.Build(1), opts)
+			if err != nil {
+				t.Fatalf("%s %s: %v", b.Name, l, err)
+			}
+			if fresh.Program.Fingerprint() != cached.Program.Fingerprint() {
+				t.Errorf("%s %s: cached output differs from a fresh compile", b.Name, l)
+			}
+
+			again, err := Compile(b.Build(1), opts)
+			if err != nil {
+				t.Fatalf("%s %s: %v", b.Name, l, err)
+			}
+			if fresh.Program.Fingerprint() != again.Program.Fingerprint() {
+				t.Errorf("%s %s: pipeline is nondeterministic across runs", b.Name, l)
+			}
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	b, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := b.Build(1), b.Build(1)
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Fatal("identical builds fingerprint differently")
+	}
+	p2.Funcs[0].Blocks[0].Insts[0].Imm++
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Fatal("immediate change not reflected in fingerprint")
+	}
+}

@@ -3,7 +3,6 @@ package compile
 import (
 	"fmt"
 
-	"capri/internal/analysis"
 	"capri/internal/isa"
 	"capri/internal/prog"
 )
@@ -28,6 +27,9 @@ type Stats struct {
 	CallsInlined int
 	// Static program shape after compilation.
 	Static prog.StaticStats
+	// Passes holds per-pass run counts, action counts and wall times in
+	// pipeline order (see PassStat); the source of capricc -stats-json.
+	Passes []PassStat
 }
 
 // Result is a compiled program plus its statistics.
@@ -37,133 +39,78 @@ type Result struct {
 	Stats   Stats
 }
 
+// autoMaxUnroll is the automatic MaxUnroll cap for a threshold:
+// max(2, min(16, threshold/40)). Larger proxy buffers admit longer regions,
+// so the cap scales with the threshold; the divisor 40 makes the default
+// threshold 256 admit 6x unrolling while 1024 saturates the cap.
+func autoMaxUnroll(threshold int) int {
+	k := threshold / 40
+	if k < 2 {
+		k = 2
+	}
+	if k > 16 {
+		k = 16
+	}
+	return k
+}
+
 // Compile runs the Capri pass pipeline over a copy of p:
 //
-//	canonicalize → speculative unrolling → region formation →
+//	canonicalize → inline → speculative unrolling → region formation ⇄
 //	checkpoint insertion → checkpoint pruning → checkpoint LICM →
-//	boundary materialization → verification
+//	boundary materialization
 //
-// The input program is not modified. Compile returns an error if the
-// resulting regions could violate the store threshold (which would overflow
-// the back-end proxy buffer) or the program fails structural verification.
+// The input program is not modified. The pass manager verifies structure
+// after every pass and checks the full semantic region contract (threshold,
+// boundary coverage, checkpoint coverage, recovery-slice well-formedness; see
+// Check) on the final program; Options.VerifyAfter additionally runs the
+// semantic verifier after intermediate passes. Compile returns an error if
+// any check fails.
 func Compile(p *prog.Program, opts Options) (*Result, error) {
+	return CompileWithHooks(p, opts, Hooks{})
+}
+
+// CompileWithHooks is Compile with pass-manager observation hooks attached
+// (e.g. capricc -dump-after). Hooks never affect the compiled output.
+func CompileWithHooks(p *prog.Program, opts Options, hooks Hooks) (*Result, error) {
 	if opts.Threshold <= 0 {
 		return nil, fmt.Errorf("compile: threshold must be positive, got %d", opts.Threshold)
 	}
+	if err := validateVerifyAfter(opts); err != nil {
+		return nil, err
+	}
 	if opts.MaxUnroll <= 0 {
-		// Automatic cap: larger proxy buffers admit longer regions.
-		opts.MaxUnroll = opts.Threshold / 40
-		if opts.MaxUnroll < 2 {
-			opts.MaxUnroll = 2
-		}
-		if opts.MaxUnroll > 16 {
-			opts.MaxUnroll = 16
-		}
+		opts.MaxUnroll = autoMaxUnroll(opts.Threshold)
 	}
 	out := p.Clone()
 	res := &Result{Program: out, Options: opts}
-
-	canonicalize(out)
-	if err := out.Verify(); err != nil {
-		return nil, fmt.Errorf("compile: after canonicalize: %w", err)
+	if err := newPipeline(opts).run(out, hooks, &res.Stats); err != nil {
+		return nil, err
 	}
-
-	if opts.Inline && !opts.NaiveRegions {
-		is := inlineCalls(out, opts.InlineMaxInsts)
-		res.Stats.CallsInlined = is.CallsInlined
-		removeDeadFuncs(out)
-		if err := out.Verify(); err != nil {
-			return nil, fmt.Errorf("compile: after inline: %w", err)
-		}
-	}
-
-	if opts.Unroll && !opts.NaiveRegions {
-		us := unrollLoops(out, opts)
-		res.Stats.LoopsUnrolled = us.LoopsUnrolled
-		res.Stats.UnrollCopies = us.CopiesMade
-		if err := out.Verify(); err != nil {
-			return nil, fmt.Errorf("compile: after unroll: %w", err)
-		}
-	}
-
-	// Region formation + checkpoint insertion, iterated: checkpoints are
-	// stores, so inserting them can overflow a region sized with estimates
-	// only. Re-running boundary placement with the real instruction mix
-	// converges quickly (estimates only ever shrink toward reality).
-	const maxRounds = 4
-	for round := 0; ; round++ {
-		for _, f := range out.Funcs {
-			cfg := analysis.BuildCFG(f)
-			lv := analysis.ComputeLiveness(cfg)
-			est := ckptEstimate(cfg, lv)
-			if round > 0 {
-				// Real checkpoints are in the instruction stream now; no
-				// estimate needed.
-				est = nil
-			}
-			placeBoundaries(out, f, opts, est)
-		}
-		if opts.InsertCheckpoints {
-			stripCheckpoints(out)
-			cc := newCkptContext(out)
-			total := 0
-			for fi := range out.Funcs {
-				total += insertCheckpoints(out, fi, cc)
-			}
-			res.Stats.CkptsInserted = total
-		}
-		violated := false
-		for _, f := range out.Funcs {
-			if err := verifyThreshold(f, opts.Threshold); err != nil {
-				violated = true
-				break
-			}
-		}
-		if !violated {
-			break
-		}
-		if round == maxRounds-1 {
-			for _, f := range out.Funcs {
-				if err := verifyThreshold(f, opts.Threshold); err != nil {
-					return nil, fmt.Errorf("compile: %w (after %d rounds)", err, maxRounds)
-				}
-			}
-		}
-	}
-
-	if (opts.Prune || opts.LICM) && opts.InsertCheckpoints {
-		// Both passes reason about where a value may still be consumed, so
-		// their liveness must see through calls via the may-read summaries.
-		cc := newCkptContext(out)
-		callUse := func(callee int32) analysis.RegSet { return cc.mayRead[callee] }
-		if opts.Prune {
-			for _, f := range out.Funcs {
-				res.Stats.CkptsPruned += pruneCheckpoints(f, callUse)
-			}
-		}
-		if opts.LICM {
-			for _, f := range out.Funcs {
-				res.Stats.CkptsHoisted += licmCheckpoints(f, callUse)
-			}
-		}
-	}
-
-	for _, f := range out.Funcs {
-		materializeBoundaries(f)
-	}
-	if err := out.Verify(); err != nil {
-		return nil, fmt.Errorf("compile: after materialize: %w", err)
-	}
-	// Final hard check of the threshold invariant with boundaries in place.
-	for _, f := range out.Funcs {
-		if err := verifyThreshold(f, opts.Threshold); err != nil {
-			return nil, fmt.Errorf("compile: final check: %w", err)
-		}
-	}
-
 	res.Stats.Static = out.Stats()
 	res.Stats.Regions = res.Stats.Static.Boundaries
 	return res, nil
+}
+
+// validateVerifyAfter rejects a VerifyAfter selector that names no pass of
+// this pipeline — a silently ignored selector would report "verified" work
+// that never ran.
+func validateVerifyAfter(opts Options) error {
+	va := opts.VerifyAfter
+	if va == "" || va == VerifyAfterAll {
+		return nil
+	}
+	for _, n := range PassNames(opts) {
+		if n == va {
+			return nil
+		}
+	}
+	for _, n := range AllPassNames {
+		if n == va {
+			return fmt.Errorf("compile: -verify-after=%s: pass not in this pipeline (level/options disable it)", va)
+		}
+	}
+	return fmt.Errorf("compile: unknown pass %q in VerifyAfter (have %v)", va, AllPassNames)
 }
 
 // MustCompile is Compile for tests and examples where failure is a bug.

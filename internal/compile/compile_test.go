@@ -497,3 +497,24 @@ func TestRegionsOfCoversAllBlocks(t *testing.T) {
 		}
 	}
 }
+
+func TestAutoMaxUnrollFormula(t *testing.T) {
+	// Pin the automatic unroll cap to its documented formula
+	// max(2, min(16, threshold/40)): thresholds below 80 floor at 2, the
+	// default 256 admits 6x, and 640+ saturates the cap of 16.
+	cases := map[int]int{8: 2, 40: 2, 64: 2, 80: 2, 128: 3, 256: 6, 512: 12, 640: 16, 1024: 16}
+	for th, want := range cases {
+		if got := autoMaxUnroll(th); got != want {
+			t.Errorf("autoMaxUnroll(%d) = %d, want %d", th, got, want)
+		}
+	}
+
+	// MaxUnroll 0 must compile exactly like the explicit automatic value.
+	p := storeLoop(3)
+	auto := MustCompile(p, DefaultOptions())
+	explicit := DefaultOptions()
+	explicit.MaxUnroll = autoMaxUnroll(explicit.Threshold)
+	if auto.Program.Fingerprint() != MustCompile(p, explicit).Program.Fingerprint() {
+		t.Error("MaxUnroll=0 compiles differently from the explicit automatic cap")
+	}
+}

@@ -26,9 +26,9 @@ type Options struct {
 
 	// MaxUnroll caps the unroll factor. The paper's Figure 2 uses 3; larger
 	// factors blow up code size and hurt the I-side, so production settings
-	// stay small. Zero means automatic: scale with the threshold
-	// (max(2, min(16, threshold/64))), so bigger proxy buffers admit longer
-	// regions.
+	// stay small. Zero means automatic: scale with the threshold as
+	// max(2, min(16, threshold/40)) — see autoMaxUnroll — so bigger proxy
+	// buffers admit longer regions.
 	MaxUnroll int
 
 	// Prune enables optimal checkpoint pruning (§4.4.1).
@@ -51,6 +51,49 @@ type Options struct {
 	Inline bool
 	// InlineMaxInsts bounds inlined callee size (0 = default 48).
 	InlineMaxInsts int
+
+	// VerifyAfter selects extra semantic verification points: "" (final
+	// program only — always checked), a pass name from AllPassNames, or
+	// VerifyAfterAll to check after every pass. Verification never changes
+	// the compiled output, so the compile cache ignores this field.
+	VerifyAfter string
+}
+
+// VerifyAfterAll is the Options.VerifyAfter value that runs the semantic
+// verifier after every pass.
+const VerifyAfterAll = "all"
+
+// canonical returns opts with output-irrelevant and defaulted fields
+// normalized, so Options values that compile to the same program compare
+// equal — the options half of the compile-cache key. Threshold must already
+// be validated positive.
+func (o Options) canonical() Options {
+	o.VerifyAfter = ""
+	if o.NaiveRegions {
+		// Naive mode disables the region-lengthening passes entirely.
+		o.Inline = false
+		o.Unroll = false
+	}
+	if !o.InsertCheckpoints {
+		// No checkpoints: nothing to prune or hoist.
+		o.Prune = false
+		o.LICM = false
+	}
+	if o.Unroll {
+		if o.MaxUnroll <= 0 {
+			o.MaxUnroll = autoMaxUnroll(o.Threshold)
+		}
+	} else {
+		o.MaxUnroll = 0
+	}
+	if o.Inline {
+		if o.InlineMaxInsts <= 0 {
+			o.InlineMaxInsts = defaultInlineMax
+		}
+	} else {
+		o.InlineMaxInsts = 0
+	}
+	return o
 }
 
 // DefaultThreshold is the paper's default region store threshold.

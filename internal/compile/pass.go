@@ -1,0 +1,381 @@
+package compile
+
+import (
+	"fmt"
+	"time"
+
+	"capri/internal/analysis"
+	"capri/internal/prog"
+)
+
+// The pass manager. Compile no longer hardcodes the pipeline: newPipeline
+// builds a pass list from Options, and pipeline.run executes it with uniform
+// bookkeeping — per-pass wall time and action counts into Stats.Passes,
+// structural verification after every pass, and the semantic region verifier
+// (verify.go) after any pass selected by Options.VerifyAfter. Region
+// formation and checkpoint insertion form a fixpoint group: checkpoints are
+// stores, so inserting them can overflow a region sized with estimates only,
+// and the group re-runs (bounded by maxRounds) until the threshold invariant
+// holds.
+
+// Pass names, as accepted by Options.VerifyAfter and capricc's -verify-after
+// / -dump-after flags.
+const (
+	PassCanonicalize = "canonicalize"
+	PassInline       = "inline"
+	PassUnroll       = "unroll"
+	PassRegions      = "regions"
+	PassCkpt         = "ckpt"
+	PassPrune        = "prune"
+	PassLICM         = "licm"
+	PassMaterialize  = "materialize"
+)
+
+// AllPassNames lists every pass the compiler knows, in pipeline order.
+var AllPassNames = []string{
+	PassCanonicalize, PassInline, PassUnroll, PassRegions,
+	PassCkpt, PassPrune, PassLICM, PassMaterialize,
+}
+
+// PassStat reports one pass's activity within a compile.
+type PassStat struct {
+	// Name is the pass name (see AllPassNames).
+	Name string
+	// Runs counts executions: 1 for straight-line passes, up to maxRounds for
+	// the regions/ckpt fixpoint group.
+	Runs int
+	// Changed is the pass's action count summed over runs: boundaries placed,
+	// checkpoints inserted, checkpoints pruned, pairs hoisted, loops
+	// unrolled, calls inlined, blocks split, boundaries materialized.
+	Changed int
+	// WallNS is total wall time across runs, in nanoseconds.
+	WallNS int64
+	// VerifyNS is the time spent verifying this pass's output (structural
+	// check plus the semantic verifier when selected), in nanoseconds.
+	VerifyNS int64
+}
+
+// Hooks observes the pass manager as it runs. Hooks are deliberately not part
+// of Options: Options stays comparable (it is half of the compile-cache key),
+// and observation must never change what the pipeline produces.
+type Hooks struct {
+	// AfterPass fires after every execution of a pass, with the program in
+	// its post-pass state. Passes in the fixpoint group fire once per round.
+	// The program is the live working copy — observe, do not mutate.
+	AfterPass func(pass string, p *prog.Program)
+}
+
+// verifyPhase says how much of the Capri contract (verify.Contract) a pass's
+// output is expected to satisfy.
+type verifyPhase int
+
+const (
+	// phaseFront: canonical form only — regions are not formed yet.
+	phaseFront verifyPhase = iota
+	// phaseRegions: boundary coverage, the threshold invariant, and (when
+	// checkpoints are enabled) checkpoint coverage.
+	phaseRegions
+	// phaseFinal: phaseRegions plus materialized OpBoundary instructions.
+	phaseFinal
+)
+
+// contractFor maps a pass's phase to the semantic contract its output must
+// satisfy under the given options.
+func contractFor(ph verifyPhase, opts Options) Contract {
+	c := Contract{Threshold: opts.Threshold}
+	switch ph {
+	case phaseRegions:
+		c.Boundaries = true
+		c.Checkpoints = opts.InsertCheckpoints
+	case phaseFinal:
+		c.Boundaries = true
+		c.Checkpoints = opts.InsertCheckpoints
+		c.Materialized = true
+	}
+	return c
+}
+
+// passCtx carries the mutable compile state through the pipeline.
+type passCtx struct {
+	p     *prog.Program
+	opts  Options
+	stats *Stats
+	// round is the current iteration of the fixpoint group (0-based); the
+	// regions pass uses checkpoint estimates on round 0 only.
+	round int
+	// cc is the shared interprocedural summary context for prune and licm.
+	// Built lazily on first use after checkpoints are final; both passes must
+	// see the same may-read summaries (the historical single-context
+	// behavior), so it is not invalidated between them.
+	cc *ckptContext
+}
+
+// ckptCtx returns the lazily built shared ckptContext.
+func (pc *passCtx) ckptCtx() *ckptContext {
+	if pc.cc == nil {
+		pc.cc = newCkptContext(pc.p)
+	}
+	return pc.cc
+}
+
+// pass is one named pipeline stage: run mutates pc.p and returns its action
+// count; phase selects the semantic contract checked after it.
+type pass struct {
+	name  string
+	phase verifyPhase
+	run   func(pc *passCtx) (changed int, err error)
+}
+
+// stage groups passes; a fixpoint stage re-runs its passes until the
+// threshold invariant holds (bounded by maxRounds).
+type stage struct {
+	fixpoint bool
+	passes   []pass
+}
+
+// maxRounds bounds the regions/ckpt fixpoint: estimates only ever shrink
+// toward reality, so convergence is fast; four rounds has always sufficed.
+const maxRounds = 4
+
+// pipeline is the compiled-from-Options pass list.
+type pipeline struct {
+	opts   Options
+	stages []stage
+}
+
+// newPipeline builds the pass list for opts. The structure mirrors the
+// paper's §4 ordering: canonicalize → inline → unroll → (regions ⇄ ckpt) →
+// prune → licm → materialize, with option-disabled passes omitted entirely.
+func newPipeline(opts Options) *pipeline {
+	pl := &pipeline{opts: opts}
+	add := func(fixpoint bool, ps ...pass) {
+		pl.stages = append(pl.stages, stage{fixpoint: fixpoint, passes: ps})
+	}
+
+	add(false, pass{PassCanonicalize, phaseFront, func(pc *passCtx) (int, error) {
+		before := blockCount(pc.p)
+		canonicalize(pc.p)
+		return blockCount(pc.p) - before, nil
+	}})
+	if opts.Inline && !opts.NaiveRegions {
+		add(false, pass{PassInline, phaseFront, func(pc *passCtx) (int, error) {
+			is := inlineCalls(pc.p, pc.opts.InlineMaxInsts)
+			pc.stats.CallsInlined = is.CallsInlined
+			removeDeadFuncs(pc.p)
+			return is.CallsInlined, nil
+		}})
+	}
+	if opts.Unroll && !opts.NaiveRegions {
+		add(false, pass{PassUnroll, phaseFront, func(pc *passCtx) (int, error) {
+			us := unrollLoops(pc.p, pc.opts)
+			pc.stats.LoopsUnrolled = us.LoopsUnrolled
+			pc.stats.UnrollCopies = us.CopiesMade
+			return us.LoopsUnrolled, nil
+		}})
+	}
+
+	group := []pass{{PassRegions, phaseRegions, func(pc *passCtx) (int, error) {
+		for _, f := range pc.p.Funcs {
+			cfg := analysis.BuildCFG(f)
+			lv := analysis.ComputeLiveness(cfg)
+			est := ckptEstimate(cfg, lv)
+			if pc.round > 0 {
+				// Real checkpoints are in the instruction stream now; no
+				// estimate needed.
+				est = nil
+			}
+			placeBoundaries(pc.p, f, pc.opts, est)
+		}
+		return boundaryCount(pc.p), nil
+	}}}
+	if opts.InsertCheckpoints {
+		group = append(group, pass{PassCkpt, phaseRegions, func(pc *passCtx) (int, error) {
+			stripCheckpoints(pc.p)
+			cc := newCkptContext(pc.p)
+			total := 0
+			for fi := range pc.p.Funcs {
+				total += insertCheckpoints(pc.p, fi, cc)
+			}
+			pc.stats.CkptsInserted = total
+			return total, nil
+		}})
+	}
+	add(true, group...)
+
+	if opts.Prune && opts.InsertCheckpoints {
+		add(false, pass{PassPrune, phaseRegions, func(pc *passCtx) (int, error) {
+			cc := pc.ckptCtx()
+			callUse := func(callee int32) analysis.RegSet { return cc.mayRead[callee] }
+			n := 0
+			for _, f := range pc.p.Funcs {
+				n += pruneCheckpoints(f, callUse)
+			}
+			pc.stats.CkptsPruned = n
+			return n, nil
+		}})
+	}
+	if opts.LICM && opts.InsertCheckpoints {
+		add(false, pass{PassLICM, phaseRegions, func(pc *passCtx) (int, error) {
+			cc := pc.ckptCtx()
+			callUse := func(callee int32) analysis.RegSet { return cc.mayRead[callee] }
+			n := 0
+			for _, f := range pc.p.Funcs {
+				n += licmCheckpoints(f, callUse)
+			}
+			pc.stats.CkptsHoisted = n
+			return n, nil
+		}})
+	}
+	add(false, pass{PassMaterialize, phaseFinal, func(pc *passCtx) (int, error) {
+		for _, f := range pc.p.Funcs {
+			materializeBoundaries(f)
+		}
+		return boundaryCount(pc.p), nil
+	}})
+	return pl
+}
+
+// names returns the pipeline's pass names in execution order.
+func (pl *pipeline) names() []string {
+	var out []string
+	for _, sg := range pl.stages {
+		for _, ps := range sg.passes {
+			out = append(out, ps.name)
+		}
+	}
+	return out
+}
+
+// PassNames returns the names of the passes Compile would run for opts, in
+// order. Useful for validating -verify-after/-dump-after style selectors.
+func PassNames(opts Options) []string { return newPipeline(opts).names() }
+
+// run executes the pipeline over p (mutating it), recording per-pass stats
+// into st. Verification between passes is uniform: the structural check runs
+// after every pass; the semantic verifier runs after the passes selected by
+// opts.VerifyAfter, and always after materialize — the pipeline's output
+// contract is not optional. For the fixpoint group the semantic check is
+// deferred to convergence (mid-round states may legitimately overflow the
+// threshold; that is why the group iterates).
+func (pl *pipeline) run(p *prog.Program, hooks Hooks, st *Stats) error {
+	pc := &passCtx{p: p, opts: pl.opts, stats: st}
+	idx := map[string]int{}
+	record := func(name string) *PassStat {
+		i, ok := idx[name]
+		if !ok {
+			i = len(st.Passes)
+			idx[name] = i
+			st.Passes = append(st.Passes, PassStat{Name: name})
+		}
+		return &st.Passes[i]
+	}
+
+	for _, sg := range pl.stages {
+		if !sg.fixpoint {
+			for _, ps := range sg.passes {
+				if err := pl.runOne(pc, ps, hooks, record, true); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		for pc.round = 0; ; pc.round++ {
+			for _, ps := range sg.passes {
+				if err := pl.runOne(pc, ps, hooks, record, false); err != nil {
+					return err
+				}
+			}
+			if err := checkThreshold(p, pl.opts.Threshold); err == nil {
+				break
+			} else if pc.round == maxRounds-1 {
+				return fmt.Errorf("compile: %w (after %d rounds)", err, maxRounds)
+			}
+		}
+		// Converged: now the group's semantic post-conditions must hold.
+		for _, ps := range sg.passes {
+			if err := pl.verifyAfter(pc, ps, record); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runOne executes a single pass: time it, record stats, structurally verify,
+// fire hooks, and (when semantic is set) run the selected semantic checks.
+func (pl *pipeline) runOne(pc *passCtx, ps pass, hooks Hooks, record func(string) *PassStat, semantic bool) error {
+	stat := record(ps.name)
+	start := time.Now()
+	changed, err := ps.run(pc)
+	stat.Runs++
+	stat.Changed += changed
+	stat.WallNS += time.Since(start).Nanoseconds()
+	if err != nil {
+		return fmt.Errorf("compile: %s: %w", ps.name, err)
+	}
+
+	vstart := time.Now()
+	if err := pc.p.Verify(); err != nil {
+		stat.VerifyNS += time.Since(vstart).Nanoseconds()
+		return fmt.Errorf("compile: after %s: %w", ps.name, err)
+	}
+	stat.VerifyNS += time.Since(vstart).Nanoseconds()
+
+	if hooks.AfterPass != nil {
+		hooks.AfterPass(ps.name, pc.p)
+	}
+	if semantic {
+		return pl.verifyAfter(pc, ps, record)
+	}
+	return nil
+}
+
+// verifyAfter runs the semantic region verifier after ps when selected by
+// Options.VerifyAfter ("all" or the pass name) or when ps closes the pipeline
+// (phaseFinal: the output contract always holds or Compile fails).
+func (pl *pipeline) verifyAfter(pc *passCtx, ps pass, record func(string) *PassStat) error {
+	va := pl.opts.VerifyAfter
+	if !(va == VerifyAfterAll || va == ps.name || ps.phase == phaseFinal) {
+		return nil
+	}
+	stat := record(ps.name)
+	start := time.Now()
+	err := Check(pc.p, contractFor(ps.phase, pl.opts))
+	stat.VerifyNS += time.Since(start).Nanoseconds()
+	if err != nil {
+		return fmt.Errorf("compile: after %s: %w", ps.name, err)
+	}
+	return nil
+}
+
+// checkThreshold runs the threshold invariant over every function.
+func checkThreshold(p *prog.Program, threshold int) error {
+	for _, f := range p.Funcs {
+		if err := verifyThreshold(f, threshold); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// blockCount counts basic blocks across the program.
+func blockCount(p *prog.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += len(f.Blocks)
+	}
+	return n
+}
+
+// boundaryCount counts boundary blocks across the program.
+func boundaryCount(p *prog.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.BoundaryAt {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,382 @@
+package compile
+
+import (
+	"fmt"
+
+	"capri/internal/analysis"
+	"capri/internal/isa"
+	"capri/internal/prog"
+)
+
+// The semantic region verifier: an independent checker for the Capri
+// contract the compiled program must uphold for whole-system persistence to
+// be sound (DESIGN.md invariants 3–5), not just structural well-formedness.
+// It is runnable after any pass (capricc -verify-after), and the pass manager
+// always runs it on the final program.
+//
+// The interesting part is checkpoint coverage. Instead of trusting the
+// insertion pass's own dataflow, the verifier runs the *forward* dual: a
+// register's checkpoint slot is "stale" once the register is redefined and
+// "fresh" again at its next OpCkpt. At every region boundary, every register
+// that some path after the boundary actually reads before writing must be
+// fresh — or reconstructible by that boundary's recovery slice from fresh
+// leaves. The analysis is interprocedural: calls inject the callee's
+// stale-at-return summary (computed to fixpoint over the call graph), and a
+// function's own returns must leave nothing stale that any caller
+// continuation reads (the retNeed summary). Function entries seed with the
+// empty stale set: callers checkpoint everything a callee may read before
+// the call, which the caller-side checks enforce.
+//
+// "Actually reads" is deliberately tighter than plain liveness: plain
+// liveness treats every register as live at a Ret (the callee-saves-nothing
+// contract), which is the right conservatism for *inserting* checkpoints but
+// would flag scratch registers a callee clobbers and nobody reads. The
+// verifier therefore uses ComputeLivenessWithRet with the function's retNeed
+// summary at returns and callee may-read summaries at calls.
+
+// Contract describes which parts of the Capri compilation contract a program
+// is expected to satisfy at a given point in the pipeline. The zero value
+// checks structure and canonical form only.
+type Contract struct {
+	// Threshold is the region store budget, checked when Boundaries is set.
+	Threshold int
+	// Boundaries requires region coverage: every mandatory boundary block
+	// (function entry, loop headers, sync blocks and their successors,
+	// return sites) is flagged, and no path through a region exceeds
+	// Threshold store-class instructions (checkpoint stores included).
+	Boundaries bool
+	// Checkpoints requires checkpoint coverage of live-outs at every
+	// boundary and return, plus recovery-slice well-formedness.
+	Checkpoints bool
+	// Materialized requires an OpBoundary instruction at index 0 of every
+	// boundary block and nowhere else.
+	Materialized bool
+}
+
+// FinalContract is the contract the pipeline's output must satisfy under
+// opts — what Compile always enforces before returning.
+func FinalContract(opts Options) Contract { return contractFor(phaseFinal, opts) }
+
+// Check runs the semantic region verifier over p against the contract.
+// Diagnostics name the offending function and block.
+func Check(p *prog.Program, c Contract) error {
+	if err := p.Verify(); err != nil {
+		return fmt.Errorf("verify: structure: %w", err)
+	}
+	if err := checkCanonical(p); err != nil {
+		return err
+	}
+	if c.Materialized {
+		if err := checkMaterialized(p); err != nil {
+			return err
+		}
+	}
+	if c.Boundaries {
+		if err := checkBoundaryCoverage(p); err != nil {
+			return err
+		}
+		if err := checkThreshold(p, c.Threshold); err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+	}
+	if c.Checkpoints {
+		if err := checkSlices(p); err != nil {
+			return err
+		}
+		if err := checkCheckpointCoverage(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkCanonical verifies canonical form: every synchronization instruction
+// sits alone in its block (after an optional materialized boundary) and every
+// return site is at a block start.
+func checkCanonical(p *prog.Program) error {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			base := 0
+			if len(b.Insts) > 0 && b.Insts[0].Op == isa.OpBoundary {
+				base = 1
+			}
+			for i := base; i < len(b.Insts); i++ {
+				in := &b.Insts[i]
+				if !in.IsMandatoryBoundary() || in.IsTerminator() {
+					continue
+				}
+				if i != base {
+					return fmt.Errorf("verify: func %s: b%d: sync %s at index %d, not at block start", f.Name, b.ID, in, i)
+				}
+				// After the sync only its checkpoint stores (of the value the
+				// sync defines) and the terminator may follow.
+				for j := i + 1; j < len(b.Insts); j++ {
+					if b.Insts[j].Op == isa.OpCkpt || b.Insts[j].IsTerminator() {
+						continue
+					}
+					return fmt.Errorf("verify: func %s: b%d: sync %s not alone in its block", f.Name, b.ID, in)
+				}
+			}
+		}
+	}
+	for _, rs := range p.RetSites {
+		if rs.Index != 0 {
+			return fmt.Errorf("verify: func %s: return site b%d:%d not at a block start",
+				p.Funcs[rs.Func].Name, rs.Block, rs.Index)
+		}
+	}
+	return nil
+}
+
+// checkMaterialized verifies that OpBoundary instructions exactly mirror the
+// BoundaryAt flags: index 0 of every boundary block, nowhere else.
+func checkMaterialized(p *prog.Program) error {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.BoundaryAt && (len(b.Insts) == 0 || b.Insts[0].Op != isa.OpBoundary) {
+				return fmt.Errorf("verify: func %s: boundary block b%d does not start with an OpBoundary instruction", f.Name, b.ID)
+			}
+			for i := range b.Insts {
+				if b.Insts[i].Op != isa.OpBoundary {
+					continue
+				}
+				if i != 0 {
+					return fmt.Errorf("verify: func %s: b%d: OpBoundary mid-block at index %d", f.Name, b.ID, i)
+				}
+				if !b.BoundaryAt {
+					return fmt.Errorf("verify: func %s: b%d: OpBoundary in a non-boundary block", f.Name, b.ID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkBoundaryCoverage verifies that every mandatory region entry carries a
+// boundary: function entries, loop headers, sync blocks and their
+// successors, and return-site blocks (paper §4.1).
+func checkBoundaryCoverage(p *prog.Program) error {
+	for _, f := range p.Funcs {
+		cfg := analysis.BuildCFG(f)
+		for id := range mandatoryBoundaries(p, f, cfg.LoopHeaders()) {
+			if !f.Blocks[id].BoundaryAt {
+				return fmt.Errorf("verify: func %s: b%d must carry a region boundary (mandatory region entry)", f.Name, id)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSlices verifies recovery-slice well-formedness: slices live only on
+// boundary blocks, contain only re-executable instructions, and end by
+// defining exactly the register they reconstruct.
+func checkSlices(p *prog.Program) error {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if len(b.RecoverySlices) == 0 {
+				continue
+			}
+			if !b.BoundaryAt {
+				return fmt.Errorf("verify: func %s: b%d: recovery slices on a non-boundary block", f.Name, b.ID)
+			}
+			for r, slice := range b.RecoverySlices {
+				if len(slice) == 0 {
+					return fmt.Errorf("verify: func %s: b%d: empty recovery slice for r%d", f.Name, b.ID, r)
+				}
+				for i := range slice {
+					if !slice[i].IsReexecutable() {
+						return fmt.Errorf("verify: func %s: b%d: recovery slice for r%d contains non-re-executable %s",
+							f.Name, b.ID, r, &slice[i])
+					}
+				}
+				if d, ok := slice[len(slice)-1].Def(); !ok || d != r {
+					return fmt.Errorf("verify: func %s: b%d: recovery slice for r%d does not end by defining r%d",
+						f.Name, b.ID, r, r)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sliceLeaves returns the registers a recovery slice reads from checkpoint
+// slots: used before any slice instruction defines them.
+func sliceLeaves(slice []isa.Inst) analysis.RegSet {
+	var defined, leaves analysis.RegSet
+	var uses []isa.Reg
+	for i := range slice {
+		uses = slice[i].Uses(uses[:0])
+		for _, u := range uses {
+			if !defined.Has(u) {
+				leaves.Add(u)
+			}
+		}
+		if d, ok := slice[i].Def(); ok {
+			defined.Add(d)
+		}
+	}
+	return leaves
+}
+
+// staleSets holds the converged forward stale-slot dataflow.
+type staleSets struct {
+	in  [][]analysis.RegSet // stale at block entry, [func][block]
+	out [][]analysis.RegSet // stale at block exit
+	ret []analysis.RegSet   // stale at return, per function (callee summary)
+}
+
+// staleTransfer pushes a stale set through one block: defs make a register
+// stale, checkpoints make it fresh, calls inject the callee's stale-at-return
+// summary.
+func staleTransfer(b *prog.Block, s analysis.RegSet, ret []analysis.RegSet) analysis.RegSet {
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		switch {
+		case in.Op == isa.OpCkpt:
+			s.Remove(in.Ra)
+		case in.Op == isa.OpCall:
+			s = s.Union(ret[in.Callee])
+		default:
+			if d, ok := in.Def(); ok {
+				s.Add(d)
+			}
+		}
+	}
+	return s
+}
+
+// staleAnalysis runs the interprocedural stale-slot dataflow to fixpoint.
+// Entry seed is the empty set: thread entries start with registers and
+// checkpoint slots both zeroed, and non-entry functions rely on their
+// callers having checkpointed everything the callee may read (which the
+// caller-side boundary checks enforce).
+func staleAnalysis(p *prog.Program, cc *ckptContext) *staleSets {
+	st := &staleSets{
+		in:  make([][]analysis.RegSet, len(p.Funcs)),
+		out: make([][]analysis.RegSet, len(p.Funcs)),
+		ret: make([]analysis.RegSet, len(p.Funcs)),
+	}
+	for fi, f := range p.Funcs {
+		st.in[fi] = make([]analysis.RegSet, len(f.Blocks))
+		st.out[fi] = make([]analysis.RegSet, len(f.Blocks))
+	}
+	for changed := true; changed; {
+		changed = false
+		for fi, f := range p.Funcs {
+			cfg := cc.cfgs[fi]
+			for _, id := range cfg.RPO {
+				var in analysis.RegSet
+				for _, pr := range cfg.Pred[id] {
+					in = in.Union(st.out[fi][pr])
+				}
+				out := staleTransfer(f.Blocks[id], in, st.ret)
+				if in != st.in[fi][id] || out != st.out[fi][id] {
+					st.in[fi][id], st.out[fi][id] = in, out
+					changed = true
+				}
+			}
+			sr := st.ret[fi]
+			for _, b := range f.Blocks {
+				if t, ok := b.Terminator(); ok && t.Op == isa.OpRet {
+					sr = sr.Union(st.out[fi][b.ID])
+				}
+			}
+			if sr != st.ret[fi] {
+				st.ret[fi] = sr
+				changed = true
+			}
+		}
+	}
+	return st
+}
+
+// verifierLiveness computes the verifier's read-before-write liveness for
+// every function, together with the matching return-need summary vRet
+// (registers some caller continuation actually reads after the callee
+// returns). The insertion pass's summaries are deliberately looser in ways
+// that would make them wrong here: mayRead is flow-insensitive (it includes
+// registers a callee reads only *after* defining them itself), and retNeed
+// inherits plain liveness's all-registers-live-at-Ret conservatism from
+// callers of callers.
+//
+// Context sensitivity matters: a call site must use the callee's pure
+// read-before-write entry summary (entryRead, computed with nothing live at
+// returns), NOT its live-at-entry set under vRet — the latter smuggles a
+// live-through component from *other* call sites into every site. Reads in
+// this caller's own continuation instead flow past the call naturally in the
+// caller's backward dataflow, since calls fall through mid-block and define
+// nothing. Both summaries are monotone from empty seeds, so the mutual
+// fixpoint converges.
+func verifierLiveness(p *prog.Program, cc *ckptContext) ([]*analysis.Liveness, []analysis.RegSet) {
+	entryRead := make([]analysis.RegSet, len(p.Funcs))
+	vRet := make([]analysis.RegSet, len(p.Funcs))
+	lv := make([]*analysis.Liveness, len(p.Funcs))
+	callUse := func(callee int32) analysis.RegSet { return entryRead[callee] }
+	for changed := true; changed; {
+		changed = false
+		for fi, f := range p.Funcs {
+			if e := analysis.ComputeLivenessWithRet(cc.cfgs[fi], callUse, 0).LiveIn[f.Entry]; e != entryRead[fi] {
+				entryRead[fi] = e
+				changed = true
+			}
+		}
+		for fi := range p.Funcs {
+			lv[fi] = analysis.ComputeLivenessWithRet(cc.cfgs[fi], callUse, vRet[fi])
+		}
+		for fi, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Insts {
+					in := &b.Insts[i]
+					if in.Op != isa.OpCall {
+						continue
+					}
+					rs := p.RetSites[in.Imm]
+					after := lv[fi].LiveAt(f, rs.Block, rs.Index)
+					callee := int(in.Callee)
+					if u := vRet[callee].Union(after); u != vRet[callee] {
+						vRet[callee] = u
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return lv, vRet
+}
+
+// checkCheckpointCoverage verifies the core §4.2 contract: at every region
+// boundary, every register actually read on some path after the boundary
+// before being rewritten is either fresh in its checkpoint slot or
+// reconstructible by the boundary's recovery slice from fresh leaves; and no
+// function returns with a stale slot its callers' continuations read.
+func checkCheckpointCoverage(p *prog.Program) error {
+	cc := newCkptContext(p)
+	st := staleAnalysis(p, cc)
+	lv, vRet := verifierLiveness(p, cc)
+	for fi, f := range p.Funcs {
+		vlv := lv[fi]
+		for _, b := range f.Blocks {
+			if b.BoundaryAt {
+				stale := st.in[fi][b.ID]
+				for _, r := range stale.Intersect(vlv.LiveIn[b.ID]).Regs() {
+					slice, ok := b.RecoverySlices[r]
+					if !ok {
+						return fmt.Errorf("verify: func %s: boundary b%d: live register r%d may hold a stale checkpoint slot (no covering checkpoint or recovery slice)",
+							f.Name, b.ID, r)
+					}
+					if bad := sliceLeaves(slice).Intersect(stale); bad != 0 {
+						return fmt.Errorf("verify: func %s: boundary b%d: recovery slice for r%d reads stale leaf slots %v",
+							f.Name, b.ID, r, bad.Regs())
+					}
+				}
+			}
+			if t, ok := b.Terminator(); ok && t.Op == isa.OpRet {
+				if bad := st.out[fi][b.ID].Intersect(vRet[fi]); bad != 0 {
+					return fmt.Errorf("verify: func %s: b%d: returns with stale slots %v that a caller continuation reads",
+						f.Name, b.ID, bad.Regs())
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"capri/internal/isa"
+	"capri/internal/prog"
+	"capri/internal/workload"
+)
+
+// TestVerifierMatrix runs the semantic verifier after every pass for every
+// workload benchmark at every optimization level across small, default and
+// large thresholds. This is the acceptance gate for the whole pipeline: the
+// verifier must be green everywhere without weakening any check.
+func TestVerifierMatrix(t *testing.T) {
+	thresholds := []int{64, 256, 1024}
+	for _, b := range workload.All() {
+		p := b.Build(1)
+		for _, l := range Levels {
+			for _, th := range thresholds {
+				opts := OptionsForLevel(l, th)
+				opts.VerifyAfter = VerifyAfterAll
+				if _, err := Compile(p, opts); err != nil {
+					t.Errorf("%s %s@%d: %v", b.Name, l, th, err)
+				}
+			}
+		}
+	}
+}
+
+// compiledBench compiles one benchmark at the default configuration and
+// returns the output program plus the contract it was compiled under.
+func compiledBench(t *testing.T, name string) (*prog.Program, Contract) {
+	t.Helper()
+	b, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	res, err := Compile(b.Build(1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Program, FinalContract(opts)
+}
+
+func TestMutationDroppedBoundaryRejected(t *testing.T) {
+	p, c := compiledBench(t, "radix")
+	// Drop the first non-entry boundary (flag and marker instruction) and the
+	// verifier must name the function and block. Non-entry, because entry
+	// boundaries are also checked structurally.
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if !b.BoundaryAt || b.ID == f.Entry {
+				continue
+			}
+			b.BoundaryAt = false
+			if len(b.Insts) > 0 && b.Insts[0].Op == isa.OpBoundary {
+				b.Insts = b.Insts[1:]
+			}
+			err := Check(p, c)
+			if err == nil {
+				t.Fatalf("verifier accepted func %s with boundary b%d dropped", f.Name, b.ID)
+			}
+			if !strings.Contains(err.Error(), f.Name) {
+				t.Errorf("diagnostic does not name the function: %v", err)
+			}
+			t.Logf("diagnostic: %v", err)
+			return
+		}
+	}
+	t.Fatal("no non-entry boundary found to drop")
+}
+
+func TestMutationDeletedCheckpointRejected(t *testing.T) {
+	p, c := compiledBench(t, "radix")
+	if err := Check(p, c); err != nil {
+		t.Fatalf("pristine program rejected: %v", err)
+	}
+	// Not every checkpoint is load-bearing under the verifier's tighter
+	// liveness (insertion is deliberately more conservative), but deleting
+	// checkpoints one at a time must trip the verifier on at least one.
+	caught := 0
+	total := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := 0; i < len(b.Insts); i++ {
+				if b.Insts[i].Op != isa.OpCkpt {
+					continue
+				}
+				total++
+				save := b.Insts
+				mut := append(append([]isa.Inst{}, b.Insts[:i]...), b.Insts[i+1:]...)
+				b.Insts = mut
+				if err := Check(p, c); err != nil {
+					caught++
+					if !strings.Contains(err.Error(), "func ") || !strings.Contains(err.Error(), "b") {
+						t.Errorf("diagnostic lacks func/block context: %v", err)
+					}
+					if caught == 1 {
+						t.Logf("diagnostic: %v", err)
+					}
+				}
+				b.Insts = save
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("compiled benchmark has no checkpoints")
+	}
+	if caught == 0 {
+		t.Fatalf("deleting any of %d checkpoints went undetected", total)
+	}
+	t.Logf("%d of %d checkpoint deletions caught", caught, total)
+}
+
+func TestMutationOversizedRegionRejected(t *testing.T) {
+	p, c := compiledBench(t, "radix")
+	// Shrink the contract threshold below what the program was compiled for:
+	// some region must now overflow, and the diagnostic names it.
+	c.Threshold = 1
+	err := Check(p, c)
+	if err == nil {
+		t.Fatal("threshold-1 contract accepted a threshold-256 program")
+	}
+	if !strings.Contains(err.Error(), "threshold") || !strings.Contains(err.Error(), "func ") {
+		t.Errorf("diagnostic lacks threshold/function context: %v", err)
+	}
+	t.Logf("diagnostic: %v", err)
+}
+
+// sliceBench finds a compiled benchmark carrying at least one recovery slice
+// (pruning material exists by construction in the suite).
+func sliceBench(t *testing.T) (*prog.Program, Contract, *prog.Block, isa.Reg) {
+	t.Helper()
+	for _, b := range workload.All() {
+		opts := DefaultOptions()
+		res, err := Compile(b.Build(1), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range res.Program.Funcs {
+			for _, blk := range f.Blocks {
+				for r := range blk.RecoverySlices {
+					return res.Program, FinalContract(opts), blk, r
+				}
+			}
+		}
+	}
+	t.Skip("no benchmark produces recovery slices at the default configuration")
+	return nil, Contract{}, nil, 0
+}
+
+func TestMutationCorruptedSliceRejected(t *testing.T) {
+	p, c, blk, r := sliceBench(t)
+	slice := blk.RecoverySlices[r]
+
+	// A slice that no longer ends by defining its register.
+	bad := append([]isa.Inst{}, slice...)
+	bad[len(bad)-1].Rd = bad[len(bad)-1].Rd + 1
+	blk.RecoverySlices[r] = bad
+	if err := Check(p, c); err == nil {
+		t.Error("slice with wrong final def accepted")
+	} else {
+		t.Logf("diagnostic: %v", err)
+	}
+
+	// An empty slice.
+	blk.RecoverySlices[r] = nil
+	if err := Check(p, c); err == nil {
+		t.Error("empty recovery slice accepted")
+	}
+
+	// A non-re-executable instruction inside the slice.
+	withLoad := append([]isa.Inst{{Op: isa.OpLoad, Rd: slice[len(slice)-1].Rd, Ra: 0}}, slice...)
+	blk.RecoverySlices[r] = withLoad
+	if err := Check(p, c); err == nil {
+		t.Error("slice containing a load accepted")
+	}
+	blk.RecoverySlices[r] = slice
+
+	// Slices may only live on boundary blocks.
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.BoundaryAt || b == blk {
+				continue
+			}
+			b.RecoverySlices = map[isa.Reg][]isa.Inst{r: slice}
+			if err := Check(p, c); err == nil {
+				t.Error("recovery slice on non-boundary block accepted")
+			}
+			b.RecoverySlices = nil
+			return
+		}
+	}
+}
+
+func TestMutationMisplacedBoundaryInstRejected(t *testing.T) {
+	p, c := compiledBench(t, "radix")
+	// An OpBoundary in a non-boundary block violates the materialized
+	// contract.
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.BoundaryAt || len(b.Insts) == 0 {
+				continue
+			}
+			b.Insts = append([]isa.Inst{{Op: isa.OpBoundary}}, b.Insts...)
+			err := Check(p, c)
+			if err == nil {
+				t.Fatal("stray OpBoundary accepted")
+			}
+			t.Logf("diagnostic: %v", err)
+			return
+		}
+	}
+}
+
+func TestVerifyAfterSelectors(t *testing.T) {
+	b, _ := workload.ByName("radix")
+	p := b.Build(1)
+
+	for _, va := range append([]string{"", VerifyAfterAll}, AllPassNames...) {
+		opts := DefaultOptions()
+		opts.VerifyAfter = va
+		switch err := validateVerifyAfter(opts); {
+		case va == PassInline:
+			// Inlining is off in the default pipeline: selecting it must be
+			// rejected as not-in-this-pipeline, not silently ignored.
+			if err == nil || !strings.Contains(err.Error(), "not in this pipeline") {
+				t.Errorf("VerifyAfter=%q: want not-in-pipeline error, got %v", va, err)
+			}
+		case err != nil:
+			t.Errorf("VerifyAfter=%q rejected: %v", va, err)
+		default:
+			if _, err := Compile(p, opts); err != nil {
+				t.Errorf("compile with VerifyAfter=%q: %v", va, err)
+			}
+		}
+	}
+
+	opts := DefaultOptions()
+	opts.VerifyAfter = "nonsense"
+	if _, err := Compile(p, opts); err == nil || !strings.Contains(err.Error(), "unknown pass") {
+		t.Errorf("unknown VerifyAfter selector: got %v", err)
+	}
+}
+
+func TestPassStatsPopulated(t *testing.T) {
+	b, _ := workload.ByName("radix")
+	res := MustCompile(b.Build(1), DefaultOptions())
+	want := PassNames(DefaultOptions())
+	if len(res.Stats.Passes) != len(want) {
+		t.Fatalf("got %d pass stats, want %d (%v)", len(res.Stats.Passes), len(want), want)
+	}
+	for i, ps := range res.Stats.Passes {
+		if ps.Name != want[i] {
+			t.Errorf("pass %d: got %q, want %q", i, ps.Name, want[i])
+		}
+		if ps.Runs == 0 {
+			t.Errorf("pass %q never ran", ps.Name)
+		}
+	}
+	// The fixpoint group passes may run multiple rounds; the straight passes
+	// exactly once.
+	for _, ps := range res.Stats.Passes {
+		switch ps.Name {
+		case PassRegions, PassCkpt:
+		default:
+			if ps.Runs != 1 {
+				t.Errorf("straight pass %q ran %d times", ps.Name, ps.Runs)
+			}
+		}
+	}
+}
+
+func TestCheckZeroContractOnRawProgram(t *testing.T) {
+	// The zero contract (structure + canonical form) accepts a canonicalized
+	// but uncompiled program and rejects a structurally broken one.
+	b, _ := workload.ByName("radix")
+	p := b.Build(1)
+	canonicalize(p)
+	if err := Check(p, Contract{}); err != nil {
+		t.Fatalf("canonical raw program rejected: %v", err)
+	}
+}

@@ -41,6 +41,7 @@ type Harness struct {
 	mu       sync.Mutex
 	baseline map[string]*baselineRun
 	results  map[runKey]Result
+	compiles *compile.Cache
 	instret  atomic.Uint64
 }
 
@@ -65,8 +66,16 @@ func NewHarness(scale int) *Harness {
 		Scale:    scale,
 		baseline: map[string]*baselineRun{},
 		results:  map[runKey]Result{},
+		compiles: compile.NewCache(),
 	}
 }
+
+// CompileCacheStats reports the harness's compile-cache traffic. Every
+// compilation — result-cached figure runs, instrumented runs, racing
+// Prefetch goroutines — goes through one content-addressed cache, so a full
+// Fig8+Fig9 sweep compiles each distinct (program, options) pair exactly
+// once.
+func (h *Harness) CompileCacheStats() compile.CacheStats { return h.compiles.Stats() }
 
 // Instret returns the total instructions simulated through this harness
 // (baseline and Capri runs; cache hits do not re-count). The perf harness
@@ -176,7 +185,7 @@ func (h *Harness) Run(b workload.Benchmark, level compile.Level, threshold int) 
 		return Result{}, err
 	}
 	src := b.Build(h.Scale)
-	res, err := compile.Compile(src, compile.OptionsForLevel(level, threshold))
+	res, err := h.compiles.Compile(src, compile.OptionsForLevel(level, threshold))
 	if err != nil {
 		return Result{}, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
@@ -210,10 +219,12 @@ func (h *Harness) Run(b workload.Benchmark, level compile.Level, threshold int) 
 // given tracer attached and (when collect is set) histogram metrics enabled.
 // It returns the finished machine so callers can inspect its metrics, stats
 // and configuration — the backing for `caprisim -trace-out` / `-metrics`.
-// Instrumented runs are never cached: the tracer makes them side-effecting.
+// Instrumented runs are never result-cached — the tracer makes them
+// side-effecting — but their compilation still goes through the shared
+// compile cache, so re-tracing a configuration never recompiles it.
 func (h *Harness) RunInstrumented(b workload.Benchmark, level compile.Level, threshold int, tr machine.Tracer, collect bool) (*machine.Machine, error) {
 	src := b.Build(h.Scale)
-	res, err := compile.Compile(src, compile.OptionsForLevel(level, threshold))
+	res, err := h.compiles.Compile(src, compile.OptionsForLevel(level, threshold))
 	if err != nil {
 		return nil, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}

@@ -2,6 +2,7 @@ package figures
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -341,7 +342,7 @@ func TestRunCacheHits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1 != r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Error("cached result differs")
 	}
 }
@@ -364,5 +365,45 @@ func TestNVMWritesTableShape(t *testing.T) {
 	}
 	if !(ck > pr) {
 		t.Errorf("ckpt rate not reduced by later levels: %v -> %v", ck, pr)
+	}
+}
+
+func TestSweepCompilesEachConfigurationOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	// A fresh Fig8+Fig9 sweep must compile each distinct
+	// (benchmark, level, threshold) exactly once: Fig8 takes 19 benchmarks x
+	// 2 thresholds at +licm, Fig9 adds 19 x 5 levels at threshold 256, and
+	// the (+licm, 256) column is shared -- 38 + 95 - 19 = 114 distinct
+	// compilations, no matter how the prefetch goroutines race.
+	h := NewHarness(1)
+	if _, err := h.Fig8([]int{64, 256}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Fig9(); err != nil {
+		t.Fatal(err)
+	}
+	nBench := len(workload.All())
+	want := int64(nBench*2 + nBench*5 - nBench)
+	s := h.CompileCacheStats()
+	if s.Misses != want {
+		t.Errorf("sweep compiled %d configurations, want %d", s.Misses, want)
+	}
+	if s.Hits != 0 {
+		t.Errorf("result-cached runs leaked %d compiles into the compile cache", s.Hits)
+	}
+
+	// An instrumented re-run of a swept configuration is a pure cache hit.
+	b, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunInstrumented(b, compile.LevelLICM, 256, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	s2 := h.CompileCacheStats()
+	if s2.Misses != want || s2.Hits != 1 {
+		t.Errorf("instrumented re-run: misses %d hits %d, want %d/1", s2.Misses, s2.Hits, want)
 	}
 }
