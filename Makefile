@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check docs-verify bench perf perf-seed clean
+.PHONY: all build test check audit docs-verify bench perf perf-seed clean
 
 all: build
 
@@ -24,8 +24,19 @@ check:
 	$(GO) test -race ./internal/machine ./internal/figures ./internal/compile
 	$(GO) test -run 'TestVerifierMatrix|TestMutation' ./internal/compile
 	$(GO) test -run 'Differential' .
+	$(MAKE) audit
 	$(MAKE) docs-verify
 	$(GO) run ./cmd/capribench -perf -scale 1 -perfout /tmp/BENCH_sim.smoke.json
+
+# audit runs the online Fig. 7 invariant auditor over the full crash
+# machinery: the 104-program progen crash sweep and the 19-benchmark suite,
+# every run observed end-to-end (run -> crash -> recovery replay -> resume).
+# Any violated provenance invariant fails with the per-line event chain.
+# The mutation tests prove the auditor actually bites (seeded protocol
+# corruptions each produce a violation).
+audit:
+	$(GO) test -run 'TestAuditProgenCrashSweep|TestAuditBenchmarks' .
+	$(GO) test -run 'TestMutation' ./internal/audit
 
 # docs-verify re-runs the stall-attribution tables (deterministic simulator,
 # fixed workload scale) and byte-compares them against the marked blocks in

@@ -12,6 +12,8 @@
 //	capribench -perf             # time the sweeps, write BENCH_sim.json
 //	capribench -explain          # stall-attribution tables (cycle ledger)
 //	capribench -explain -verify EXPERIMENTS.md   # diff tables vs the docs
+//	capribench -audit            # run the suite under the Fig. 7 auditor
+//	capribench -audit -record-out records/       # plus per-benchmark run records
 package main
 
 import (
@@ -39,8 +41,16 @@ func main() {
 		seedWall = flag.Float64("seedwall", 0, "with -perf, record this externally measured seed-binary `capribench -fig 8` wall-clock (seconds); see `make perf-seed`")
 		explain  = flag.Bool("explain", false, "print the stall-attribution tables (where the Capri-vs-baseline cycles went)")
 		verify   = flag.String("verify", "", "with -explain, diff the tables against the marked blocks in this file instead of printing")
+		auditAll = flag.Bool("audit", false, "run every benchmark under the online Fig. 7 invariant auditor; exit non-zero on any violation")
+		recDir   = flag.String("record-out", "", "with -audit, write per-benchmark capri/run-record/v1 files into this directory")
+		auditTh  = flag.Int("threshold", 256, "region store threshold (with -audit)")
 	)
 	flag.Parse()
+
+	if *auditAll {
+		check(runAudit(*scale, *auditTh, *recDir))
+		return
+	}
 
 	if *perf {
 		check(runPerf(*scale, *perfRef, *seedWall, *perfOut))

@@ -6,7 +6,16 @@
 // Usage:
 //
 //	capricrash -bench genome -points 25 -threshold 64 [-scale 1]
+//	capricrash -bench genome -audit              # Fig. 7 auditor on every run
+//	capricrash -bench genome -audit -record-out crash.json
 //	capricrash -fuzz 100 [-threads 2]   # random-program campaign
+//
+// With -audit, every crashed run is observed end-to-end (run → crash →
+// recovery replay → resumption) by the online Fig. 7 invariant auditor; any
+// violation fails the campaign with the offending per-line event chain. With
+// -record-out, the capri/run-record/v1 provenance record of the first
+// violating run — or, if the sweep is clean, the last crash point — is
+// written for offline inspection with capriinspect.
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"os"
 	"reflect"
 
+	"capri/internal/audit"
 	"capri/internal/compile"
 	"capri/internal/machine"
 	"capri/internal/progen"
@@ -32,11 +42,13 @@ func main() {
 		threads   = flag.Int("threads", 1, "threads for generated programs (with -fuzz)")
 		barriers  = flag.Bool("barriers", false, "generate SPMD programs with barrier episodes (with -fuzz)")
 		seed      = flag.Uint64("seed", 1, "starting seed for -fuzz")
+		auditRun  = flag.Bool("audit", false, "attach the online Fig. 7 invariant auditor to every crashed run")
+		recordOut = flag.String("record-out", "", "write the capri/run-record/v1 record of the first violating (else last) crash run")
 	)
 	flag.Parse()
 
 	if *fuzz > 0 {
-		runFuzz(*fuzz, *seed, *threads, *threshold, *points, *barriers)
+		runFuzz(*fuzz, *seed, *threads, *threshold, *points, *barriers, *auditRun)
 		return
 	}
 
@@ -74,10 +86,29 @@ func main() {
 		step = 1
 	}
 	ok, failed := 0, 0
+	var events uint64
 	for crashAt := step; crashAt < total; crashAt += step {
 		m, err := machine.New(res.Program, cfg)
 		if err != nil {
 			fatal(err)
+		}
+		// Provenance tap for this crash run: the flight recorder preserves
+		// per-line event chains; the auditor checks Fig. 7 invariants online
+		// across the crash and the recovery replay.
+		var (
+			flight *audit.FlightRecorder
+			aud    *audit.Auditor
+			tap    audit.Sink
+		)
+		if *auditRun || *recordOut != "" {
+			flight = audit.NewFlightRecorder(audit.DefaultRecorderCap)
+			tap = flight
+			if *auditRun {
+				aud = audit.NewAuditor(m.AuditOptions())
+				aud.AttachRecorder(flight)
+				tap = audit.Tee(flight, aud)
+			}
+			m.SetTap(tap)
 		}
 		if err := m.RunUntil(crashAt); err != nil {
 			fatal(fmt.Errorf("crash@%d: %w", crashAt, err))
@@ -89,7 +120,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		r, rep, err := machine.Recover(img)
+		var r *machine.Machine
+		var rep *machine.RecoveryReport
+		if tap != nil {
+			r, rep, err = machine.RecoverInstrumented(img, nil, tap)
+		} else {
+			r, rep, err = machine.Recover(img)
+		}
 		if err != nil {
 			fatal(fmt.Errorf("crash@%d recover: %w", crashAt, err))
 		}
@@ -102,6 +139,13 @@ func main() {
 				good = false
 			}
 		}
+		if aud != nil {
+			events += aud.EventsAudited()
+			if err := aud.Err(); err != nil {
+				writeRecord(*recordOut, flight, aud, b.Name, r)
+				fatal(fmt.Errorf("crash@%d %w", crashAt, err))
+			}
+		}
 		if good {
 			ok++
 			fmt.Printf("crash@%-10d OK   (regions redone %d, undone entries %d, slices %d)\n",
@@ -110,17 +154,44 @@ func main() {
 			failed++
 			fmt.Printf("crash@%-10d FAIL (conflicting undos: %d)\n", crashAt, rep.ConflictingUndo)
 		}
+		if flight != nil && crashAt+step >= total {
+			writeRecord(*recordOut, flight, aud, b.Name, r)
+		}
 	}
 	fmt.Printf("\n%d crash points recovered correctly, %d failed\n", ok, failed)
+	if *auditRun {
+		fmt.Printf("auditor: %d provenance events, 0 violations\n", events)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
+// writeRecord dumps the crash run's provenance record (no-op without
+// -record-out).
+func writeRecord(path string, flight *audit.FlightRecorder, aud *audit.Auditor, name string, m *machine.Machine) {
+	if path == "" || flight == nil {
+		return
+	}
+	fp := m.Program().Fingerprint()
+	rr, err := audit.NewRunRecordFull(flight, aud, name,
+		fmt.Sprintf("%x", fp[:]), m.Config(), m.Stats())
+	if err != nil {
+		fatal(err)
+	}
+	if err := rr.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	if path != "-" {
+		fmt.Printf("record: %d events (%d retained) -> %s\n", rr.EventsTotal, rr.EventsKept, path)
+	}
+}
+
 // runFuzz validates n randomly generated structured programs: each is
 // compiled, run for a golden state, crash-swept, and recovered; any
-// divergence is a bug in the compiler or the recovery protocol.
-func runFuzz(n int, seed uint64, threads, threshold, points int, barriers bool) {
+// divergence is a bug in the compiler or the recovery protocol. With audited
+// set, every crashed run is additionally observed by the Fig. 7 auditor.
+func runFuzz(n int, seed uint64, threads, threshold, points int, barriers, audited bool) {
 	gcfg := progen.DefaultConfig()
 	gcfg.Threads = threads
 	gcfg.Barriers = barriers
@@ -134,20 +205,29 @@ func runFuzz(n int, seed uint64, threads, threshold, points int, barriers bool) 
 	cfg.DRAMSize = 1 << 20
 
 	failures := 0
+	var events uint64
 	for i := 0; i < n; i++ {
 		s := seed + uint64(i)*2654435761
 		p := progen.Generate(s, gcfg)
 		opts := compile.OptionsForLevel(compile.LevelLICM, threshold)
-		res, err := recovery.ValidateProgram(p, opts, cfg, points)
+		validate := recovery.ValidateProgram
+		if audited {
+			validate = recovery.ValidateProgramAudited
+		}
+		res, err := validate(p, opts, cfg, points)
 		if err != nil {
 			failures++
 			fmt.Printf("seed %-22d FAIL: %v\n", s, err)
 			continue
 		}
+		events += res.EventsAudited
 		fmt.Printf("seed %-22d OK   (%d crash points, %d regions redone, %d undos, %d slices)\n",
 			s, res.Points, res.RegionsRedone, res.EntriesUndone, res.SlicesExecuted)
 	}
 	fmt.Printf("\n%d/%d random programs recovered correctly at every crash point\n", n-failures, n)
+	if audited {
+		fmt.Printf("auditor: %d provenance events across all crashed runs\n", events)
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}

@@ -1,0 +1,281 @@
+// Command capriinspect examines capri/run-record/v1 provenance records
+// written by `caprisim -record-out`, `capribench -audit -record-out` and
+// `capricrash -record-out`.
+//
+// Usage:
+//
+//	capriinspect summary run.json            # identity, verdict, event census
+//	capriinspect line 0x1040 run.json        # one cache line's event history
+//	capriinspect regions run.json [core]     # per-region commit/drain timeline
+//	capriinspect diff a.json b.json          # record-vs-record stat diff
+//
+// `line` prints the full retained provenance chain of one cache line — every
+// store, proxy launch/arrival, writeback, drain write, NVM read, and recovery
+// action touching it, in stream order. `regions` reconstructs the region
+// timeline (commit → boundary launch → phase-2 drain) from the same stream.
+// `diff` compares two records' event censuses and machine statistics, for
+// before/after runs of the same workload.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"capri/internal/audit"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
+	case "summary":
+		err = runSummary(args)
+	case "line":
+		err = runLine(args)
+	case "regions":
+		err = runRegions(args)
+	case "diff":
+		err = runDiff(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		err = fmt.Errorf("capriinspect: unknown command %q (have summary, line, regions, diff)", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  capriinspect summary <run.json>
+  capriinspect line <addr> <run.json>
+  capriinspect regions <run.json> [core]
+  capriinspect diff <a.json> <b.json>
+`)
+	os.Exit(2)
+}
+
+func runSummary(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	r, err := audit.ReadRunRecord(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schema       %s\n", r.Schema)
+	if r.Name != "" {
+		fmt.Printf("workload     %s\n", r.Name)
+	}
+	if r.Fingerprint != "" {
+		fmt.Printf("fingerprint  %s\n", r.Fingerprint)
+	}
+	fmt.Printf("events       %d total, %d retained, %d dropped from the ring\n",
+		r.EventsTotal, r.EventsKept, r.Dropped)
+	fmt.Printf("digest       %s  (over the complete stream)\n", r.Digest)
+	switch {
+	case r.Audit == nil || !r.Audit.Enabled:
+		fmt.Printf("audit        not run\n")
+	case r.Audit.Violations == 0:
+		fmt.Printf("audit        ok: %d events, 0 violations\n", r.Audit.Events)
+	default:
+		fmt.Printf("audit        FAILED: %d violations in %d events\n", r.Audit.Violations, r.Audit.Events)
+		fmt.Printf("  first rule   %s\n", r.Audit.FirstRule)
+		fmt.Printf("  first detail %s\n", r.Audit.FirstDetail)
+	}
+	events := r.DecodedEvents()
+	if len(events) > 0 {
+		fmt.Printf("cycle span   %d .. %d (retained tail)\n", events[0].Cycle, events[len(events)-1].Cycle)
+	}
+	fmt.Printf("event census (retained tail):\n")
+	for k, n := range censusOf(events) {
+		if n > 0 {
+			fmt.Printf("  %-14s %10d\n", audit.Kind(k), n)
+		}
+	}
+	return nil
+}
+
+func censusOf(events []audit.Event) [audit.NumKinds]uint64 {
+	var census [audit.NumKinds]uint64
+	for _, e := range events {
+		census[e.Kind]++
+	}
+	return census
+}
+
+func runLine(args []string) error {
+	if len(args) != 2 {
+		usage()
+	}
+	addr, err := strconv.ParseUint(args[0], 0, 64)
+	if err != nil {
+		return fmt.Errorf("capriinspect: bad address %q: %w", args[0], err)
+	}
+	r, err := audit.ReadRunRecord(args[1])
+	if err != nil {
+		return err
+	}
+	line := addr &^ 63
+	n := 0
+	for _, e := range r.DecodedEvents() {
+		if !e.HasAddr() || e.Line() != line {
+			continue
+		}
+		n++
+		fmt.Println(e)
+	}
+	if n == 0 {
+		return fmt.Errorf("capriinspect: no retained events touch line %#x (of %d kept; %d dropped from the ring)",
+			line, r.EventsKept, r.Dropped)
+	}
+	fmt.Printf("-- %d events on line %#x\n", n, line)
+	return nil
+}
+
+func runRegions(args []string) error {
+	if len(args) != 1 && len(args) != 2 {
+		usage()
+	}
+	r, err := audit.ReadRunRecord(args[0])
+	if err != nil {
+		return err
+	}
+	core := int64(-1)
+	if len(args) == 2 {
+		c, err := strconv.ParseInt(args[1], 0, 32)
+		if err != nil {
+			return fmt.Errorf("capriinspect: bad core %q: %w", args[1], err)
+		}
+		core = c
+	}
+	n := 0
+	for _, e := range r.DecodedEvents() {
+		if core >= 0 && int64(e.Core) != core {
+			continue
+		}
+		switch e.Kind {
+		case audit.EvCommit, audit.EvDrain, audit.EvCrash,
+			audit.EvRecoveryRedo, audit.EvRecoveryUndo, audit.EvRecoveryDone:
+			n++
+			fmt.Println(e)
+		case audit.EvLaunch, audit.EvBackArrive:
+			if e.Flags.Has(audit.FlagBoundary) {
+				n++
+				fmt.Println(e)
+			}
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("capriinspect: no region-lifecycle events retained")
+	}
+	fmt.Printf("-- %d region-lifecycle events\n", n)
+	return nil
+}
+
+func runDiff(args []string) error {
+	if len(args) != 2 {
+		usage()
+	}
+	a, err := audit.ReadRunRecord(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := audit.ReadRunRecord(args[1])
+	if err != nil {
+		return err
+	}
+	if a.Digest == b.Digest {
+		fmt.Printf("identical event streams (digest %s)\n", a.Digest)
+	} else {
+		fmt.Printf("event streams differ\n")
+	}
+	if a.EventsTotal != b.EventsTotal {
+		fmt.Printf("events_total  %d -> %d (%+d)\n", a.EventsTotal, b.EventsTotal,
+			int64(b.EventsTotal)-int64(a.EventsTotal))
+	}
+	ca, cb := censusOf(a.DecodedEvents()), censusOf(b.DecodedEvents())
+	for k := audit.Kind(0); k < audit.NumKinds; k++ {
+		if ca[k] != cb[k] {
+			fmt.Printf("census %-14s %10d -> %10d (%+d)\n", k, ca[k], cb[k], int64(cb[k])-int64(ca[k]))
+		}
+	}
+	diffs, err := diffStats(a.Stats, b.Stats)
+	if err != nil {
+		return err
+	}
+	if len(diffs) == 0 {
+		fmt.Printf("machine statistics identical\n")
+		return nil
+	}
+	fmt.Printf("machine statistics (%d fields differ):\n", len(diffs))
+	for _, d := range diffs {
+		fmt.Printf("  %-24s %14.6g -> %14.6g (%+g)\n", d.path, d.a, d.b, d.b-d.a)
+	}
+	return nil
+}
+
+type statDiff struct {
+	path string
+	a, b float64
+}
+
+// diffStats compares the numeric leaves of two opaque stats payloads by
+// dotted path, so capriinspect needs no knowledge of the machine.Stats
+// shape and keeps working as counters are added.
+func diffStats(a, b json.RawMessage) ([]statDiff, error) {
+	if a == nil || b == nil {
+		return nil, nil
+	}
+	var va, vb any
+	if err := json.Unmarshal(a, &va); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(b, &vb); err != nil {
+		return nil, err
+	}
+	la, lb := map[string]float64{}, map[string]float64{}
+	flatten("", va, la)
+	flatten("", vb, lb)
+	paths := map[string]bool{}
+	for p := range la {
+		paths[p] = true
+	}
+	for p := range lb {
+		paths[p] = true
+	}
+	var out []statDiff
+	for p := range paths {
+		if la[p] != lb[p] {
+			out = append(out, statDiff{p, la[p], lb[p]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case float64:
+		out[prefix] = x
+	case map[string]any:
+		for k, val := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, val, out)
+		}
+	case []any:
+		for i, val := range x {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), val, out)
+		}
+	}
+}

@@ -7,6 +7,8 @@
 //	caprisim -bench water-spatial -threshold 256 [-scale 1]
 //	caprisim -bench genome -trace-out trace.json   # Chrome/Perfetto trace
 //	caprisim -bench genome -metrics                # occupancy histograms
+//	caprisim -bench genome -audit                  # online Fig. 7 invariant auditor
+//	caprisim -bench genome -record-out run.json    # provenance run record (capriinspect)
 //	caprisim -file prog.casm    # simulate a text program instead
 //	caprisim -config            # print the paper's Table 1 configuration
 package main
@@ -17,6 +19,7 @@ import (
 	"os"
 
 	"capri/internal/asm"
+	"capri/internal/audit"
 	"capri/internal/compile"
 	"capri/internal/figures"
 	"capri/internal/machine"
@@ -36,6 +39,8 @@ func main() {
 		file      = flag.String("file", "", "simulate a .casm text program instead of a benchmark")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto)")
 		metrics   = flag.Bool("metrics", false, "collect and print occupancy/latency histograms")
+		auditRun  = flag.Bool("audit", false, "run the online Fig. 7 invariant auditor; exit non-zero on any violation")
+		recordOut = flag.String("record-out", "", "write a capri/run-record/v1 provenance record (\"-\" for stdout; inspect with capriinspect)")
 	)
 	flag.Parse()
 
@@ -82,7 +87,7 @@ func main() {
 	var s machine.Stats
 	var norm float64
 	var hist *machine.Metrics
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *metrics || *auditRun || *recordOut != "" {
 		// Instrumented path: run the machine directly with a recorder and/or
 		// histogram collection attached (the cached harness path cannot carry
 		// per-run instrumentation).
@@ -92,13 +97,53 @@ func main() {
 			rec = trace.NewRecorder(0)
 			tr = trace.MachineTracer{R: rec}
 		}
-		m, err := h.RunInstrumented(b, level, *threshold, tr, *metrics)
+		// The provenance tap: a bounded flight recorder feeds the run record,
+		// and the auditor checks every event online.
+		var (
+			flight *audit.FlightRecorder
+			aud    *audit.Auditor
+			tap    func(*machine.Machine) audit.Sink
+		)
+		if *recordOut != "" || *auditRun {
+			tap = func(m *machine.Machine) audit.Sink {
+				flight = audit.NewFlightRecorder(audit.DefaultRecorderCap)
+				if !*auditRun {
+					return flight
+				}
+				aud = audit.NewAuditor(m.AuditOptions())
+				aud.AttachRecorder(flight)
+				return audit.Tee(flight, aud)
+			}
+		}
+		m, err := h.RunTapped(b, level, *threshold, tr, tap, *metrics)
 		if err != nil {
 			fatal(err)
 		}
 		s = m.Stats()
 		norm = float64(s.Cycles) / float64(base)
 		hist = m.Metrics()
+		if *recordOut != "" {
+			fp := m.Program().Fingerprint()
+			rr, err := audit.NewRunRecordFull(flight, aud, b.Name,
+				fmt.Sprintf("%x", fp[:]), m.Config(), m.Stats())
+			if err != nil {
+				fatal(err)
+			}
+			if err := rr.WriteFile(*recordOut); err != nil {
+				fatal(err)
+			}
+			if *recordOut != "-" {
+				fmt.Printf("record             %d events (%d retained) -> %s\n",
+					rr.EventsTotal, rr.EventsKept, *recordOut)
+			}
+		}
+		if aud != nil {
+			if err := aud.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "audit FAILED after %d events: %v\n", aud.EventsAudited(), err)
+				os.Exit(1)
+			}
+			fmt.Printf("audit              ok: %d provenance events, 0 violations\n", aud.EventsAudited())
+		}
 		if rec != nil {
 			f, err := os.Create(*traceOut)
 			if err != nil {

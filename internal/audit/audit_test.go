@@ -1,0 +1,244 @@
+package audit
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+const (
+	testLat  = 40 // proxy-path latency for the window mirror
+	testAddr = uint64(0x100000)
+)
+
+func testOpts() Options { return Options{ProxyLatency: testLat, Windows: true} }
+
+// feed runs a stream through recorder+auditor (recorder first, as wired in
+// the machine) and returns both.
+func feed(t *testing.T, events []Event) (*FlightRecorder, *Auditor) {
+	t.Helper()
+	rec := NewFlightRecorder(0)
+	aud := NewAuditor(testOpts())
+	aud.AttachRecorder(rec)
+	sink := Tee(rec, aud)
+	for _, e := range events {
+		sink.Tap(e)
+	}
+	return rec, aud
+}
+
+// legalStoreLife is the complete legal lifecycle of one persisted store:
+// issue, commit, launch (data then marker), arrival, drain, redo write.
+func legalStoreLife() []Event {
+	return []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 1, Region: 1, Val: 7, Val2: 0},
+		{Kind: EvCommit, Core: 0, Cycle: 12, Region: 1},
+		{Kind: EvLaunch, Core: 0, Cycle: 12, Addr: testAddr, Seq: 1, Val: 12},
+		{Kind: EvLaunch, Core: 0, Cycle: 20, Region: 1, Val: 20, Flags: FlagBoundary},
+		{Kind: EvBackArrive, Core: 0, Cycle: 52, Addr: testAddr, Seq: 1, Val: 52, Flags: FlagValid},
+		{Kind: EvBackArrive, Core: 0, Cycle: 60, Region: 1, Val: 60, Flags: FlagBoundary},
+		{Kind: EvDrain, Core: 0, Cycle: 76, Region: 1, Val: testAddr, Val2: testAddr, Count: 1},
+		{Kind: EvDrainWrite, Core: 0, Cycle: 76, Addr: testAddr, Seq: 1, Region: 1, Val: 7, Flags: FlagApplied},
+	}
+}
+
+func TestAuditorLegalLifecycle(t *testing.T) {
+	_, aud := feed(t, legalStoreLife())
+	if err := aud.Err(); err != nil {
+		t.Fatalf("legal stream flagged: %v", err)
+	}
+	if aud.EventsAudited() != uint64(len(legalStoreLife())) {
+		t.Fatalf("audited %d events, fed %d", aud.EventsAudited(), len(legalStoreLife()))
+	}
+}
+
+// TestAuditorLegalWritebackThenStaleDrain pins the legitimate stale-drain
+// case: a dirty writeback persists the line first, the back-end entry is
+// invalidated on the scan... but an entry that already drained stale is
+// correctly *dropped* by the sequence guard — applied=false must pass.
+func TestAuditorLegalStaleDropped(t *testing.T) {
+	events := []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 1, Region: 1, Val: 7},
+		{Kind: EvCommit, Core: 0, Cycle: 12, Region: 1},
+		{Kind: EvLaunch, Core: 0, Cycle: 12, Addr: testAddr, Seq: 1, Val: 12},
+		{Kind: EvLaunch, Core: 0, Cycle: 20, Region: 1, Val: 20, Flags: FlagBoundary},
+		{Kind: EvBackArrive, Core: 0, Cycle: 52, Addr: testAddr, Seq: 1, Val: 52, Flags: FlagValid},
+		{Kind: EvBackArrive, Core: 0, Cycle: 60, Region: 1, Val: 60, Flags: FlagBoundary},
+		// A newer writeback lands before phase 2 books the region.
+		{Kind: EvWriteback, Core: 0, Cycle: 70, Addr: testAddr, Seq: 9},
+		{Kind: EvWritebackWord, Core: 0, Cycle: 70, Addr: testAddr, Seq: 9, Val: 11, Flags: FlagApplied},
+		// The drain's redo write is correctly rejected by the guard.
+		{Kind: EvDrain, Core: 0, Cycle: 90, Region: 1, Val: testAddr, Val2: testAddr, Count: 1},
+		{Kind: EvDrainWrite, Core: 0, Cycle: 90, Addr: testAddr, Seq: 1, Region: 1, Val: 7},
+	}
+	_, aud := feed(t, events)
+	if err := aud.Err(); err != nil {
+		t.Fatalf("legal guarded drop flagged: %v", err)
+	}
+}
+
+func TestAuditorCommitOrder(t *testing.T) {
+	events := []Event{
+		{Kind: EvCommit, Core: 0, Cycle: 5, Region: 1},
+		{Kind: EvCommit, Core: 0, Cycle: 9, Region: 3}, // skipped region 2
+	}
+	_, aud := feed(t, events)
+	vs := aud.Violations()
+	if len(vs) == 0 || vs[0].Rule != "commit-order" {
+		t.Fatalf("want commit-order violation, got %v", vs)
+	}
+}
+
+func TestAuditorCrashRecoveryLegal(t *testing.T) {
+	// A committed-but-undrained region is replayed; a second, uncommitted
+	// store is undone. Execution resumes and the next region commits.
+	const a2 = testAddr + 64
+	events := []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 1, Region: 1, Val: 7, Val2: 3},
+		{Kind: EvCommit, Core: 0, Cycle: 12, Region: 1},
+		// Open-region store whose effect a dirty writeback persisted early.
+		{Kind: EvStore, Core: 0, Cycle: 14, Addr: a2, Seq: 2, Region: 2, Val: 8, Val2: 4},
+		{Kind: EvWriteback, Core: 0, Cycle: 30, Addr: a2 &^ 63, Seq: 2},
+		{Kind: EvWritebackWord, Core: 0, Cycle: 30, Addr: a2, Seq: 2, Val: 8, Flags: FlagApplied},
+		{Kind: EvCrash, Cycle: 40},
+		{Kind: EvRecoveryRedoWrite, Core: 0, Addr: testAddr, Seq: 1, Region: 1, Val: 7, Flags: FlagApplied},
+		{Kind: EvRecoveryRedo, Core: 0, Region: 1},
+		{Kind: EvRecoveryUndo, Core: 0, Addr: a2, Seq: 2, Val: 4, Flags: FlagApplied},
+		{Kind: EvRecoveryDone, Count: 1},
+		// Resumed execution re-runs the interrupted region.
+		{Kind: EvStore, Core: 0, Cycle: 4, Addr: a2, Seq: 3, Region: 2, Val: 8, Val2: 4},
+		{Kind: EvCommit, Core: 0, Cycle: 6, Region: 2},
+	}
+	_, aud := feed(t, events)
+	if err := aud.Err(); err != nil {
+		t.Fatalf("legal crash/recovery stream flagged: %v", err)
+	}
+}
+
+func TestAuditorUndoGuardMismatch(t *testing.T) {
+	events := []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 5, Region: 1, Val: 7, Val2: 3},
+		{Kind: EvCrash, Cycle: 40},
+		// NVM never held any version >= FirstSeq, yet the undo claims it
+		// rewrote NVM.
+		{Kind: EvRecoveryUndo, Core: 0, Addr: testAddr, Seq: 5, Val: 3, Flags: FlagApplied},
+	}
+	_, aud := feed(t, events)
+	vs := aud.Violations()
+	if len(vs) == 0 || vs[0].Rule != "undo-guard-mismatch" {
+		t.Fatalf("want undo-guard-mismatch, got %v", vs)
+	}
+}
+
+func TestAuditorShadowDivergence(t *testing.T) {
+	events := []Event{
+		{Kind: EvWritebackWord, Core: 0, Cycle: 10, Addr: testAddr, Seq: 4, Val: 9, Flags: FlagApplied},
+		// The NVM word claims a value the shadow never saw written.
+		{Kind: EvNVMRead, Core: 0, Cycle: 50, Addr: testAddr, Seq: 4, Val: 10, Val2: 10},
+	}
+	_, aud := feed(t, events)
+	vs := aud.Violations()
+	if len(vs) == 0 || vs[0].Rule != "nvm-shadow-divergence" {
+		t.Fatalf("want nvm-shadow-divergence, got %v", vs)
+	}
+}
+
+func TestRecorderRingAndDigest(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Tap(Event{Kind: EvStore, Seq: uint64(i)})
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("total %d dropped %d, want 10/6", r.Total(), r.Dropped())
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("kept %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(6+i) {
+			t.Fatalf("event %d has seq %d, want %d (oldest-first order)", i, e.Seq, 6+i)
+		}
+	}
+	// The digest covers all ten events: replaying only the kept four
+	// produces a different digest.
+	r2 := NewFlightRecorder(4)
+	for _, e := range ev {
+		r2.Tap(e)
+	}
+	if r.Digest() == r2.Digest() {
+		t.Fatal("digest ignored evicted events")
+	}
+	// Identical full streams produce identical digests.
+	r3 := NewFlightRecorder(2)
+	for i := 0; i < 10; i++ {
+		r3.Tap(Event{Kind: EvStore, Seq: uint64(i)})
+	}
+	if r.Digest() != r3.Digest() {
+		t.Fatal("digest depends on ring capacity")
+	}
+}
+
+func TestRecorderChainFor(t *testing.T) {
+	rec, _ := feed(t, legalStoreLife())
+	chain := rec.ChainFor(testAddr)
+	// store, data launch, data arrival, drain (range covers the line),
+	// drain write = 5 events on the line.
+	if len(chain) != 5 {
+		t.Fatalf("chain has %d events, want 5: %v", len(chain), chain)
+	}
+	if got := rec.ChainFor(testAddr + 4096); len(got) != 0 {
+		t.Fatalf("unrelated line has %d chained events", len(got))
+	}
+	// Region chain: store, commit, marker launch, marker arrival, drain,
+	// drain write (data launches/arrivals carry no region field).
+	reg := rec.ChainForRegion(0, 1)
+	if len(reg) != 6 {
+		t.Fatalf("region chain has %d events, want 6: %v", len(reg), reg)
+	}
+}
+
+func TestRunRecordRoundTrip(t *testing.T) {
+	rec, aud := feed(t, legalStoreLife())
+	r := NewRunRecord(rec, aud)
+	r.Name = "unit"
+	r.Fingerprint = "deadbeef"
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRunRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest != r.Digest || back.Name != "unit" || back.EventsTotal != r.EventsTotal {
+		t.Fatalf("round trip mangled header: %+v", back)
+	}
+	dec := back.DecodedEvents()
+	if len(dec) != len(legalStoreLife()) {
+		t.Fatalf("decoded %d events, want %d", len(dec), len(legalStoreLife()))
+	}
+	for i, e := range dec {
+		if e != legalStoreLife()[i] {
+			t.Fatalf("event %d mangled: got %+v want %+v", i, e, legalStoreLife()[i])
+		}
+	}
+	if back.Audit == nil || !back.Audit.Enabled || back.Audit.Violations != 0 {
+		t.Fatalf("audit summary mangled: %+v", back.Audit)
+	}
+}
+
+func TestKindAndFlagNames(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		back, ok := KindFromString(k.String())
+		if !ok || back != k {
+			t.Fatalf("kind %d does not round-trip through %q", k, k.String())
+		}
+	}
+	f := FlagMerged | FlagValid | FlagApplied
+	if back := FlagsFromString(f.String()); back != f {
+		t.Fatalf("flags %q round-tripped to %q", f, back)
+	}
+	if FlagsFromString("-") != 0 {
+		t.Fatal("empty flags did not round-trip")
+	}
+}

@@ -1,0 +1,527 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options configure the Auditor's model of the machine it is checking.
+type Options struct {
+	// ProxyLatency is the proxy path latency in cycles — the monitoring
+	// window mirror needs it to reproduce expiry times exactly.
+	ProxyLatency uint64
+	// Windows is true when the §5.3.2 machinery is active (Capri mode
+	// without the NoScanInvalidate ablation): the auditor then mirrors the
+	// monitoring window and checks arrival valid-bits against it.
+	Windows bool
+}
+
+// Violation is one detected protocol violation.
+type Violation struct {
+	Rule   string  // stable rule name (see DESIGN.md §4e)
+	Detail string  // human-readable specifics
+	Index  uint64  // 0-based position of the offending event in the stream
+	Event  Event   // the offending event
+	Chain  []Event // per-line provenance for the offending line (recorder attached)
+}
+
+// Error renders the violation with its event chain.
+func (v Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: rule %s violated at event %d: %s\n  event: %s",
+		v.Rule, v.Index, v.Detail, v.Event)
+	if len(v.Chain) > 0 {
+		fmt.Fprintf(&b, "\n  event chain (%d events):", len(v.Chain))
+		for _, e := range v.Chain {
+			fmt.Fprintf(&b, "\n    %s", e)
+		}
+	}
+	return b.String()
+}
+
+// storeRec is the auditor's record of one issued store: the provenance an
+// entry's drained redo (and undone undo) must match.
+type storeRec struct {
+	core   int32
+	addr   uint64
+	region uint64
+	undo   uint64
+	redo   uint64
+}
+
+type seqVal struct {
+	seq uint64
+	val uint64
+}
+
+type winEntry struct {
+	expiry uint64
+	seq    uint64
+}
+
+// maxKeptViolations bounds the stored violation list; further violations
+// are counted but not retained (the first one is what matters — later ones
+// are usually cascade noise from the same root cause).
+const maxKeptViolations = 16
+
+// Auditor is an online checker of the Fig. 7 protocol invariants. It
+// maintains a shadow of every piece of persistence-relevant state the
+// machine mutates — the NVM word versions, the monitoring windows, the
+// per-core commit/drain watermarks, and the set of issued-but-undrained
+// stores — and asserts on every event that the machine's behavior matches
+// what the protocol allows:
+//
+//   - commit-order: per-core region commits are strictly consecutive.
+//   - drain-before-commit / drain-order: a region drains only after its
+//     commit marker, and drains are monotone per core.
+//   - drain-unknown-store / drain-wrong-region: every drained redo matches
+//     an issued store (same address, sequence, and value) of exactly the
+//     drained region — i.e. every drained redo has a matching undo.
+//   - seq-guard-mismatch: every NVM write's applied/dropped outcome equals
+//     the sequence-guard prediction from the shadow; in particular a stale
+//     redo must never persist over newer data.
+//   - window-missed-invalidation / window-spurious-invalidation: a data
+//     entry arriving at the back-end inside a live monitoring window whose
+//     sequence is not newer must have its valid-bit unset, and only then.
+//   - stale-nvm-read / nvm-shadow-divergence: a load served from NVM may
+//     return data older than the architectural value only while a pending
+//     (undrained) store explains the gap, and the NVM word must equal the
+//     shadow rebuilt from the event stream.
+//   - replay-order / replay-drained-region / replay-uncommitted-region:
+//     recovery replays committed regions in commit order, never a region
+//     that already drained, never one that never committed.
+//   - undo-unknown-store / undo-open-region / undo-guard-mismatch:
+//     recovery rolls back exactly the interrupted region's stores, with the
+//     undo images captured at issue, under the FirstSeq guard.
+//
+// The auditor must observe the machine from birth (attach the tap before
+// the first instruction) and, for crash tests, stay attached across
+// Crash/Recover so its shadow state carries over. Events arriving for a
+// recovery the auditor did not see the crash of are ignored.
+type Auditor struct {
+	opt Options
+	rec *FlightRecorder // optional; fills Violation.Chain
+
+	idx     uint64 // events consumed
+	lastSeq uint64 // newest store sequence seen
+
+	nvm    map[uint64]seqVal   // shadow NVM word versions
+	window map[uint64]winEntry // monitoring-window mirror (identical across cores)
+
+	stores map[uint64]*storeRec // pending (undrained) stores by global sequence
+	byAddr map[uint64][]uint64  // word address -> pending store sequences
+	order  map[int32][]uint64   // per-core pending sequences in issue order
+
+	lastCommit map[int32]uint64
+	lastDrain  map[int32]uint64
+
+	crashed       bool
+	commitAtCrash map[int32]uint64
+	drainAtCrash  map[int32]uint64
+	lastReplay    map[int32]uint64
+
+	violations []Violation
+	total      uint64 // all violations, including unretained ones
+}
+
+// NewAuditor returns an online auditor with the given model options.
+func NewAuditor(opt Options) *Auditor {
+	return &Auditor{
+		opt:        opt,
+		nvm:        map[uint64]seqVal{},
+		window:     map[uint64]winEntry{},
+		stores:     map[uint64]*storeRec{},
+		byAddr:     map[uint64][]uint64{},
+		order:      map[int32][]uint64{},
+		lastCommit: map[int32]uint64{},
+		lastDrain:  map[int32]uint64{},
+	}
+}
+
+// AttachRecorder links a flight recorder whose retained events fill each
+// violation's per-line chain. Tee the recorder *before* the auditor so the
+// chain includes the offending event.
+func (a *Auditor) AttachRecorder(r *FlightRecorder) { a.rec = r }
+
+// Violations returns the retained violations in detection order.
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// ViolationCount returns the total number of violations detected,
+// including ones beyond the retention cap.
+func (a *Auditor) ViolationCount() uint64 { return a.total }
+
+// Err returns nil when no invariant was violated, or an error describing
+// the first violation (with its event chain).
+func (a *Auditor) Err() error {
+	if len(a.violations) == 0 {
+		return nil
+	}
+	v := a.violations[0]
+	if a.total > 1 {
+		return fmt.Errorf("%s\n  (+%d further violations)", v.Error(), a.total-1)
+	}
+	return fmt.Errorf("%s", v.Error())
+}
+
+// EventsAudited returns the number of events consumed.
+func (a *Auditor) EventsAudited() uint64 { return a.idx }
+
+func (a *Auditor) violate(e Event, rule, format string, args ...interface{}) {
+	a.total++
+	if len(a.violations) >= maxKeptViolations {
+		return
+	}
+	v := Violation{Rule: rule, Detail: fmt.Sprintf(format, args...), Index: a.idx, Event: e}
+	if a.rec != nil {
+		if e.HasAddr() {
+			v.Chain = a.rec.ChainFor(e.Line())
+		} else {
+			v.Chain = a.rec.ChainForRegion(e.Core, e.Region)
+		}
+	}
+	a.violations = append(a.violations, v)
+}
+
+func (a *Auditor) shadow(addr uint64) seqVal { return a.nvm[addr] }
+
+// Tap consumes one event, updating the shadow model and checking the
+// invariants that fire on it.
+func (a *Auditor) Tap(e Event) {
+	switch e.Kind {
+	case EvStore:
+		a.onStore(e)
+	case EvCommit:
+		a.onCommit(e)
+	case EvLaunch:
+		a.onLaunch(e)
+	case EvBackArrive:
+		a.onArrive(e)
+	case EvWritebackWord:
+		a.onWritebackWord(e)
+	case EvDrain:
+		a.onDrain(e)
+	case EvDrainWrite:
+		a.onDrainWrite(e)
+	case EvNVMRead:
+		a.onNVMRead(e)
+	case EvCrash:
+		a.onCrash(e)
+	case EvRecoveryRedoWrite:
+		a.onReplayWrite(e)
+	case EvRecoveryRedo:
+		a.onReplayMarker(e)
+	case EvRecoveryUndo:
+		a.onUndo(e)
+	case EvRecoveryDone:
+		a.onRecoveryDone(e)
+	}
+	a.idx++
+}
+
+func (a *Auditor) onStore(e Event) {
+	if e.Seq <= a.lastSeq {
+		a.violate(e, "store-seq-monotone", "store sequence %d not above previous %d", e.Seq, a.lastSeq)
+	}
+	a.lastSeq = e.Seq
+	open := a.lastCommit[e.Core] + 1
+	if e.Region != open {
+		a.violate(e, "store-open-region", "store tagged region %d, core %d's open region is %d", e.Region, e.Core, open)
+	}
+	a.stores[e.Seq] = &storeRec{core: e.Core, addr: e.Addr, region: e.Region, undo: e.Val2, redo: e.Val}
+	a.byAddr[e.Addr] = append(a.byAddr[e.Addr], e.Seq)
+	a.order[e.Core] = append(a.order[e.Core], e.Seq)
+}
+
+func (a *Auditor) onCommit(e Event) {
+	if want := a.lastCommit[e.Core] + 1; e.Region != want {
+		a.violate(e, "commit-order", "core %d committed region %d, expected %d", e.Core, e.Region, want)
+	}
+	if e.Region > a.lastCommit[e.Core] {
+		a.lastCommit[e.Core] = e.Region
+	}
+}
+
+func (a *Auditor) onLaunch(e Event) {
+	if e.Flags.Has(FlagBoundary) {
+		if e.Region > a.lastCommit[e.Core] {
+			a.violate(e, "launch-before-commit", "core %d launched marker for region %d above commit watermark %d", e.Core, e.Region, a.lastCommit[e.Core])
+		}
+		return
+	}
+	if s := a.stores[e.Seq]; s == nil || s.core != e.Core || s.addr != e.Addr {
+		a.violate(e, "launch-unknown-store", "launched entry addr %#x seq %d matches no issued store", e.Addr, e.Seq)
+	}
+}
+
+func (a *Auditor) onArrive(e Event) {
+	if e.Flags.Has(FlagBoundary) {
+		return
+	}
+	hit := false
+	if a.opt.Windows {
+		if w, ok := a.window[e.Addr]; ok && e.Val <= w.expiry && e.Seq <= w.seq {
+			hit = true
+		}
+	}
+	valid := e.Flags.Has(FlagValid)
+	if hit && valid {
+		w := a.window[e.Addr]
+		a.violate(e, "window-missed-invalidation",
+			"entry addr %#x seq %d arrived valid at cycle %d inside live window (expiry %d, wb seq %d)",
+			e.Addr, e.Seq, e.Val, w.expiry, w.seq)
+	}
+	if !hit && !valid {
+		a.violate(e, "window-spurious-invalidation",
+			"entry addr %#x seq %d arrived invalid at cycle %d with no matching monitoring window",
+			e.Addr, e.Seq, e.Val)
+	}
+}
+
+func (a *Auditor) onWritebackWord(e Event) {
+	a.checkGuard(e, "writeback")
+	if a.opt.Windows {
+		a.noteWriteback(e.Addr, e.Seq, e.Cycle)
+	}
+}
+
+// noteWriteback mirrors proxy.Path.NoteWriteback exactly — including the
+// refresh rule and the opportunistic prune — so the mirror stays identical
+// to every core's window map (all cores receive identical calls).
+func (a *Auditor) noteWriteback(addr, seq, now uint64) {
+	w, ok := a.window[addr]
+	if !ok || w.seq < seq || w.expiry < now+a.opt.ProxyLatency {
+		a.window[addr] = winEntry{expiry: now + a.opt.ProxyLatency, seq: seq}
+	}
+	if len(a.window) > 4096 {
+		for ad, we := range a.window {
+			if we.expiry < now {
+				delete(a.window, ad)
+			}
+		}
+	}
+}
+
+// checkGuard asserts the NVM write's applied/dropped outcome matches the
+// sequence-guard prediction and folds the write into the shadow.
+func (a *Auditor) checkGuard(e Event, what string) {
+	expected := e.Seq > a.shadow(e.Addr).seq
+	applied := e.Flags.Has(FlagApplied)
+	if applied != expected {
+		if applied {
+			a.violate(e, "seq-guard-mismatch",
+				"stale %s persisted: addr %#x seq %d overwrote shadow seq %d",
+				what, e.Addr, e.Seq, a.shadow(e.Addr).seq)
+		} else {
+			a.violate(e, "seq-guard-mismatch",
+				"%s addr %#x seq %d dropped though shadow holds older seq %d",
+				what, e.Addr, e.Seq, a.shadow(e.Addr).seq)
+		}
+	}
+	if applied {
+		a.nvm[e.Addr] = seqVal{seq: e.Seq, val: e.Val}
+	}
+}
+
+func (a *Auditor) onDrain(e Event) {
+	if e.Region <= a.lastDrain[e.Core] && a.lastDrain[e.Core] != 0 {
+		a.violate(e, "drain-order", "core %d drained region %d after region %d", e.Core, e.Region, a.lastDrain[e.Core])
+	}
+	if e.Region > a.lastCommit[e.Core] {
+		a.violate(e, "drain-before-commit",
+			"core %d drained region %d before its commit marker (commit watermark %d)",
+			e.Core, e.Region, a.lastCommit[e.Core])
+	}
+	a.pruneBelow(e.Core, e.Region)
+	if e.Region > a.lastDrain[e.Core] {
+		a.lastDrain[e.Core] = e.Region
+	}
+}
+
+// pruneBelow retires pending stores of regions strictly below r on one core
+// (their region has fully drained; per-core store order is region-ordered,
+// so the per-core issue queue can be popped from the front).
+func (a *Auditor) pruneBelow(core int32, r uint64) {
+	q := a.order[core]
+	for len(q) > 0 {
+		s := a.stores[q[0]]
+		if s == nil {
+			q = q[1:]
+			continue
+		}
+		if s.region >= r {
+			break
+		}
+		a.dropStore(q[0], s)
+		q = q[1:]
+	}
+	a.order[core] = q
+}
+
+func (a *Auditor) dropStore(seq uint64, s *storeRec) {
+	delete(a.stores, seq)
+	if seqs, ok := a.byAddr[s.addr]; ok {
+		for i, q := range seqs {
+			if q == seq {
+				seqs = append(seqs[:i], seqs[i+1:]...)
+				break
+			}
+		}
+		if len(seqs) == 0 {
+			delete(a.byAddr, s.addr)
+		} else {
+			a.byAddr[s.addr] = seqs
+		}
+	}
+}
+
+// matchStore checks a drained/replayed redo against the issued-store record.
+func (a *Auditor) matchStore(e Event, rule string) {
+	s := a.stores[e.Seq]
+	if s == nil || s.core != e.Core || s.addr != e.Addr || s.redo != e.Val {
+		a.violate(e, rule+"-unknown-store",
+			"redo addr %#x seq %d val %d matches no issued store of core %d",
+			e.Addr, e.Seq, e.Val, e.Core)
+		return
+	}
+	if s.region != e.Region {
+		a.violate(e, rule+"-wrong-region",
+			"redo addr %#x seq %d issued in region %d, drained with region %d",
+			e.Addr, e.Seq, s.region, e.Region)
+	}
+}
+
+func (a *Auditor) onDrainWrite(e Event) {
+	a.matchStore(e, "drain")
+	a.checkGuard(e, "redo")
+}
+
+func (a *Auditor) onNVMRead(e Event) {
+	if sv := a.shadow(e.Addr); sv.seq != e.Seq || sv.val != e.Val {
+		a.violate(e, "nvm-shadow-divergence",
+			"NVM word %#x is (val %d, seq %d), shadow predicts (val %d, seq %d)",
+			e.Addr, e.Val, e.Seq, sv.val, sv.seq)
+	}
+	if e.Val != e.Val2 {
+		// The architectural and persisted values differ: legal only while an
+		// issued-but-undrained store newer than the NVM version explains it.
+		explained := false
+		for _, seq := range a.byAddr[e.Addr] {
+			if seq > e.Seq {
+				explained = true
+				break
+			}
+		}
+		if !explained {
+			a.violate(e, "stale-nvm-read",
+				"NVM read of %#x returned seq %d val %d, architectural val %d, with no pending store explaining the gap",
+				e.Addr, e.Seq, e.Val, e.Val2)
+		}
+	}
+}
+
+func (a *Auditor) onCrash(Event) {
+	a.crashed = true
+	a.commitAtCrash = copyMap(a.lastCommit)
+	a.drainAtCrash = copyMap(a.lastDrain)
+	a.lastReplay = map[int32]uint64{}
+}
+
+func (a *Auditor) onReplayWrite(e Event) {
+	if !a.crashed {
+		return
+	}
+	a.matchStore(e, "replay")
+	if e.Region <= a.drainAtCrash[e.Core] && a.drainAtCrash[e.Core] != 0 {
+		a.violate(e, "replay-drained-region", "recovery replayed redo of region %d, already drained through %d", e.Region, a.drainAtCrash[e.Core])
+	}
+	a.checkGuard(e, "recovery redo")
+}
+
+func (a *Auditor) onReplayMarker(e Event) {
+	if !a.crashed {
+		return
+	}
+	if e.Region <= a.lastReplay[e.Core] && a.lastReplay[e.Core] != 0 {
+		a.violate(e, "replay-order", "core %d replayed region %d after region %d", e.Core, e.Region, a.lastReplay[e.Core])
+	}
+	if e.Region <= a.drainAtCrash[e.Core] && a.drainAtCrash[e.Core] != 0 {
+		a.violate(e, "replay-drained-region", "core %d replayed region %d, already drained through %d", e.Core, e.Region, a.drainAtCrash[e.Core])
+	}
+	if e.Region > a.commitAtCrash[e.Core] {
+		a.violate(e, "replay-uncommitted-region", "core %d replayed region %d above commit watermark %d at crash", e.Core, e.Region, a.commitAtCrash[e.Core])
+	}
+	if e.Region > a.lastReplay[e.Core] {
+		a.lastReplay[e.Core] = e.Region
+	}
+}
+
+func (a *Auditor) onUndo(e Event) {
+	if !a.crashed {
+		return
+	}
+	s := a.stores[e.Seq]
+	if s == nil || s.core != e.Core || s.addr != e.Addr || s.undo != e.Val {
+		a.violate(e, "undo-unknown-store",
+			"undo addr %#x firstseq %d val %d matches no issued store of core %d",
+			e.Addr, e.Seq, e.Val, e.Core)
+	} else if open := a.commitAtCrash[e.Core] + 1; s.region != open {
+		a.violate(e, "undo-open-region",
+			"undone store addr %#x firstseq %d belongs to region %d, not the interrupted region %d",
+			e.Addr, e.Seq, s.region, open)
+	}
+	expected := a.shadow(e.Addr).seq >= e.Seq
+	applied := e.Flags.Has(FlagApplied)
+	if applied != expected {
+		a.violate(e, "undo-guard-mismatch",
+			"undo of addr %#x firstseq %d applied=%v, shadow seq %d predicts %v",
+			e.Addr, e.Seq, applied, a.shadow(e.Addr).seq, expected)
+	}
+	if applied {
+		newSeq := uint64(0)
+		if e.Seq > 0 {
+			newSeq = e.Seq - 1
+		}
+		a.nvm[e.Addr] = seqVal{seq: newSeq, val: e.Val}
+	}
+}
+
+func (a *Auditor) onRecoveryDone(Event) {
+	if !a.crashed {
+		return
+	}
+	// Resume watermarks: each core restarts from the newest durable region —
+	// the larger of what drained before the crash and what recovery replayed.
+	for core := range a.commitAtCrash {
+		a.lastCommit[core] = a.resumePoint(core)
+		a.lastDrain[core] = a.resumePoint(core)
+	}
+	for core := range a.lastReplay {
+		a.lastCommit[core] = a.resumePoint(core)
+		a.lastDrain[core] = a.resumePoint(core)
+	}
+	// Pending stores are gone: committed regions were replayed, the
+	// interrupted region was undone; resumed execution issues fresh ones.
+	a.stores = map[uint64]*storeRec{}
+	a.byAddr = map[uint64][]uint64{}
+	a.order = map[int32][]uint64{}
+	// The recovered machine's proxy paths start with empty windows.
+	a.window = map[uint64]winEntry{}
+	a.crashed = false
+	a.commitAtCrash, a.drainAtCrash, a.lastReplay = nil, nil, nil
+}
+
+func (a *Auditor) resumePoint(core int32) uint64 {
+	r := a.drainAtCrash[core]
+	if lr := a.lastReplay[core]; lr > r {
+		r = lr
+	}
+	return r
+}
+
+func copyMap(m map[int32]uint64) map[int32]uint64 {
+	out := make(map[int32]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package audit
+
+import "testing"
+
+// These are the seeded protocol mutations of the acceptance criteria: each
+// corrupts one step of the Fig. 7 protocol in an otherwise-legal event
+// stream and must produce a reported violation with a non-empty per-line
+// event chain. (The machine-level complement — the unmutated crash sweep
+// and benchmarks auditing clean — lives in the recovery and machine
+// packages and `make audit`.)
+
+func requireViolation(t *testing.T, aud *Auditor, rule string) Violation {
+	t.Helper()
+	vs := aud.Violations()
+	if len(vs) == 0 {
+		t.Fatalf("mutation not detected: no violations")
+	}
+	v := vs[0]
+	if v.Rule != rule {
+		t.Fatalf("first violation rule %q, want %q (%s)", v.Rule, rule, v.Detail)
+	}
+	if len(v.Chain) == 0 {
+		t.Fatalf("violation %q has an empty per-line event chain", v.Rule)
+	}
+	if aud.Err() == nil {
+		t.Fatal("Err() nil despite violation")
+	}
+	return v
+}
+
+// TestMutationDroppedCommitMarker: mutation (a) — the region's commit
+// marker is dropped (never commits, never travels), yet the back-end
+// drains the region's data anyway. The drain must be flagged as preceding
+// its commit marker.
+func TestMutationDroppedCommitMarker(t *testing.T) {
+	events := []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 1, Region: 1, Val: 7},
+		// MUTATION: no EvCommit / marker launch / marker arrival for region 1.
+		{Kind: EvLaunch, Core: 0, Cycle: 12, Addr: testAddr, Seq: 1, Val: 12},
+		{Kind: EvBackArrive, Core: 0, Cycle: 52, Addr: testAddr, Seq: 1, Val: 52, Flags: FlagValid},
+		{Kind: EvDrain, Core: 0, Cycle: 76, Region: 1, Val: testAddr, Val2: testAddr, Count: 1},
+		{Kind: EvDrainWrite, Core: 0, Cycle: 76, Addr: testAddr, Seq: 1, Region: 1, Val: 7, Flags: FlagApplied},
+	}
+	_, aud := feed(t, events)
+	v := requireViolation(t, aud, "drain-before-commit")
+	if v.Event.Kind != EvDrain {
+		t.Fatalf("violation anchored to %s, want %s", v.Event.Kind, EvDrain)
+	}
+	// The chain must include the store whose durability was corrupted.
+	found := false
+	for _, e := range v.Chain {
+		if e.Kind == EvStore && e.Addr == testAddr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("chain lacks the region's store: %v", v.Chain)
+	}
+}
+
+// TestMutationSkippedValidBitClear: mutation (b) — a dirty writeback
+// persists the line with a newer sequence, the back-end scan that should
+// unset the entry's redo valid-bit is skipped, and phase 2 persists the
+// stale redo over the newer data. The sequence-guard shadow must flag the
+// stale redo write.
+func TestMutationSkippedValidBitClear(t *testing.T) {
+	events := []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 5, Region: 1, Val: 7},
+		{Kind: EvCommit, Core: 0, Cycle: 12, Region: 1},
+		{Kind: EvLaunch, Core: 0, Cycle: 12, Addr: testAddr, Seq: 5, Val: 12},
+		{Kind: EvLaunch, Core: 0, Cycle: 20, Region: 1, Val: 20, Flags: FlagBoundary},
+		{Kind: EvBackArrive, Core: 0, Cycle: 52, Addr: testAddr, Seq: 5, Val: 52, Flags: FlagValid},
+		{Kind: EvBackArrive, Core: 0, Cycle: 60, Region: 1, Val: 60, Flags: FlagBoundary},
+		// A newer writeback (seq 10) persists the line...
+		{Kind: EvWriteback, Core: 0, Cycle: 70, Addr: testAddr, Seq: 10},
+		{Kind: EvWritebackWord, Core: 0, Cycle: 70, Addr: testAddr, Seq: 10, Val: 11, Flags: FlagApplied},
+		// MUTATION: the scan skipped the valid-bit clear AND the stale redo
+		// write claims it was applied over the newer data.
+		{Kind: EvDrain, Core: 0, Cycle: 90, Region: 1, Val: testAddr, Val2: testAddr, Count: 1},
+		{Kind: EvDrainWrite, Core: 0, Cycle: 90, Addr: testAddr, Seq: 5, Region: 1, Val: 7, Flags: FlagApplied},
+	}
+	_, aud := feed(t, events)
+	v := requireViolation(t, aud, "seq-guard-mismatch")
+	if v.Event.Kind != EvDrainWrite {
+		t.Fatalf("violation anchored to %s, want %s", v.Event.Kind, EvDrainWrite)
+	}
+}
+
+// TestMutationSuppressedWindowNotification: mutation (c) — a dirty
+// writeback reaches the controller but the monitoring-window notification
+// is suppressed, so an in-flight older entry arrives with its valid-bit
+// still set inside what should be a live window.
+func TestMutationSuppressedWindowNotification(t *testing.T) {
+	events := []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 5, Region: 1, Val: 7},
+		{Kind: EvCommit, Core: 0, Cycle: 12, Region: 1},
+		{Kind: EvLaunch, Core: 0, Cycle: 90, Addr: testAddr, Seq: 5, Val: 90},
+		// Writeback at cycle 100: window over [100, 100+latency] for seqs <= 10.
+		{Kind: EvWriteback, Core: 0, Cycle: 100, Addr: testAddr, Seq: 10},
+		{Kind: EvWritebackWord, Core: 0, Cycle: 100, Addr: testAddr, Seq: 10, Val: 11, Flags: FlagApplied},
+		// MUTATION: the entry arrives at cycle 110 — inside the window, with
+		// an older sequence — but the suppressed notification left it valid.
+		{Kind: EvBackArrive, Core: 0, Cycle: 110, Addr: testAddr, Seq: 5, Val: 110, Flags: FlagValid},
+	}
+	_, aud := feed(t, events)
+	v := requireViolation(t, aud, "window-missed-invalidation")
+	if v.Event.Kind != EvBackArrive {
+		t.Fatalf("violation anchored to %s, want %s", v.Event.Kind, EvBackArrive)
+	}
+	// Control: with the notification delivered, the same arrival invalid is
+	// clean.
+	fixed := append([]Event(nil), events...)
+	last := &fixed[len(fixed)-1]
+	last.Flags = FlagWindowHit // invalid on arrival, window hit
+	_, aud2 := feed(t, fixed)
+	if err := aud2.Err(); err != nil {
+		t.Fatalf("control stream flagged: %v", err)
+	}
+}

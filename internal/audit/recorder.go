@@ -1,0 +1,137 @@
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+)
+
+// DefaultRecorderCap is the default flight-recorder ring capacity. At ~64
+// bytes per event this bounds the recorder near 4 MB regardless of run
+// length.
+const DefaultRecorderCap = 1 << 16
+
+// FlightRecorder keeps the last N provenance events in a ring and a running
+// digest over *all* events seen (dropped ones included), so two runs can be
+// compared for event-stream identity even when the ring wrapped. It answers
+// the debugging question aggregate counters cannot: "what happened to this
+// cache line?"
+type FlightRecorder struct {
+	ring  []Event
+	next  int    // ring write position
+	total uint64 // events seen, including those evicted from the ring
+	h     hash.Hash
+	buf   [48]byte // event wire encoding scratch
+}
+
+// NewFlightRecorder returns a recorder holding the last `cap` events
+// (DefaultRecorderCap when cap <= 0).
+func NewFlightRecorder(cap int) *FlightRecorder {
+	if cap <= 0 {
+		cap = DefaultRecorderCap
+	}
+	return &FlightRecorder{ring: make([]Event, 0, cap), h: sha256.New()}
+}
+
+// Tap records the event.
+func (r *FlightRecorder) Tap(e Event) {
+	r.total++
+	b := r.buf[:0]
+	b = append(b, byte(e.Kind), byte(e.Flags))
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.Core))
+	b = binary.LittleEndian.AppendUint64(b, e.Cycle)
+	b = binary.LittleEndian.AppendUint64(b, e.Addr)
+	b = binary.LittleEndian.AppendUint64(b, e.Seq)
+	b = binary.LittleEndian.AppendUint64(b, e.Region)
+	b = binary.LittleEndian.AppendUint64(b, e.Val)
+	b = binary.LittleEndian.AppendUint64(b, e.Val2)
+	b = binary.LittleEndian.AppendUint32(b, e.Count)
+	r.h.Write(b)
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, e)
+		r.next = len(r.ring) % cap(r.ring)
+		return
+	}
+	r.ring[r.next] = e
+	r.next = (r.next + 1) % len(r.ring)
+}
+
+// Total returns the number of events seen (including evicted ones).
+func (r *FlightRecorder) Total() uint64 { return r.total }
+
+// Dropped returns how many events fell off the ring.
+func (r *FlightRecorder) Dropped() uint64 { return r.total - uint64(len(r.ring)) }
+
+// Digest returns the sha256 over every event seen so far, in order. Two
+// deterministic runs of the same program and config produce identical
+// digests; any divergence in the event stream changes it.
+func (r *FlightRecorder) Digest() [sha256.Size]byte {
+	var d [sha256.Size]byte
+	r.h.Sum(d[:0])
+	return d
+}
+
+// Events returns the retained events, oldest first.
+func (r *FlightRecorder) Events() []Event {
+	out := make([]Event, 0, len(r.ring))
+	if len(r.ring) == cap(r.ring) {
+		out = append(out, r.ring[r.next:]...)
+	}
+	return append(out, r.ring[:r.next]...)
+}
+
+// ChainFor returns the retained events touching the given cache line,
+// oldest first: every address-carrying event on the line, plus region-level
+// drains whose address range covers it.
+func (r *FlightRecorder) ChainFor(line uint64) []Event {
+	line &^= 63
+	var out []Event
+	for _, e := range r.Events() {
+		if eventTouchesLine(e, line) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ChainForRegion returns the retained events of one core's region: its
+// stores, commit, marker launch/arrival, drain and drain writes, and
+// recovery replays.
+func (r *FlightRecorder) ChainForRegion(core int32, region uint64) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Core != core {
+			continue
+		}
+		switch e.Kind {
+		case EvStore, EvCommit, EvDrain, EvDrainWrite, EvRecoveryRedo, EvRecoveryRedoWrite:
+			if e.Region == region {
+				out = append(out, e)
+			}
+		case EvLaunch, EvBackArrive:
+			if e.Flags.Has(FlagBoundary) && e.Region == region {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// KindCounts returns per-kind totals over the retained events.
+func (r *FlightRecorder) KindCounts() [NumKinds]uint64 {
+	var n [NumKinds]uint64
+	for _, e := range r.Events() {
+		n[e.Kind]++
+	}
+	return n
+}
+
+func eventTouchesLine(e Event, line uint64) bool {
+	if e.HasAddr() {
+		return e.Line() == line
+	}
+	if e.Kind == EvDrain && e.Count > 0 {
+		return e.Val&^63 <= line && line <= e.Val2&^63
+	}
+	return false
+}

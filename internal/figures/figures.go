@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"capri/internal/audit"
 	"capri/internal/compile"
 	"capri/internal/machine"
 	"capri/internal/stats"
@@ -223,6 +224,15 @@ func (h *Harness) Run(b workload.Benchmark, level compile.Level, threshold int) 
 // side-effecting — but their compilation still goes through the shared
 // compile cache, so re-tracing a configuration never recompiles it.
 func (h *Harness) RunInstrumented(b workload.Benchmark, level compile.Level, threshold int, tr machine.Tracer, collect bool) (*machine.Machine, error) {
+	return h.RunTapped(b, level, threshold, tr, nil, collect)
+}
+
+// RunTapped is RunInstrumented with a provenance tap (see the audit package)
+// additionally attached before the run — the backing for `caprisim -audit` /
+// `-record-out`. The tap factory receives the freshly built machine (so it
+// can size an auditor from m.AuditOptions()) and returns the sink to attach;
+// either the factory or its result may be nil. Tap and tracer are independent.
+func (h *Harness) RunTapped(b workload.Benchmark, level compile.Level, threshold int, tr machine.Tracer, tap func(*machine.Machine) audit.Sink, collect bool) (*machine.Machine, error) {
 	src := b.Build(h.Scale)
 	res, err := h.compiles.Compile(src, compile.OptionsForLevel(level, threshold))
 	if err != nil {
@@ -238,6 +248,11 @@ func (h *Harness) RunInstrumented(b workload.Benchmark, level compile.Level, thr
 	}
 	if tr != nil {
 		m.SetTracer(tr)
+	}
+	if tap != nil {
+		if s := tap(m); s != nil {
+			m.SetTap(s)
+		}
 	}
 	if collect {
 		m.EnableMetrics()

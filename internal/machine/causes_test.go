@@ -1,10 +1,12 @@
 package machine
 
 import (
+	"reflect"
 	"testing"
 
 	"capri/internal/isa"
 	"capri/internal/prog"
+	"capri/internal/stats"
 )
 
 // stridedStoreProgram stores to n line-strided addresses — a working set that
@@ -128,6 +130,111 @@ func TestStatsCycleByMatchesCycles(t *testing.T) {
 	}
 	if sum != s.Cycles {
 		t.Fatalf("Stats.CycleBy sums to %d, Cycles = %d", sum, s.Cycles)
+	}
+}
+
+// TestCycleLedgerContinuityAcrossRecovery pins metrics continuity across a
+// crash/recover cycle: the pre-crash machine's ledger is coherent at the
+// crash point, the recovered machine's ledger is a fresh epoch that sums
+// exactly to its own cycle count (no pre-crash cycles leak in, none are
+// double-counted), and the two epochs' histograms merge coherently — counts
+// and sums add exactly, min/max form the envelope.
+func TestCycleLedgerContinuityAcrossRecovery(t *testing.T) {
+	cfg := testConfig(8)
+	p := compileFor(t, sumProgram(1500), 8)
+
+	golden, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preMet := m.EnableMetrics()
+	if err := m.RunUntil(golden.Instret() / 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Done() {
+		t.Fatal("program finished before the crash point")
+	}
+	checkLedger(t, m)
+	preStats := m.Stats()
+	var preSum uint64
+	for _, n := range preStats.CycleBy {
+		preSum += n
+	}
+	if preSum != preStats.Cycles {
+		t.Fatalf("pre-crash Stats.CycleBy sums to %d, Cycles = %d", preSum, preStats.Cycles)
+	}
+	preSnap := *preMet // value copy: Crash/recovery must not retroactively mutate the epoch
+
+	img, err := m.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := RecoverTraced(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postMet := r.EnableMetrics()
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, r)
+	postStats := r.Stats()
+	var postSum uint64
+	for _, n := range postStats.CycleBy {
+		postSum += n
+	}
+	if postSum != postStats.Cycles {
+		t.Fatalf("post-recovery Stats.CycleBy sums to %d, Cycles = %d (pre-crash cycles double-counted?)",
+			postSum, postStats.Cycles)
+	}
+	// The recovered epoch re-executes only from the last committed boundary:
+	// its makespan must not include the already-persisted pre-crash work.
+	if postStats.Cycles >= preStats.Cycles+golden.Cycles() {
+		t.Errorf("post-recovery epoch spans %d cycles — more than crash point + full run (%d + %d)",
+			postStats.Cycles, preStats.Cycles, golden.Cycles())
+	}
+	if got, want := r.Output(0), golden.Output(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered output %v, golden %v", got, want)
+	}
+
+	// Histogram merge coherence across the two epochs.
+	pairs := []struct {
+		name      string
+		pre, post *stats.Hist
+	}{
+		{"front-end occupancy", &preSnap.FrontOcc, &postMet.FrontOcc},
+		{"region insts", &preSnap.RegionInsts, &postMet.RegionInsts},
+		{"region stores", &preSnap.RegionStores, &postMet.RegionStores},
+		{"commit latency", &preSnap.CommitLat, &postMet.CommitLat},
+	}
+	for _, pr := range pairs {
+		if pr.pre.Count == 0 || pr.post.Count == 0 {
+			t.Errorf("%s: epoch histogram empty (pre=%d post=%d samples)", pr.name, pr.pre.Count, pr.post.Count)
+			continue
+		}
+		var merged stats.Hist
+		merged.Merge(pr.pre)
+		merged.Merge(pr.post)
+		if merged.Count != pr.pre.Count+pr.post.Count {
+			t.Errorf("%s: merged count %d, want %d+%d", pr.name, merged.Count, pr.pre.Count, pr.post.Count)
+		}
+		if merged.Sum != pr.pre.Sum+pr.post.Sum {
+			t.Errorf("%s: merged sum %d, want %d+%d", pr.name, merged.Sum, pr.pre.Sum, pr.post.Sum)
+		}
+		if merged.Min > pr.pre.Min || merged.Min > pr.post.Min {
+			t.Errorf("%s: merged min %d above an epoch min (%d, %d)", pr.name, merged.Min, pr.pre.Min, pr.post.Min)
+		}
+		if merged.Max < pr.pre.Max || merged.Max < pr.post.Max {
+			t.Errorf("%s: merged max %d below an epoch max (%d, %d)", pr.name, merged.Max, pr.pre.Max, pr.post.Max)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"capri/internal/audit"
 	"capri/internal/isa"
 	"capri/internal/mem"
 	"capri/internal/prog"
@@ -36,6 +37,9 @@ func (m *Machine) Crash() (*CrashImage, error) {
 	}
 	if m.tracer != nil {
 		m.tracer.TraceCrash(m.Cycles())
+	}
+	if m.tap != nil {
+		m.tap.Tap(audit.Event{Kind: audit.EvCrash, Cycle: m.Cycles()})
 	}
 	img := &CrashImage{
 		Prog: m.prog,
@@ -105,10 +109,33 @@ func RecoverTraced(img *CrashImage, tr Tracer, devices ...OutputDevice) (*Machin
 // finished phase 2 deliver their output to the devices during replay —
 // preserving the exactly-once guarantee across the crash (§3.3's I/O story).
 func RecoverAttached(img *CrashImage, devices ...OutputDevice) (*Machine, *RecoveryReport, error) {
+	return recoverWithTap(img, nil, devices...)
+}
+
+// RecoverInstrumented is recovery with full observability: the provenance tap
+// is installed on the rebuilt machine *before* the protocol runs (so the
+// recovery events themselves — redo writes, undos, the done marker — reach an
+// attached Auditor or FlightRecorder, and the tap stays live for resumed
+// execution), and the tracer is installed after replay exactly as
+// RecoverTraced does (the trace shows recovery as one event, not a replay).
+func RecoverInstrumented(img *CrashImage, tr Tracer, tap audit.Sink, devices ...OutputDevice) (*Machine, *RecoveryReport, error) {
+	m, rep, err := recoverWithTap(img, tap, devices...)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.tracer = tr
+	if tr != nil {
+		tr.TraceRecovery(rep.CoresResumed + rep.CoresHalted)
+	}
+	return m, rep, nil
+}
+
+func recoverWithTap(img *CrashImage, tap audit.Sink, devices ...OutputDevice) (*Machine, *RecoveryReport, error) {
 	m, err := New(img.Prog, img.Cfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	m.SetTap(tap)
 	m.devices = append(m.devices, devices...)
 	rep := &RecoveryReport{}
 	m.nvm = img.NVM.Clone()
@@ -137,11 +164,24 @@ func RecoverAttached(img *CrashImage, devices ...OutputDevice) (*Machine, *Recov
 			for _, d := range pending {
 				if d.Valid {
 					rep.EntriesRedone++
-					m.nvm.Write(d.Addr, d.Redo, d.Seq)
+					applied := m.nvm.Write(d.Addr, d.Redo, d.Seq)
+					if m.tap != nil {
+						ev := audit.Event{
+							Kind: audit.EvRecoveryRedoWrite, Core: int32(t),
+							Addr: d.Addr, Seq: d.Seq, Region: e.Region, Val: d.Redo,
+						}
+						if applied {
+							ev.Flags |= audit.FlagApplied
+						}
+						m.tap.Tap(ev)
+					}
 				}
 			}
 			pending = pending[:0]
 			m.applyMarker(t, e)
+			if m.tap != nil {
+				m.tap.Tap(audit.Event{Kind: audit.EvRecoveryRedo, Core: int32(t), Region: e.Region})
+			}
 		}
 		for _, d := range pending {
 			uncommitted = append(uncommitted, undoEntry{e: d, core: t})
@@ -161,6 +201,7 @@ func RecoverAttached(img *CrashImage, devices ...OutputDevice) (*Machine, *Recov
 		}
 		seenAddr[u.e.Addr] = u.core
 		rep.EntriesUndone++
+		applied := false
 		if m.nvm.Peek(u.e.Addr).Seq >= u.e.FirstSeq {
 			// NVM holds the effect of *some* store merged into this entry —
 			// a dirty writeback may have persisted any intermediate version
@@ -172,6 +213,17 @@ func RecoverAttached(img *CrashImage, devices ...OutputDevice) (*Machine, *Recov
 			}
 			m.nvm.Restore(u.e.Addr, u.e.Undo, newSeq)
 			rep.UndoneApplied++
+			applied = true
+		}
+		if m.tap != nil {
+			ev := audit.Event{
+				Kind: audit.EvRecoveryUndo, Core: int32(u.core),
+				Addr: u.e.Addr, Seq: u.e.FirstSeq, Val: u.e.Undo,
+			}
+			if applied {
+				ev.Flags |= audit.FlagApplied
+			}
+			m.tap.Tap(ev)
 		}
 	}
 
@@ -196,6 +248,9 @@ func RecoverAttached(img *CrashImage, devices ...OutputDevice) (*Machine, *Recov
 			}
 		}
 		rep.CoresResumed++
+	}
+	if m.tap != nil {
+		m.tap.Tap(audit.Event{Kind: audit.EvRecoveryDone, Count: uint32(len(m.cores))})
 	}
 	return m, rep, nil
 }

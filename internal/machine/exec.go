@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"capri/internal/audit"
 	"capri/internal/isa"
 	"capri/internal/mem"
 	"capri/internal/prog"
@@ -265,6 +266,7 @@ func (m *Machine) doStore(c *core, addr uint64, val uint64) bool {
 		m.service(c)
 		undo := m.mem.Load(addr)
 		m.seq++
+		mergesBefore := c.front.Merges
 		if !c.front.AddStore(addr, undo, val, m.seq) {
 			// Stall until the next path departure slot frees an entry.
 			stall := c.path.Backlog() + m.cfg.ProxyInterval
@@ -276,9 +278,15 @@ func (m *Machine) doStore(c *core, addr uint64, val uint64) bool {
 			if m.tracer != nil {
 				m.tracer.TraceStall(c.id, c.cycle)
 			}
+			if m.tap != nil {
+				m.tap.Tap(audit.Event{Kind: audit.EvStall, Core: int32(c.id), Cycle: c.cycle})
+			}
 			return false
 		}
 		c.regionStores = true
+		if m.tap != nil {
+			m.tapStore(c, addr, val, undo, c.front.Merges > mergesBefore)
+		}
 		m.mem.Store(addr, val)
 		c.tick(CauseStore, m.storeAccess(c, addr, m.seq)+costStore)
 		return true
@@ -322,11 +330,15 @@ func (m *Machine) doSyncStore(c *core, in *isa.Inst, addr, newVal uint64, rd isa
 	}
 	undo := m.mem.Load(addr)
 	m.seq++
+	mergesBefore := c.front.Merges
 	if !c.front.AddStore(addr, undo, newVal, m.seq) {
 		m.seq--
 		return false
 	}
 	c.regionStores = true
+	if m.tap != nil {
+		m.tapStore(c, addr, newVal, undo, c.front.Merges > mergesBefore)
+	}
 	m.mem.Store(addr, newVal)
 	c.tick(CauseSync, m.storeAccess(c, addr, m.seq)+costDiv)
 	c.dynStores++
@@ -377,7 +389,30 @@ func (m *Machine) commitRegion(c *core, fn, blk, idx int32, force, halt bool) bo
 	if m.tracer != nil {
 		m.tracer.TraceCommit(c.id, c.cycle, c.regionSeq)
 	}
+	if m.tap != nil {
+		ev := audit.Event{Kind: audit.EvCommit, Core: int32(c.id), Cycle: c.cycle, Region: c.regionSeq}
+		if elided {
+			ev.Flags |= audit.FlagElided
+		}
+		if halt {
+			ev.Flags |= audit.FlagHalt
+		}
+		m.tap.Tap(ev)
+	}
 	return true
+}
+
+// tapStore emits the EvStore provenance event for a store that just entered
+// the front-end. The store belongs to the still-open region c.regionSeq+1.
+func (m *Machine) tapStore(c *core, addr, redo, undo uint64, merged bool) {
+	ev := audit.Event{
+		Kind: audit.EvStore, Core: int32(c.id), Cycle: c.cycle,
+		Addr: addr, Seq: m.seq, Region: c.regionSeq + 1, Val: redo, Val2: undo,
+	}
+	if merged {
+		ev.Flags |= audit.FlagMerged
+	}
+	m.tap.Tap(ev)
 }
 
 // commitEmitsDirect moves staged emits straight to the output tape (baseline

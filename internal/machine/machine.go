@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"capri/internal/audit"
 	"capri/internal/cache"
 	"capri/internal/isa"
 	"capri/internal/mem"
@@ -122,16 +123,17 @@ type Machine struct {
 	cores   []*core
 	records []CoreRecord // NVM-resident recovery records
 
-	seq   uint64 // global store sequence
-	steps uint64
-	retired      uint64 // running sum of core instret (crash-point check)
-	haltedCores  int    // running count of halted cores (Done fast path)
+	seq         uint64 // global store sequence
+	steps       uint64
+	retired     uint64 // running sum of core instret (crash-point check)
+	haltedCores int    // running count of halted cores (Done fast path)
 
 	crashed bool
 	fatal   error
 
 	tracer  Tracer
-	metrics *Metrics // nil: histogram collection off
+	tap     audit.Sink // nil: provenance event emission off
+	metrics *Metrics   // nil: histogram collection off
 
 	// devices receive each core's committed output exactly once (§3.3's
 	// open I/O problem: effects are released only when their region's
@@ -157,9 +159,12 @@ func (m *Machine) AttachOutputDevice(d OutputDevice) {
 
 // Tracer receives persistence-relevant events during execution. See the
 // trace package for a ready-made recorder. Nil disables tracing.
+// TraceDrain carries the drained payload alongside the region: the
+// lowest/highest word address among the valid redo entries written and
+// their count (all zero for a data-free marker).
 type Tracer interface {
 	TraceCommit(core int, cycle, region uint64)
-	TraceDrain(core int, cycle, region uint64)
+	TraceDrain(core int, cycle, region uint64, addrLo, addrHi uint64, entries int)
 	TraceWriteback(core int, cycle, addr uint64)
 	TraceStall(core int, cycle uint64)
 	TraceCrash(cycle uint64)
@@ -168,6 +173,51 @@ type Tracer interface {
 
 // SetTracer installs (or removes, with nil) the machine's event tracer.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// SetTap installs (or removes, with nil) the machine's provenance tap: a
+// per-line event stream covering every lifecycle step of the two-phase
+// atomic store (see the audit package). The tap is a strict superset of the
+// Tracer events at word granularity; it is how the flight recorder and the
+// online Fig. 7 auditor observe the machine. Baseline (non-Capri) machines
+// have no persistence protocol to audit, so SetTap is a no-op for them.
+func (m *Machine) SetTap(s audit.Sink) {
+	if !m.cfg.Capri {
+		return
+	}
+	m.tap = s
+	for _, c := range m.cores {
+		c.path.Probe = nil
+		if s == nil {
+			continue
+		}
+		cc := c
+		c.path.Probe = func(e *proxy.Entry, arrives uint64, hit bool) {
+			ev := audit.Event{Kind: audit.EvBackArrive, Core: int32(cc.id), Cycle: cc.cycle, Val: arrives}
+			if e.Kind == proxy.KindBoundary {
+				ev.Flags |= audit.FlagBoundary
+				ev.Region = e.Region
+			} else {
+				ev.Addr, ev.Seq = e.Addr, e.Seq
+				if e.Valid {
+					ev.Flags |= audit.FlagValid
+				}
+				if hit {
+					ev.Flags |= audit.FlagWindowHit
+				}
+			}
+			m.tap.Tap(ev)
+		}
+	}
+}
+
+// AuditOptions returns the audit.Options matching this machine's
+// configuration — the model parameters an Auditor needs to mirror it.
+func (m *Machine) AuditOptions() audit.Options {
+	return audit.Options{
+		ProxyLatency: m.cfg.ProxyLatency,
+		Windows:      m.cfg.Capri && !m.cfg.NoScanInvalidate,
+	}
+}
 
 // New builds a machine for the given compiled program. The program's thread
 // count must not exceed cfg.Cores.

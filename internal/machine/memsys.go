@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"capri/internal/audit"
 	"capri/internal/cache"
 	"capri/internal/isa"
 	"capri/internal/mem"
@@ -35,6 +36,14 @@ func (m *Machine) chargeLoad(c *core, addr uint64) {
 		return
 	}
 	c.tick(CauseLoadNVM, m.cfg.L1Hit+m.cfg.NVMRead/m.cfg.LoadOverlap)
+	if m.tap != nil {
+		wa := mem.WordAddr(addr)
+		w := m.nvm.Peek(wa)
+		m.tap.Tap(audit.Event{
+			Kind: audit.EvNVMRead, Core: int32(c.id), Cycle: c.cycle,
+			Addr: wa, Seq: w.Seq, Val: w.Val, Val2: m.mem.Load(wa),
+		})
+	}
 }
 
 // frontStallCause classifies a front-end-proxy-full stall by its root cause:
@@ -121,8 +130,25 @@ func (m *Machine) controllerWriteback(now uint64, wb *cache.Writeback) {
 		m.metrics.WPQDepth.Record(depth)
 	}
 	m.nvm.Writes++
+	if m.tap != nil {
+		m.tap.Tap(audit.Event{
+			Kind: audit.EvWriteback, Core: int32(wb.Core), Cycle: now,
+			Addr: wb.Line, Seq: wb.Seq,
+		})
+	}
 	for _, w := range wb.Words {
-		m.nvm.Write(w, m.mem.Load(w), wb.Seq)
+		val := m.mem.Load(w)
+		applied := m.nvm.Write(w, val, wb.Seq)
+		if m.tap != nil {
+			ev := audit.Event{
+				Kind: audit.EvWritebackWord, Core: int32(wb.Core), Cycle: now,
+				Addr: w, Seq: wb.Seq, Val: val,
+			}
+			if applied {
+				ev.Flags |= audit.FlagApplied
+			}
+			m.tap.Tap(ev)
+		}
 		if m.cfg.Capri && !m.cfg.NoScanInvalidate {
 			for _, c := range m.cores {
 				c.back.ScanInvalidate(w, wb.Seq)
@@ -194,7 +220,17 @@ func (m *Machine) drainFront(c *core) {
 		if e.Kind == proxy.KindData {
 			c.inflightData++
 		}
-		c.path.Send(e, now)
+		depart := c.path.Send(e, now)
+		if m.tap != nil {
+			ev := audit.Event{Kind: audit.EvLaunch, Core: int32(c.id), Cycle: now, Val: depart}
+			if e.Kind == proxy.KindBoundary {
+				ev.Flags |= audit.FlagBoundary
+				ev.Region = e.Region
+			} else {
+				ev.Addr, ev.Seq = e.Addr, e.Seq
+			}
+			m.tap.Tap(ev)
+		}
 	}
 }
 
@@ -239,7 +275,7 @@ func (m *Machine) scheduleDrain(c *core, now uint64) {
 	if m.metrics != nil && m.cfg.NVMEntryWrite > 0 {
 		// Depth of this core's phase-2 WPQ bank in pending entry-writes,
 		// including the region just booked.
-		m.metrics.DrainQueue.Record((start - now + m.cfg.NVMEntryWrite - 1) / m.cfg.NVMEntryWrite + writes)
+		m.metrics.DrainQueue.Record((start-now+m.cfg.NVMEntryWrite-1)/m.cfg.NVMEntryWrite + writes)
 	}
 	finish := start + writes*m.cfg.NVMEntryWrite
 	c.drainFree = finish
@@ -250,8 +286,29 @@ func (m *Machine) scheduleDrain(c *core, now uint64) {
 // data moves to NVM, the recovery record absorbs the boundary's checkpoint
 // payload, and staged emits become durable output.
 func (m *Machine) applyPhase2(c *core, region proxy.CommittedRegion) {
-	if m.tracer != nil {
-		m.tracer.TraceDrain(c.id, c.cycle, region.Boundary.Region)
+	if m.tracer != nil || m.tap != nil {
+		var lo, hi uint64
+		entries := 0
+		for i := range region.Data {
+			if e := &region.Data[i]; e.Valid {
+				if entries == 0 || e.Addr < lo {
+					lo = e.Addr
+				}
+				if e.Addr > hi {
+					hi = e.Addr
+				}
+				entries++
+			}
+		}
+		if m.tracer != nil {
+			m.tracer.TraceDrain(c.id, c.cycle, region.Boundary.Region, lo, hi, entries)
+		}
+		if m.tap != nil {
+			m.tap.Tap(audit.Event{
+				Kind: audit.EvDrain, Core: int32(c.id), Cycle: c.cycle,
+				Region: region.Boundary.Region, Val: lo, Val2: hi, Count: uint32(entries),
+			})
+		}
 	}
 	if m.metrics != nil && len(c.commitCycles) > 0 {
 		// Oldest queued boundary commit pairs with this drain (FIFO per core).
@@ -260,9 +317,22 @@ func (m *Machine) applyPhase2(c *core, region proxy.CommittedRegion) {
 		c.commitCycles = c.commitCycles[:n]
 	}
 	for i := range region.Data {
-		if e := &region.Data[i]; e.Valid {
-			m.nvm.Write(e.Addr, e.Redo, e.Seq)
-			m.nvm.Writes++
+		e := &region.Data[i]
+		if !e.Valid {
+			c.back.SkippedInvalid++
+			continue
+		}
+		applied := m.nvm.Write(e.Addr, e.Redo, e.Seq)
+		m.nvm.Writes++
+		if m.tap != nil {
+			ev := audit.Event{
+				Kind: audit.EvDrainWrite, Core: int32(c.id), Cycle: c.cycle,
+				Addr: e.Addr, Seq: e.Seq, Region: region.Boundary.Region, Val: e.Redo,
+			}
+			if applied {
+				ev.Flags |= audit.FlagApplied
+			}
+			m.tap.Tap(ev)
 		}
 	}
 	m.applyMarker(c.id, &region.Boundary)

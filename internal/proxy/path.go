@@ -30,6 +30,13 @@ type Path struct {
 	// Monitoring window: address -> (expiry cycle, writeback seq).
 	window map[uint64]windowEntry
 
+	// Probe, when non-nil, observes every delivered entry with its true
+	// wire-arrival cycle and the monitoring window's verdict (hit = the
+	// window unset the redo valid-bit on this delivery). Observability only;
+	// it must not mutate the entry. DrainAll does not probe: a crash harvest
+	// is not an arrival.
+	Probe func(e *Entry, arrives uint64, hit bool)
+
 	// Stats.
 	Sent       uint64
 	Delivered  uint64
@@ -102,11 +109,16 @@ func (p *Path) Deliver(now uint64) []Entry {
 			break
 		}
 		e := pk.e
+		hit := false
 		if e.Kind == KindData && len(p.window) > 0 {
 			if w, ok := p.window[e.Addr]; ok && pk.arrives <= w.expiry && e.Seq <= w.seq {
 				e.Valid = false
 				p.WindowHits++
+				hit = true
 			}
+		}
+		if p.Probe != nil {
+			p.Probe(&e, pk.arrives, hit)
 		}
 		p.Delivered++
 		out = append(out, e)

@@ -229,6 +229,113 @@ func TestPathWindowExpiry(t *testing.T) {
 	}
 }
 
+// TestPathWindowBoundary pins the monitoring window's closed boundaries: an
+// entry arriving at *exactly* the expiry cycle is still covered, and a store
+// sequence *equal* to the writeback's is still stale — only strictly later
+// arrivals or strictly newer stores escape. The online auditor mirrors these
+// comparisons exactly (audit: window-missed/spurious-invalidation), so a
+// drift here would show up as false violations.
+func TestPathWindowBoundary(t *testing.T) {
+	const latency = 10
+	cases := []struct {
+		name      string
+		sendAt    uint64 // departure == sendAt (first send, no backlog); arrival = sendAt+latency
+		seq       uint64
+		wantValid bool
+	}{
+		// Window opened at cycle 0 with seq 10: covers arrivals <= 10.
+		{"stale seq, arrival exactly at expiry", 0, 5, false},
+		{"stale seq, arrival one past expiry", 1, 5, true},
+		{"equal seq, arrival at expiry", 0, 10, false},
+		{"newer seq, arrival at expiry", 0, 11, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPath(latency, 1)
+			p.NoteWriteback(0x100, 10, 0) // expiry = 0 + latency
+			p.Send(Entry{Kind: KindData, Addr: 0x100, Seq: tc.seq, Valid: true}, tc.sendAt)
+			got := p.Deliver(tc.sendAt + latency)
+			if len(got) != 1 {
+				t.Fatalf("delivered %d entries", len(got))
+			}
+			if got[0].Valid != tc.wantValid {
+				t.Errorf("Valid = %v, want %v", got[0].Valid, tc.wantValid)
+			}
+			if wantHits := uint64(0); !tc.wantValid {
+				wantHits = 1
+				if p.WindowHits != wantHits {
+					t.Errorf("WindowHits = %d, want %d", p.WindowHits, wantHits)
+				}
+			} else if p.WindowHits != 0 {
+				t.Errorf("WindowHits = %d, want 0", p.WindowHits)
+			}
+		})
+	}
+}
+
+// TestPathWindowSurvivesDrainAll covers the crash-harvest interaction: a
+// DrainAll neither applies the window (harvested entries keep their
+// valid-bits — recovery judges them against NVM sequence numbers instead)
+// nor closes it — entries sent on the reused path still arrive into the
+// same open window. DrainAll must also not fire the observability probe: a
+// crash harvest is not a wire arrival.
+func TestPathWindowSurvivesDrainAll(t *testing.T) {
+	const latency = 10
+	p := NewPath(latency, 1)
+	probes := 0
+	p.Probe = func(*Entry, uint64, bool) { probes++ }
+
+	p.NoteWriteback(0x100, 10, 5) // expiry = 15
+	p.Send(Entry{Kind: KindData, Addr: 0x100, Seq: 5, Valid: true}, 0)
+	harvested := p.DrainAll()
+	if len(harvested) != 1 || !harvested[0].Valid {
+		t.Fatalf("crash harvest = %+v, want 1 valid entry (window not applied)", harvested)
+	}
+	if probes != 0 {
+		t.Errorf("DrainAll fired the probe %d times", probes)
+	}
+	if p.WindowLen() != 1 {
+		t.Fatalf("window emptied by DrainAll (len=%d)", p.WindowLen())
+	}
+
+	// Reuse the drained path: departs at 3 (bandwidth slot 1 passed), arrives
+	// 13 <= 15 — the surviving window must still invalidate it.
+	p.Send(Entry{Kind: KindData, Addr: 0x100, Seq: 6, Valid: true}, 3)
+	got := p.Deliver(20)
+	if len(got) != 1 || got[0].Valid {
+		t.Errorf("post-drain delivery = %+v, want 1 stale-invalidated entry", got)
+	}
+	if probes != 1 {
+		t.Errorf("Deliver fired the probe %d times, want 1", probes)
+	}
+}
+
+// TestPathWindowRefresh pins NoteWriteback's refresh rule (the auditor
+// mirrors it): a later writeback re-arms the window whenever it extends the
+// expiry — even with an *older* sequence, which then narrows seq coverage to
+// stores at or below it.
+func TestPathWindowRefresh(t *testing.T) {
+	const latency = 10
+	p := NewPath(latency, 1)
+	p.NoteWriteback(0x100, 10, 0) // expiry 10, seq 10
+	p.NoteWriteback(0x100, 3, 20) // refresh: expiry 30, seq 3
+	if p.WindowAdds != 2 {
+		t.Fatalf("WindowAdds = %d, want 2 (refresh counted)", p.WindowAdds)
+	}
+	p.Send(Entry{Kind: KindData, Addr: 0x100, Seq: 3, Valid: true}, 15) // arrives 25 <= 30
+	p.Send(Entry{Kind: KindData, Addr: 0x100, Seq: 5, Valid: true}, 16) // arrives 26, seq 5 > 3
+	got := p.Deliver(40)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d entries", len(got))
+	}
+	if got[0].Valid {
+		t.Error("seq<=window entry inside refreshed window kept valid")
+	}
+	if !got[1].Valid {
+		t.Error("seq>window entry invalidated after older-seq refresh")
+	}
+}
+
 func TestPathDrainAll(t *testing.T) {
 	p := NewPath(40, 8)
 	p.Send(Entry{Kind: KindData, Addr: 1}, 0)

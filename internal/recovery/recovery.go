@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"capri/internal/audit"
 	"capri/internal/compile"
 	"capri/internal/machine"
 	"capri/internal/prog"
@@ -50,6 +51,7 @@ type SweepResult struct {
 	EntriesUndone  int
 	UndoneApplied  int
 	SlicesExecuted int
+	EventsAudited  uint64 // provenance events checked (audited sweeps only)
 }
 
 // Sweep crashes fresh runs of the program at `points` evenly spaced
@@ -57,6 +59,18 @@ type SweepResult struct {
 // outcome against the golden state. The first violated invariant is
 // returned as an error naming the crash point.
 func Sweep(p *prog.Program, cfg machine.Config, g *Golden, points int) (*SweepResult, error) {
+	return sweep(p, cfg, g, points, false)
+}
+
+// SweepAudited is Sweep with the online Fig. 7 auditor attached to every
+// crashed run: a fresh auditor observes each run from its first store through
+// crash, recovery replay, and resumed execution, and any invariant violation
+// fails the sweep with the offending per-line event chain.
+func SweepAudited(p *prog.Program, cfg machine.Config, g *Golden, points int) (*SweepResult, error) {
+	return sweep(p, cfg, g, points, true)
+}
+
+func sweep(p *prog.Program, cfg machine.Config, g *Golden, points int, audited bool) (*SweepResult, error) {
 	res := &SweepResult{}
 	if points < 1 {
 		points = 1
@@ -66,7 +80,7 @@ func Sweep(p *prog.Program, cfg machine.Config, g *Golden, points int) (*SweepRe
 		step = 1
 	}
 	for crashAt := step; crashAt < g.Instret; crashAt += step {
-		rep, err := CrashOnce(p, cfg, g, crashAt)
+		rep, aud, err := crashOnce(p, cfg, g, crashAt, audited)
 		if err != nil {
 			return res, err
 		}
@@ -78,6 +92,9 @@ func Sweep(p *prog.Program, cfg machine.Config, g *Golden, points int) (*SweepRe
 		res.EntriesUndone += rep.EntriesUndone
 		res.UndoneApplied += rep.UndoneApplied
 		res.SlicesExecuted += rep.SlicesExecuted
+		if aud != nil {
+			res.EventsAudited += aud.EventsAudited()
+		}
 	}
 	return res, nil
 }
@@ -86,51 +103,100 @@ func Sweep(p *prog.Program, cfg machine.Config, g *Golden, points int) (*SweepRe
 // resumes, and checks every recovery invariant. A nil report (with nil
 // error) means the program finished before the crash point.
 func CrashOnce(p *prog.Program, cfg machine.Config, g *Golden, crashAt uint64) (*machine.RecoveryReport, error) {
+	rep, _, err := crashOnce(p, cfg, g, crashAt, false)
+	return rep, err
+}
+
+// CrashOnceAudited is CrashOnce under the online auditor; the returned
+// auditor exposes the event count and any violations (also folded into err).
+func CrashOnceAudited(p *prog.Program, cfg machine.Config, g *Golden, crashAt uint64) (*machine.RecoveryReport, *audit.Auditor, error) {
+	return crashOnce(p, cfg, g, crashAt, true)
+}
+
+func crashOnce(p *prog.Program, cfg machine.Config, g *Golden, crashAt uint64, audited bool) (*machine.RecoveryReport, *audit.Auditor, error) {
 	m, err := machine.New(p, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var (
+		aud *audit.Auditor
+		tap audit.Sink
+	)
+	if audited && cfg.Capri {
+		// A bounded flight recorder rides along so a violation carries its
+		// per-line event chain without retaining the whole run.
+		rec := audit.NewFlightRecorder(audit.DefaultRecorderCap)
+		aud = audit.NewAuditor(m.AuditOptions())
+		aud.AttachRecorder(rec)
+		tap = audit.Tee(rec, aud)
+		m.SetTap(tap)
 	}
 	if err := m.RunUntil(crashAt); err != nil {
-		return nil, fmt.Errorf("crash@%d: run: %w", crashAt, err)
+		return nil, aud, fmt.Errorf("crash@%d: run: %w", crashAt, err)
 	}
 	if m.Done() {
-		return nil, nil
+		return nil, aud, nil
 	}
 	img, err := m.Crash()
 	if err != nil {
-		return nil, fmt.Errorf("crash@%d: image: %w", crashAt, err)
+		return nil, aud, fmt.Errorf("crash@%d: image: %w", crashAt, err)
 	}
-	r, rep, err := machine.Recover(img)
+	var r *machine.Machine
+	var rep *machine.RecoveryReport
+	if tap != nil {
+		// The auditor stays attached across the crash: it watches the
+		// recovery replay itself and the resumed execution.
+		r, rep, err = machine.RecoverInstrumented(img, nil, tap)
+	} else {
+		r, rep, err = machine.Recover(img)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("crash@%d: recover: %w", crashAt, err)
+		return nil, aud, fmt.Errorf("crash@%d: recover: %w", crashAt, err)
 	}
 	// Invariant 7 (DESIGN.md): DRF programs never produce conflicting
 	// cross-core undo entries.
 	if rep.ConflictingUndo != 0 {
-		return rep, fmt.Errorf("crash@%d: %d conflicting cross-core undo entries", crashAt, rep.ConflictingUndo)
+		return rep, aud, fmt.Errorf("crash@%d: %d conflicting cross-core undo entries", crashAt, rep.ConflictingUndo)
 	}
 	if err := r.Run(); err != nil {
-		return rep, fmt.Errorf("crash@%d: resume: %w", crashAt, err)
+		return rep, aud, fmt.Errorf("crash@%d: resume: %w", crashAt, err)
+	}
+	// Fig. 7 invariants: the online auditor must have seen a legal event
+	// stream through crash, replay, and resumption.
+	if aud != nil {
+		if err := aud.Err(); err != nil {
+			return rep, aud, fmt.Errorf("crash@%d: audit: %w", crashAt, err)
+		}
 	}
 	// Invariant 2: end-to-end resumption equals the golden run.
 	for t := range g.Outputs {
 		if !reflect.DeepEqual(r.Output(t), g.Outputs[t]) {
-			return rep, fmt.Errorf("crash@%d: thread %d output %v, golden %v",
+			return rep, aud, fmt.Errorf("crash@%d: thread %d output %v, golden %v",
 				crashAt, t, r.Output(t), g.Outputs[t])
 		}
 	}
 	for a, v := range g.Mem {
 		if got := r.MemSnapshot()[a]; got != v {
-			return rep, fmt.Errorf("crash@%d: mem[%#x] = %d, golden %d", crashAt, a, got, v)
+			return rep, aud, fmt.Errorf("crash@%d: mem[%#x] = %d, golden %d", crashAt, a, got, v)
 		}
 	}
-	return rep, nil
+	return rep, aud, nil
 }
 
 // ValidateProgram compiles a source program at the given options, runs the
 // golden execution, and sweeps crash points — the one-call form used by the
 // property-based tests and the capricrash command.
 func ValidateProgram(src *prog.Program, opts compile.Options, cfg machine.Config, points int) (*SweepResult, error) {
+	return validateProgram(src, opts, cfg, points, false)
+}
+
+// ValidateProgramAudited is ValidateProgram with every crashed run observed
+// by the online Fig. 7 auditor (see SweepAudited).
+func ValidateProgramAudited(src *prog.Program, opts compile.Options, cfg machine.Config, points int) (*SweepResult, error) {
+	return validateProgram(src, opts, cfg, points, true)
+}
+
+func validateProgram(src *prog.Program, opts compile.Options, cfg machine.Config, points int, audited bool) (*SweepResult, error) {
 	res, err := compile.Compile(src, opts)
 	if err != nil {
 		return nil, fmt.Errorf("compile: %w", err)
@@ -142,5 +208,5 @@ func ValidateProgram(src *prog.Program, opts compile.Options, cfg machine.Config
 	if err != nil {
 		return nil, fmt.Errorf("golden: %w", err)
 	}
-	return Sweep(res.Program, cfg, g, points)
+	return sweep(res.Program, cfg, g, points, audited)
 }

@@ -67,7 +67,8 @@ func TestGeneratedProgramsDeterministic(t *testing.T) {
 
 // TestPropertyCrashRecoverySingleThread is the repository's strongest
 // single-thread property test: random structured programs, random compiler
-// settings, crash sweeps validated against the golden state.
+// settings, crash sweeps validated against the golden state — every crashed
+// run observed by the online Fig. 7 auditor.
 func TestPropertyCrashRecoverySingleThread(t *testing.T) {
 	seeds := 25
 	if testing.Short() {
@@ -75,6 +76,7 @@ func TestPropertyCrashRecoverySingleThread(t *testing.T) {
 	}
 	thresholds := []int{8, 32, 256}
 	levels := []compile.Level{compile.LevelCkpt, compile.LevelUnroll, compile.LevelLICM}
+	audited := uint64(0)
 	for seed := 0; seed < seeds; seed++ {
 		p := progen.Generate(uint64(seed)*7919+13, progen.DefaultConfig())
 		th := thresholds[seed%len(thresholds)]
@@ -82,14 +84,20 @@ func TestPropertyCrashRecoverySingleThread(t *testing.T) {
 		opts := compile.OptionsForLevel(lv, th)
 		cfg := testConfig()
 		cfg.Threshold = th
-		if _, err := ValidateProgram(p, opts, cfg, 12); err != nil {
+		res, err := ValidateProgramAudited(p, opts, cfg, 12)
+		if err != nil {
 			t.Errorf("seed %d (th=%d level=%s): %v", seed, th, lv, err)
+			continue
 		}
+		audited += res.EventsAudited
+	}
+	if audited == 0 {
+		t.Error("auditor observed no events across the whole property sweep")
 	}
 }
 
 // TestPropertyCrashRecoveryMultiThread extends the property to 2-thread DRF
-// programs with a lock-protected shared counter.
+// programs with a lock-protected shared counter, under the auditor.
 func TestPropertyCrashRecoveryMultiThread(t *testing.T) {
 	seeds := 12
 	if testing.Short() {
@@ -103,7 +111,7 @@ func TestPropertyCrashRecoveryMultiThread(t *testing.T) {
 		opts := compile.OptionsForLevel(compile.LevelLICM, th)
 		cfg := testConfig()
 		cfg.Threshold = th
-		if _, err := ValidateProgram(p, opts, cfg, 10); err != nil {
+		if _, err := ValidateProgramAudited(p, opts, cfg, 10); err != nil {
 			t.Errorf("seed %d (th=%d): %v", seed, th, err)
 		}
 	}
@@ -228,8 +236,40 @@ func TestPropertyCrashRecoveryBarriers(t *testing.T) {
 		cfg := testConfig()
 		cfg.Cores = 3
 		cfg.Threshold = 32
-		if _, err := ValidateProgram(p, opts, cfg, 10); err != nil {
+		if _, err := ValidateProgramAudited(p, opts, cfg, 10); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+// TestCrashOnceAuditedReportsEvents pins the audited single-crash API: the
+// returned auditor must have observed a non-trivial event stream and hold no
+// violations for an unmutated run.
+func TestCrashOnceAuditedReportsEvents(t *testing.T) {
+	p := progen.Generate(42, progen.DefaultConfig())
+	opts := compile.DefaultOptions()
+	opts.Threshold = 16
+	res, err := compile.Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Threshold = 16
+	g, err := RunGolden(res.Program, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, aud, err := CrashOnceAudited(res.Program, cfg, g, g.Instret/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("crash point not reached")
+	}
+	if aud == nil || aud.EventsAudited() == 0 {
+		t.Fatal("auditor observed no events")
+	}
+	if aud.ViolationCount() != 0 {
+		t.Fatalf("unmutated run flagged: %v", aud.Err())
 	}
 }

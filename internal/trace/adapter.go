@@ -11,9 +11,14 @@ func (t MachineTracer) TraceCommit(core int, cycle, region uint64) {
 	t.R.Record(Event{Kind: KindRegionCommit, Core: core, Cycle: cycle, Region: region})
 }
 
-// TraceDrain records a phase-2 drain completion.
-func (t MachineTracer) TraceDrain(core int, cycle, region uint64) {
-	t.R.Record(Event{Kind: KindPhase2Drain, Core: core, Cycle: cycle, Region: region})
+// TraceDrain records a phase-2 drain completion with its payload: the
+// address range [addrLo, addrHi] spanned by the valid redo entries written
+// and their count (all zero for a data-free marker drain).
+func (t MachineTracer) TraceDrain(core int, cycle, region uint64, addrLo, addrHi uint64, entries int) {
+	t.R.Record(Event{
+		Kind: KindPhase2Drain, Core: core, Cycle: cycle, Region: region,
+		Addr: addrLo, Addr2: addrHi, Count: entries,
+	})
 }
 
 // TraceWriteback records a dirty line reaching the memory controller.

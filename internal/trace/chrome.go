@@ -41,10 +41,12 @@ type chromeEvent struct {
 // chromeArgs carries the per-event payload (a struct, not a map, for stable
 // key order).
 type chromeArgs struct {
-	Name   string `json:"name,omitempty"`   // thread_name metadata
-	Region uint64 `json:"region,omitempty"` // commit/drain spans
-	Addr   string `json:"addr,omitempty"`   // writebacks
-	Cores  int    `json:"cores,omitempty"`  // recovery
+	Name    string `json:"name,omitempty"`    // thread_name metadata
+	Region  uint64 `json:"region,omitempty"`  // commit/drain spans
+	Addr    string `json:"addr,omitempty"`    // writebacks; drain range low
+	Addr2   string `json:"addr2,omitempty"`   // drain range high
+	Entries int    `json:"entries,omitempty"` // drain: valid redo entries written
+	Cores   int    `json:"cores,omitempty"`   // recovery
 }
 
 // WriteChrome writes events as a Chrome trace-event JSON document. The
@@ -103,6 +105,13 @@ func WriteChrome(w io.Writer, events []Event) error {
 				Name: "region", Cat: "region", Phase: "e",
 				TS: e.Cycle, TID: e.Core,
 				ID: fmt.Sprintf("c%d-r%d", e.Core, e.Region),
+			}
+			if e.Count > 0 {
+				ce.Args = &chromeArgs{
+					Addr:    fmt.Sprintf("%#x", e.Addr),
+					Addr2:   fmt.Sprintf("%#x", e.Addr2),
+					Entries: e.Count,
+				}
 			}
 		case KindWriteback:
 			ce = chromeEvent{

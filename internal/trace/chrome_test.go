@@ -18,7 +18,9 @@ func TestWriteChromeGolden(t *testing.T) {
 		{Kind: KindRegionCommit, Core: 0, Cycle: 10, Region: 1},
 		{Kind: KindWriteback, Core: 1, Cycle: 15, Addr: 0x1040},
 		{Kind: KindFrontStall, Core: 0, Cycle: 18},
-		{Kind: KindPhase2Drain, Core: 0, Cycle: 30, Region: 1},
+		{Kind: KindPhase2Drain, Core: 0, Cycle: 30, Region: 1, Addr: 0x1040, Addr2: 0x1080, Count: 3},
+		{Kind: KindRegionCommit, Core: 0, Cycle: 35, Region: 2},
+		{Kind: KindPhase2Drain, Core: 0, Cycle: 38, Region: 2}, // data-free marker
 		{Kind: KindCrash, Cycle: 40},
 		{Kind: KindRecovery, Core: 2},
 	}
@@ -28,7 +30,9 @@ func TestWriteChromeGolden(t *testing.T) {
 {"name":"region","cat":"region","ph":"b","ts":10,"pid":0,"tid":0,"id":"c0-r1","args":{"region":1}},
 {"name":"writeback","cat":"mem","ph":"i","ts":15,"pid":0,"tid":1,"s":"t","args":{"addr":"0x1040"}},
 {"name":"front-stall","cat":"proxy","ph":"i","ts":18,"pid":0,"tid":0,"s":"t"},
-{"name":"region","cat":"region","ph":"e","ts":30,"pid":0,"tid":0,"id":"c0-r1"},
+{"name":"region","cat":"region","ph":"e","ts":30,"pid":0,"tid":0,"id":"c0-r1","args":{"addr":"0x1040","addr2":"0x1080","entries":3}},
+{"name":"region","cat":"region","ph":"b","ts":35,"pid":0,"tid":0,"id":"c0-r2","args":{"region":2}},
+{"name":"region","cat":"region","ph":"e","ts":38,"pid":0,"tid":0,"id":"c0-r2"},
 {"name":"crash","cat":"power","ph":"i","ts":40,"pid":0,"tid":0,"s":"g"},
 {"name":"recovery","cat":"power","ph":"i","ts":0,"pid":0,"tid":0,"s":"g","args":{"cores":2}}
 ]}

@@ -55,15 +55,23 @@ type Event struct {
 	Core   int
 	Cycle  uint64
 	Region uint64 // for commit/drain events
-	Addr   uint64 // for writeback events
+	Addr   uint64 // for writeback events; drain events: lowest drained address
+	Addr2  uint64 // for drain events: highest drained address
+	Count  int    // for drain events: valid redo entries written
 	Note   string
 }
 
 // String renders the event in a grep-friendly line format.
 func (e Event) String() string {
 	switch e.Kind {
-	case KindRegionCommit, KindPhase2Drain:
+	case KindRegionCommit:
 		return fmt.Sprintf("%-9s core=%d cycle=%d region=%d", e.Kind, e.Core, e.Cycle, e.Region)
+	case KindPhase2Drain:
+		s := fmt.Sprintf("%-9s core=%d cycle=%d region=%d entries=%d", e.Kind, e.Core, e.Cycle, e.Region, e.Count)
+		if e.Count > 0 {
+			s += fmt.Sprintf(" lo=%#x hi=%#x", e.Addr, e.Addr2)
+		}
+		return s
 	case KindWriteback:
 		return fmt.Sprintf("%-9s core=%d cycle=%d addr=%#x", e.Kind, e.Core, e.Cycle, e.Addr)
 	default:
