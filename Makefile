@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check audit docs-verify bench perf perf-seed clean
+.PHONY: all build test check audit soak soak-long docs-verify bench perf perf-seed clean
 
 all: build
 
@@ -25,6 +25,7 @@ check:
 	$(GO) test -run 'TestVerifierMatrix|TestMutation' ./internal/compile
 	$(GO) test -run 'Differential' .
 	$(MAKE) audit
+	$(MAKE) soak
 	$(MAKE) docs-verify
 	$(GO) run ./cmd/capribench -perf -scale 1 -perfout /tmp/BENCH_sim.smoke.json
 
@@ -37,6 +38,25 @@ check:
 audit:
 	$(GO) test -run 'TestAuditProgenCrashSweep|TestAuditBenchmarks' .
 	$(GO) test -run 'TestMutation' ./internal/audit
+
+# soak is the short fixed-seed hardware-fault campaign (DESIGN.md §4f):
+# seeded random fault plans — torn NVM line writes, nested crashes during
+# recovery, transient drain write errors — over the synthetic fault
+# workloads, a progen corpus slice, and all 19 paper benchmarks, every run
+# audited and verified against its golden state. The fault package's
+# mutation tests run first: they prove the campaign catches seeded protocol
+# bugs with a shrunk minimal plan, so a green sweep means something.
+soak:
+	$(GO) test ./internal/fault
+	$(GO) run ./cmd/capricrash -campaign -seed 1 -trials 4 -corpus 52 -benches
+
+# soak-long is the open-ended variant: more trials over the whole corpus,
+# bounded by a wall-clock budget. Override the seed/budget per run, e.g.
+#   make soak-long SOAK_SEED=$$RANDOM SOAK_DURATION=30m
+SOAK_SEED ?= 1
+SOAK_DURATION ?= 10m
+soak-long:
+	$(GO) run ./cmd/capricrash -campaign -seed $(SOAK_SEED) -trials 8 -corpus 104 -benches -duration $(SOAK_DURATION)
 
 # docs-verify re-runs the stall-attribution tables (deterministic simulator,
 # fixed workload scale) and byte-compares them against the marked blocks in

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"capri/internal/audit"
+	"capri/internal/fault"
+)
+
+// runCampaign is `capricrash -campaign`: a seeded hardware-fault campaign
+// (DESIGN.md §4f) over the synthetic fault workloads, a slice of the progen
+// corpus, and — with -benches — every paper benchmark. Torn NVM line writes,
+// nested crashes during recovery, and transient drain write errors are
+// injected per seeded plan; every run is observed by the online Fig. 7
+// auditor and verified against its golden state. Any failure is shrunk to a
+// minimal reproducible fault plan and written as JSON for `-plan` replay.
+func runCampaign(seed uint64, trials, maxFaults, corpus, threshold, scale int,
+	benches bool, duration time.Duration, planOut, recordOut string) {
+	targets := append(fault.SynthTargets(threshold), fault.CorpusTargets(corpus, threshold)...)
+	if benches {
+		targets = append(targets, fault.BenchTargets(scale, threshold)...)
+	}
+	fmt.Printf("fault campaign: %d targets, %d trials each, <= %d faults/plan, seed %d\n",
+		len(targets), trials, maxFaults, seed)
+	start := time.Now()
+	res, err := fault.RunCampaign(fault.CampaignConfig{
+		Seed:      seed,
+		Trials:    trials,
+		MaxFaults: maxFaults,
+		Targets:   targets,
+		Budget:    duration,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%d targets, %d trials, %d faults injected in %v\n",
+		res.Targets, res.Trials, res.Faults, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("crashes %d (vacuous %d, exhausted %d), recoveries %d, nested crashes %d\n",
+		res.Crashes, res.Vacuous, res.Exhausted, res.Recoveries, res.NestedCrashes)
+	fmt.Printf("drain retries %d, auditor events %d\n", res.DrainRetries, res.EventsAudited)
+	if len(res.Failures) == 0 {
+		fmt.Println("all plans recovered to the golden state — no violations")
+		return
+	}
+	for i, f := range res.Failures {
+		fmt.Printf("\nFAILURE %d: %s\n", i+1, f.Err)
+		fmt.Printf("  plan:   %s\n", f.Plan.Summary())
+		fmt.Printf("  shrunk: %s (%d shrink runs)\n", f.Shrunk.Summary(), f.ShrinkRuns)
+	}
+	// The first failure's minimal plan is the artifact: replay it with
+	// `capricrash -plan <file>`.
+	first := res.Failures[0]
+	if planOut == "" {
+		planOut = "fault-plan-min.json"
+	}
+	if err := first.Shrunk.WriteFile(planOut); err != nil {
+		fatal(err)
+	}
+	if planOut != "-" {
+		fmt.Printf("\nminimal failing plan -> %s\n", planOut)
+	}
+	if recordOut != "" {
+		outc, err := fault.ReplayPlan(first.Shrunk)
+		if err != nil {
+			fatal(err)
+		}
+		writePlanRecord(recordOut, outc, first.Shrunk)
+	}
+	os.Exit(1)
+}
+
+// runPlanReplay is `capricrash -plan failure.json`: replay one fault plan
+// exactly and report whether it still violates.
+func runPlanReplay(path, recordOut string) {
+	plan, err := fault.ReadPlan(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replaying plan: %s\n", plan.Summary())
+	outc, err := fault.ReplayPlan(plan)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("crashed=%v vacuous=%v exhausted=%v recoveries=%d nested=%d retries=%d events=%d\n",
+		outc.Crashed, outc.Vacuous, outc.Exhausted, outc.Recoveries,
+		outc.NestedCrashes, outc.DrainRetries, outc.EventsAudited)
+	if recordOut != "" {
+		writePlanRecord(recordOut, outc, plan)
+	}
+	if outc.Err != nil {
+		fmt.Printf("FAIL: %v\n", outc.Err)
+		os.Exit(1)
+	}
+	fmt.Println("OK: recovered to the golden state, audit clean")
+}
+
+// writePlanRecord writes the outcome's capri/run-record/v1 provenance record
+// with the fault plan embedded (RunRecord.Faults), so capriinspect shows what
+// was injected and diff treats the plan as part of the run's identity.
+func writePlanRecord(path string, outc fault.Outcome, plan fault.Plan) {
+	if outc.Flight == nil {
+		return
+	}
+	var cfg, stats any
+	name := plan.Target.Name()
+	fingerprint := ""
+	if outc.Machine != nil {
+		fp := outc.Machine.Program().Fingerprint()
+		fingerprint = fmt.Sprintf("%x", fp[:])
+		cfg = outc.Machine.Config()
+		stats = outc.Machine.Stats()
+	}
+	rr, err := audit.NewRunRecordFull(outc.Flight, outc.Auditor, name, fingerprint, cfg, stats)
+	if err != nil {
+		fatal(err)
+	}
+	pj, err := json.Marshal(plan)
+	if err != nil {
+		fatal(err)
+	}
+	rr.Faults = pj
+	if err := rr.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	if path != "-" {
+		fmt.Printf("record: %d events (%d retained) -> %s\n", rr.EventsTotal, rr.EventsKept, path)
+	}
+}

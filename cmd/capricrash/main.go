@@ -9,6 +9,8 @@
 //	capricrash -bench genome -audit              # Fig. 7 auditor on every run
 //	capricrash -bench genome -audit -record-out crash.json
 //	capricrash -fuzz 100 [-threads 2]   # random-program campaign
+//	capricrash -campaign -seed 1 -trials 3 -corpus 12 -benches
+//	capricrash -plan fault-plan-min.json         # replay one fault plan
 //
 // With -audit, every crashed run is observed end-to-end (run → crash →
 // recovery replay → resumption) by the online Fig. 7 invariant auditor; any
@@ -16,6 +18,13 @@
 // -record-out, the capri/run-record/v1 provenance record of the first
 // violating run — or, if the sweep is clean, the last crash point — is
 // written for offline inspection with capriinspect.
+//
+// With -campaign, the hardware fault model of DESIGN.md §4f is driven by
+// seeded random fault plans (torn NVM line writes at the power failure,
+// nested crashes during recovery, transient drain write errors) over the
+// synthetic fault workloads, a slice of the progen corpus, and optionally all
+// paper benchmarks. Every failure is shrunk to a minimal reproducible plan
+// (written to -plan-out) that -plan replays exactly.
 package main
 
 import (
@@ -44,8 +53,27 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "starting seed for -fuzz")
 		auditRun  = flag.Bool("audit", false, "attach the online Fig. 7 invariant auditor to every crashed run")
 		recordOut = flag.String("record-out", "", "write the capri/run-record/v1 record of the first violating (else last) crash run")
+
+		campaign  = flag.Bool("campaign", false, "run a seeded hardware-fault campaign (torn writes, nested crashes, drain errors)")
+		trials    = flag.Int("trials", 3, "fault plans per target (with -campaign)")
+		maxFaults = flag.Int("max-faults", 3, "max faults per plan (with -campaign)")
+		corpus    = flag.Int("corpus", 12, "progen corpus programs to target (with -campaign)")
+		benches   = flag.Bool("benches", false, "include all paper benchmarks as campaign targets (with -campaign)")
+		duration  = flag.Duration("duration", 0, "stop starting new campaign targets after this long (with -campaign; 0 = no budget)")
+		planOut   = flag.String("plan-out", "", "where -campaign writes the minimal failing fault plan (default fault-plan-min.json)")
+		planIn    = flag.String("plan", "", "replay one capri/fault-plan/v1 JSON fault plan and exit")
 	)
 	flag.Parse()
+
+	if *planIn != "" {
+		runPlanReplay(*planIn, *recordOut)
+		return
+	}
+	if *campaign {
+		runCampaign(*seed, *trials, *maxFaults, *corpus, *threshold, *scale,
+			*benches, *duration, *planOut, *recordOut)
+		return
+	}
 
 	if *fuzz > 0 {
 		runFuzz(*fuzz, *seed, *threads, *threshold, *points, *barriers, *auditRun)

@@ -20,11 +20,14 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"reflect"
 	"sort"
 	"strconv"
 
 	"capri/internal/audit"
+	"capri/internal/fault"
 )
 
 func main() {
@@ -34,13 +37,13 @@ func main() {
 	var err error
 	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
 	case "summary":
-		err = runSummary(args)
+		err = runSummary(os.Stdout, args)
 	case "line":
-		err = runLine(args)
+		err = runLine(os.Stdout, args)
 	case "regions":
-		err = runRegions(args)
+		err = runRegions(os.Stdout, args)
 	case "diff":
-		err = runDiff(args)
+		err = runDiff(os.Stdout, args)
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -62,7 +65,7 @@ func usage() {
 	os.Exit(2)
 }
 
-func runSummary(args []string) error {
+func runSummary(w io.Writer, args []string) error {
 	if len(args) != 1 {
 		usage()
 	}
@@ -70,34 +73,46 @@ func runSummary(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("schema       %s\n", r.Schema)
+	fmt.Fprintf(w, "schema       %s\n", r.Schema)
 	if r.Name != "" {
-		fmt.Printf("workload     %s\n", r.Name)
+		fmt.Fprintf(w, "workload     %s\n", r.Name)
 	}
 	if r.Fingerprint != "" {
-		fmt.Printf("fingerprint  %s\n", r.Fingerprint)
+		fmt.Fprintf(w, "fingerprint  %s\n", r.Fingerprint)
 	}
-	fmt.Printf("events       %d total, %d retained, %d dropped from the ring\n",
+	fmt.Fprintf(w, "events       %d total, %d retained, %d dropped from the ring\n",
 		r.EventsTotal, r.EventsKept, r.Dropped)
-	fmt.Printf("digest       %s  (over the complete stream)\n", r.Digest)
+	fmt.Fprintf(w, "digest       %s  (over the complete stream)\n", r.Digest)
 	switch {
 	case r.Audit == nil || !r.Audit.Enabled:
-		fmt.Printf("audit        not run\n")
+		fmt.Fprintf(w, "audit        not run\n")
 	case r.Audit.Violations == 0:
-		fmt.Printf("audit        ok: %d events, 0 violations\n", r.Audit.Events)
+		fmt.Fprintf(w, "audit        ok: %d events, 0 violations\n", r.Audit.Events)
 	default:
-		fmt.Printf("audit        FAILED: %d violations in %d events\n", r.Audit.Violations, r.Audit.Events)
-		fmt.Printf("  first rule   %s\n", r.Audit.FirstRule)
-		fmt.Printf("  first detail %s\n", r.Audit.FirstDetail)
+		fmt.Fprintf(w, "audit        FAILED: %d violations in %d events\n", r.Audit.Violations, r.Audit.Events)
+		fmt.Fprintf(w, "  first rule   %s\n", r.Audit.FirstRule)
+		fmt.Fprintf(w, "  first detail %s\n", r.Audit.FirstDetail)
+	}
+	if len(r.Faults) > 0 {
+		plan, err := decodePlan(r.Faults)
+		if err != nil {
+			fmt.Fprintf(w, "faults       unreadable plan: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "faults       %s crash@%d, %d injected (plan seed %d)\n",
+				plan.Target.Name(), plan.CrashAt, len(plan.Faults), plan.Seed)
+			for _, f := range plan.Faults {
+				fmt.Fprintf(w, "  inject       %s\n", f)
+			}
+		}
 	}
 	events := r.DecodedEvents()
 	if len(events) > 0 {
-		fmt.Printf("cycle span   %d .. %d (retained tail)\n", events[0].Cycle, events[len(events)-1].Cycle)
+		fmt.Fprintf(w, "cycle span   %d .. %d (retained tail)\n", events[0].Cycle, events[len(events)-1].Cycle)
 	}
-	fmt.Printf("event census (retained tail):\n")
+	fmt.Fprintf(w, "event census (retained tail):\n")
 	for k, n := range censusOf(events) {
 		if n > 0 {
-			fmt.Printf("  %-14s %10d\n", audit.Kind(k), n)
+			fmt.Fprintf(w, "  %-14s %10d\n", audit.Kind(k), n)
 		}
 	}
 	return nil
@@ -111,7 +126,7 @@ func censusOf(events []audit.Event) [audit.NumKinds]uint64 {
 	return census
 }
 
-func runLine(args []string) error {
+func runLine(w io.Writer, args []string) error {
 	if len(args) != 2 {
 		usage()
 	}
@@ -130,17 +145,17 @@ func runLine(args []string) error {
 			continue
 		}
 		n++
-		fmt.Println(e)
+		fmt.Fprintln(w, e)
 	}
 	if n == 0 {
 		return fmt.Errorf("capriinspect: no retained events touch line %#x (of %d kept; %d dropped from the ring)",
 			line, r.EventsKept, r.Dropped)
 	}
-	fmt.Printf("-- %d events on line %#x\n", n, line)
+	fmt.Fprintf(w, "-- %d events on line %#x\n", n, line)
 	return nil
 }
 
-func runRegions(args []string) error {
+func runRegions(w io.Writer, args []string) error {
 	if len(args) != 1 && len(args) != 2 {
 		usage()
 	}
@@ -165,22 +180,22 @@ func runRegions(args []string) error {
 		case audit.EvCommit, audit.EvDrain, audit.EvCrash,
 			audit.EvRecoveryRedo, audit.EvRecoveryUndo, audit.EvRecoveryDone:
 			n++
-			fmt.Println(e)
+			fmt.Fprintln(w, e)
 		case audit.EvLaunch, audit.EvBackArrive:
 			if e.Flags.Has(audit.FlagBoundary) {
 				n++
-				fmt.Println(e)
+				fmt.Fprintln(w, e)
 			}
 		}
 	}
 	if n == 0 {
 		return fmt.Errorf("capriinspect: no region-lifecycle events retained")
 	}
-	fmt.Printf("-- %d region-lifecycle events\n", n)
+	fmt.Fprintf(w, "-- %d region-lifecycle events\n", n)
 	return nil
 }
 
-func runDiff(args []string) error {
+func runDiff(w io.Writer, args []string) error {
 	if len(args) != 2 {
 		usage()
 	}
@@ -193,18 +208,23 @@ func runDiff(args []string) error {
 		return err
 	}
 	if a.Digest == b.Digest {
-		fmt.Printf("identical event streams (digest %s)\n", a.Digest)
+		fmt.Fprintf(w, "identical event streams (digest %s)\n", a.Digest)
 	} else {
-		fmt.Printf("event streams differ\n")
+		fmt.Fprintf(w, "event streams differ\n")
+	}
+	// An injected fault plan is part of a run's identity: two records under
+	// different plans are different experiments, not a regression.
+	if err := diffPlans(w, a.Faults, b.Faults); err != nil {
+		return err
 	}
 	if a.EventsTotal != b.EventsTotal {
-		fmt.Printf("events_total  %d -> %d (%+d)\n", a.EventsTotal, b.EventsTotal,
+		fmt.Fprintf(w, "events_total  %d -> %d (%+d)\n", a.EventsTotal, b.EventsTotal,
 			int64(b.EventsTotal)-int64(a.EventsTotal))
 	}
 	ca, cb := censusOf(a.DecodedEvents()), censusOf(b.DecodedEvents())
 	for k := audit.Kind(0); k < audit.NumKinds; k++ {
 		if ca[k] != cb[k] {
-			fmt.Printf("census %-14s %10d -> %10d (%+d)\n", k, ca[k], cb[k], int64(cb[k])-int64(ca[k]))
+			fmt.Fprintf(w, "census %-14s %10d -> %10d (%+d)\n", k, ca[k], cb[k], int64(cb[k])-int64(ca[k]))
 		}
 	}
 	diffs, err := diffStats(a.Stats, b.Stats)
@@ -212,13 +232,58 @@ func runDiff(args []string) error {
 		return err
 	}
 	if len(diffs) == 0 {
-		fmt.Printf("machine statistics identical\n")
+		fmt.Fprintf(w, "machine statistics identical\n")
 		return nil
 	}
-	fmt.Printf("machine statistics (%d fields differ):\n", len(diffs))
+	fmt.Fprintf(w, "machine statistics (%d fields differ):\n", len(diffs))
 	for _, d := range diffs {
-		fmt.Printf("  %-24s %14.6g -> %14.6g (%+g)\n", d.path, d.a, d.b, d.b-d.a)
+		fmt.Fprintf(w, "  %-24s %14.6g -> %14.6g (%+g)\n", d.path, d.a, d.b, d.b-d.a)
 	}
+	return nil
+}
+
+// decodePlan parses an embedded capri/fault-plan/v1 payload.
+func decodePlan(raw json.RawMessage) (fault.Plan, error) {
+	var p fault.Plan
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return p, err
+	}
+	if p.Schema != fault.PlanSchema {
+		return p, fmt.Errorf("schema %q, want %q", p.Schema, fault.PlanSchema)
+	}
+	return p, nil
+}
+
+// diffPlans compares the records' embedded fault plans as run identity.
+func diffPlans(w io.Writer, a, b json.RawMessage) error {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	summarize := func(raw json.RawMessage) (string, fault.Plan, error) {
+		if len(raw) == 0 {
+			return "(no fault plan)", fault.Plan{}, nil
+		}
+		p, err := decodePlan(raw)
+		if err != nil {
+			return "", p, err
+		}
+		return p.Summary(), p, nil
+	}
+	sa, pa, err := summarize(a)
+	if err != nil {
+		return err
+	}
+	sb, pb, err := summarize(b)
+	if err != nil {
+		return err
+	}
+	if reflect.DeepEqual(pa, pb) {
+		fmt.Fprintf(w, "identical fault plans (%s)\n", sa)
+		return nil
+	}
+	fmt.Fprintf(w, "fault plans differ — different experiments, not a regression:\n")
+	fmt.Fprintf(w, "  a: %s\n", sa)
+	fmt.Fprintf(w, "  b: %s\n", sb)
 	return nil
 }
 

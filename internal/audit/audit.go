@@ -83,6 +83,16 @@ const (
 	// EvRecoveryDone: the recovery protocol completed; Count is the number
 	// of cores resumed or halted.
 	EvRecoveryDone
+	// EvTornWriteback: at a power failure, an in-flight dirty-line
+	// writeback tore — this 8-byte word reverted to its pre-writeback NVM
+	// image. Addr is the word, Val/Seq the restored (old) value and
+	// sequence, Val2 the value the torn write had installed.
+	EvTornWriteback
+	// EvTornDrainWrite: at a power failure, a booked-but-incomplete phase-2
+	// drain had already pushed this valid redo entry to NVM. Fields as
+	// EvDrainWrite (FlagApplied is the sequence guard's verdict); the
+	// entry remains in the battery-backed back-end for recovery to replay.
+	EvTornDrainWrite
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -104,6 +114,8 @@ var kindNames = [NumKinds]string{
 	EvRecoveryRedo:      "rec-redo",
 	EvRecoveryUndo:      "rec-undo",
 	EvRecoveryDone:      "rec-done",
+	EvTornWriteback:     "torn-wb",
+	EvTornDrainWrite:    "torn-drain",
 }
 
 // String returns the kind's wire name (stable: run records serialize it).
@@ -136,6 +148,7 @@ const (
 	FlagApplied                     // NVM write passed the sequence guard
 	FlagWindowHit                   // monitoring window unset the valid-bit
 	FlagHalt                        // final marker of a halted thread
+	FlagNested                      // crash injected *during* recovery (fault model)
 )
 
 var flagNames = []struct {
@@ -149,6 +162,7 @@ var flagNames = []struct {
 	{FlagApplied, "applied"},
 	{FlagWindowHit, "window-hit"},
 	{FlagHalt, "halt"},
+	{FlagNested, "nested"},
 }
 
 // Has reports whether all bits of q are set.
@@ -217,7 +231,7 @@ func (e Event) Line() uint64 { return e.Addr &^ 63 }
 func (e Event) HasAddr() bool {
 	switch e.Kind {
 	case EvStore, EvWriteback, EvWritebackWord, EvDrainWrite, EvNVMRead,
-		EvRecoveryRedoWrite, EvRecoveryUndo:
+		EvRecoveryRedoWrite, EvRecoveryUndo, EvTornWriteback, EvTornDrainWrite:
 		return true
 	case EvLaunch, EvBackArrive:
 		return !e.Flags.Has(FlagBoundary)
@@ -261,6 +275,10 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" addr=%#x firstseq=%d undo=%d", e.Addr, e.Seq, e.Val)
 	case EvRecoveryDone:
 		s += fmt.Sprintf(" cores=%d", e.Count)
+	case EvTornWriteback:
+		s += fmt.Sprintf(" addr=%#x restored=%d seq=%d torn=%d", e.Addr, e.Val, e.Seq, e.Val2)
+	case EvTornDrainWrite:
+		s += fmt.Sprintf(" addr=%#x seq=%d region=%d redo=%d", e.Addr, e.Seq, e.Region, e.Val)
 	}
 	if e.Flags != 0 {
 		s += " [" + e.Flags.String() + "]"

@@ -93,6 +93,16 @@ const maxKeptViolations = 16
 //   - undo-unknown-store / undo-open-region / undo-guard-mismatch:
 //     recovery rolls back exactly the interrupted region's stores, with the
 //     undo images captured at issue, under the FirstSeq guard.
+//   - torn-outside-crash / torn-ownership / torn-forward /
+//     torn-uncommitted-region / torn-drained-region /
+//     nested-crash-outside-recovery: the fault model's legality rules — a
+//     write may tear only at a power failure, a torn writeback may only
+//     revert a word the torn write still owns (backward in version order),
+//     a torn drain prefix may only belong to the committed-undrained
+//     region, and a nested crash may only occur inside recovery. After a
+//     nested crash the replay watermarks reset while the crash watermarks
+//     stand, so the sequence-guard rules verify the restarted recovery's
+//     idempotence exactly.
 //
 // The auditor must observe the machine from birth (attach the tap before
 // the first instruction) and, for crash tests, stay attached across
@@ -214,6 +224,10 @@ func (a *Auditor) Tap(e Event) {
 		a.onUndo(e)
 	case EvRecoveryDone:
 		a.onRecoveryDone(e)
+	case EvTornWriteback:
+		a.onTornWriteback(e)
+	case EvTornDrainWrite:
+		a.onTornDrainWrite(e)
 	}
 	a.idx++
 }
@@ -419,11 +433,71 @@ func (a *Auditor) onNVMRead(e Event) {
 	}
 }
 
-func (a *Auditor) onCrash(Event) {
+func (a *Auditor) onCrash(e Event) {
+	if e.Flags.Has(FlagNested) {
+		if !a.crashed {
+			a.violate(e, "nested-crash-outside-recovery",
+				"crash flagged nested with no recovery in progress")
+			return
+		}
+		// Power failed *during* recovery. The battery-backed streams are
+		// unchanged, so the crash watermarks stand; only replay progress
+		// resets — the restarted recovery replays the streams from the top,
+		// and the sequence-guard rules verify its idempotence exactly.
+		a.lastReplay = map[int32]uint64{}
+		return
+	}
 	a.crashed = true
 	a.commitAtCrash = copyMap(a.lastCommit)
 	a.drainAtCrash = copyMap(a.lastDrain)
 	a.lastReplay = map[int32]uint64{}
+}
+
+// onTornWriteback checks a torn dirty-line writeback: tearing may only
+// happen at a power failure, may only revert a word the torn write still
+// owns, and may only move the word backward in version order.
+func (a *Auditor) onTornWriteback(e Event) {
+	if !a.crashed {
+		a.violate(e, "torn-outside-crash",
+			"torn writeback word %#x with no power failure in progress", e.Addr)
+		return
+	}
+	sv := a.shadow(e.Addr)
+	if sv.val != e.Val2 {
+		a.violate(e, "torn-ownership",
+			"torn writeback reverted word %#x holding val %d (seq %d), but the torn write installed %d — a later write owns the word",
+			e.Addr, sv.val, sv.seq, e.Val2)
+	}
+	if e.Seq > sv.seq {
+		a.violate(e, "torn-forward",
+			"torn writeback moved word %#x forward: restored seq %d above shadow seq %d",
+			e.Addr, e.Seq, sv.seq)
+	}
+	a.nvm[e.Addr] = seqVal{seq: e.Seq, val: e.Val}
+}
+
+// onTornDrainWrite checks a torn phase-2 drain prefix: only a committed but
+// not-yet-drained region can have a drain in flight, every pre-applied redo
+// must match an issued store of that region, and the sequence guard's
+// verdict must match the shadow.
+func (a *Auditor) onTornDrainWrite(e Event) {
+	if !a.crashed {
+		a.violate(e, "torn-outside-crash",
+			"torn drain write %#x with no power failure in progress", e.Addr)
+		return
+	}
+	a.matchStore(e, "torn-drain")
+	if e.Region > a.commitAtCrash[e.Core] {
+		a.violate(e, "torn-uncommitted-region",
+			"torn drain pushed redo of region %d above core %d's commit watermark %d",
+			e.Region, e.Core, a.commitAtCrash[e.Core])
+	}
+	if dr := a.drainAtCrash[e.Core]; dr != 0 && e.Region <= dr {
+		a.violate(e, "torn-drained-region",
+			"torn drain pushed redo of region %d, already drained through %d",
+			e.Region, dr)
+	}
+	a.checkGuard(e, "torn drain")
 }
 
 func (a *Auditor) onReplayWrite(e Event) {

@@ -1,0 +1,149 @@
+package audit
+
+import "testing"
+
+// Synthetic-stream tests for the fault model's legality rules (DESIGN.md
+// §4f): torn writes may only happen at a power failure, may only revert
+// words the torn write still owns (backward in version order), a torn drain
+// prefix must belong to the committed-but-undrained region, and a nested
+// crash is legal only while a recovery is in progress.
+
+func wantRule(t *testing.T, aud *Auditor, rule string) {
+	t.Helper()
+	for _, v := range aud.Violations() {
+		if v.Rule == rule {
+			return
+		}
+	}
+	t.Fatalf("want %s violation, got %v", rule, aud.Violations())
+}
+
+// TestAuditorTornWritebackLegal: a word the torn write still owns may revert
+// to its pre-writeback version at a power failure.
+func TestAuditorTornWritebackLegal(t *testing.T) {
+	events := []Event{
+		{Kind: EvWritebackWord, Core: 0, Cycle: 10, Addr: testAddr, Seq: 4, Val: 9, Flags: FlagApplied},
+		{Kind: EvCrash, Cycle: 40},
+		{Kind: EvTornWriteback, Core: -1, Cycle: 40, Addr: testAddr, Seq: 0, Val: 0, Val2: 9, Flags: FlagApplied},
+	}
+	_, aud := feed(t, events)
+	if err := aud.Err(); err != nil {
+		t.Fatalf("legal tear flagged: %v", err)
+	}
+}
+
+// TestAuditorTornOutsideCrash: tearing with no power failure in progress is
+// illegal — power failure is the only event that interrupts a line write.
+func TestAuditorTornOutsideCrash(t *testing.T) {
+	events := []Event{
+		{Kind: EvWritebackWord, Core: 0, Cycle: 10, Addr: testAddr, Seq: 4, Val: 9, Flags: FlagApplied},
+		{Kind: EvTornWriteback, Core: -1, Cycle: 20, Addr: testAddr, Seq: 0, Val: 0, Val2: 9, Flags: FlagApplied},
+	}
+	_, aud := feed(t, events)
+	wantRule(t, aud, "torn-outside-crash")
+}
+
+// TestAuditorTornOwnership: a tear that reverts a word some later write
+// installed destroys data the torn write no longer owns.
+func TestAuditorTornOwnership(t *testing.T) {
+	events := []Event{
+		{Kind: EvWritebackWord, Core: 0, Cycle: 10, Addr: testAddr, Seq: 4, Val: 9, Flags: FlagApplied},
+		{Kind: EvCrash, Cycle: 40},
+		// Val2 claims the torn write installed 7, but the shadow holds 9.
+		{Kind: EvTornWriteback, Core: -1, Cycle: 40, Addr: testAddr, Seq: 0, Val: 0, Val2: 7, Flags: FlagApplied},
+	}
+	_, aud := feed(t, events)
+	wantRule(t, aud, "torn-ownership")
+}
+
+// TestAuditorTornForward: a tear may only move a word backward in version
+// order — "restoring" a future version is not a torn write.
+func TestAuditorTornForward(t *testing.T) {
+	events := []Event{
+		{Kind: EvWritebackWord, Core: 0, Cycle: 10, Addr: testAddr, Seq: 4, Val: 9, Flags: FlagApplied},
+		{Kind: EvCrash, Cycle: 40},
+		{Kind: EvTornWriteback, Core: -1, Cycle: 40, Addr: testAddr, Seq: 10, Val: 5, Val2: 9, Flags: FlagApplied},
+	}
+	_, aud := feed(t, events)
+	wantRule(t, aud, "torn-forward")
+}
+
+// TestAuditorTornDrainLegal: a pre-applied prefix of the committed-but-
+// undrained region's phase-2 drain is the legal torn-drain shape.
+func TestAuditorTornDrainLegal(t *testing.T) {
+	events := []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 1, Region: 1, Val: 7},
+		{Kind: EvCommit, Core: 0, Cycle: 12, Region: 1},
+		{Kind: EvCrash, Cycle: 40},
+		{Kind: EvTornDrainWrite, Core: 0, Cycle: 40, Addr: testAddr, Seq: 1, Region: 1, Val: 7, Flags: FlagApplied},
+	}
+	_, aud := feed(t, events)
+	if err := aud.Err(); err != nil {
+		t.Fatalf("legal torn drain flagged: %v", err)
+	}
+}
+
+// TestAuditorTornDrainUncommitted: a torn drain can never push redo data of
+// a region that had not committed — an uncommitted region has no booked
+// drain to tear.
+func TestAuditorTornDrainUncommitted(t *testing.T) {
+	events := []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 1, Region: 2, Val: 7},
+		{Kind: EvCrash, Cycle: 40},
+		{Kind: EvTornDrainWrite, Core: 0, Cycle: 40, Addr: testAddr, Seq: 1, Region: 2, Val: 7, Flags: FlagApplied},
+	}
+	_, aud := feed(t, events)
+	wantRule(t, aud, "torn-uncommitted-region")
+}
+
+// TestAuditorTornDrainAlreadyDrained: a region that completed phase 2 before
+// the crash has no drain left in flight to tear.
+func TestAuditorTornDrainAlreadyDrained(t *testing.T) {
+	events := []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 1, Region: 1, Val: 7},
+		{Kind: EvCommit, Core: 0, Cycle: 12, Region: 1},
+		{Kind: EvLaunch, Core: 0, Cycle: 12, Addr: testAddr, Seq: 1, Val: 12},
+		{Kind: EvLaunch, Core: 0, Cycle: 20, Region: 1, Val: 20, Flags: FlagBoundary},
+		{Kind: EvBackArrive, Core: 0, Cycle: 52, Addr: testAddr, Seq: 1, Val: 52, Flags: FlagValid},
+		{Kind: EvBackArrive, Core: 0, Cycle: 60, Region: 1, Val: 60, Flags: FlagBoundary},
+		{Kind: EvDrain, Core: 0, Cycle: 76, Region: 1, Val: testAddr, Val2: testAddr, Count: 1},
+		{Kind: EvDrainWrite, Core: 0, Cycle: 76, Addr: testAddr, Seq: 1, Region: 1, Val: 7, Flags: FlagApplied},
+		{Kind: EvCrash, Cycle: 80},
+		{Kind: EvTornDrainWrite, Core: 0, Cycle: 80, Addr: testAddr, Seq: 1, Region: 1, Val: 7},
+	}
+	_, aud := feed(t, events)
+	wantRule(t, aud, "torn-drained-region")
+}
+
+// TestAuditorNestedCrashOutsideRecovery: a crash flagged nested with no
+// recovery in progress is a provenance bug, not a legal fault.
+func TestAuditorNestedCrashOutsideRecovery(t *testing.T) {
+	_, aud := feed(t, []Event{
+		{Kind: EvCrash, Cycle: 10, Flags: FlagNested},
+	})
+	wantRule(t, aud, "nested-crash-outside-recovery")
+}
+
+// TestAuditorNestedCrashRestartsReplay: a nested crash mid-recovery resets
+// the replay watermarks (the restarted protocol replays the streams from the
+// top) while the crash watermarks stand — the restarted replay's redo writes
+// are then judged as idempotent re-applications, not ordering violations.
+func TestAuditorNestedCrashRestartsReplay(t *testing.T) {
+	events := []Event{
+		{Kind: EvStore, Core: 0, Cycle: 10, Addr: testAddr, Seq: 1, Region: 1, Val: 7},
+		{Kind: EvCommit, Core: 0, Cycle: 12, Region: 1},
+		{Kind: EvCrash, Cycle: 40},
+		// First recovery attempt applies the redo, then power fails again.
+		{Kind: EvRecoveryRedoWrite, Core: 0, Addr: testAddr, Seq: 1, Region: 1, Val: 7, Flags: FlagApplied},
+		{Kind: EvCrash, Cycle: 41, Flags: FlagNested},
+		// The restarted recovery replays from the top: the sequence guard
+		// drops the already-applied write, the marker folds, recovery ends.
+		{Kind: EvRecoveryRedoWrite, Core: 0, Addr: testAddr, Seq: 1, Region: 1, Val: 7},
+		{Kind: EvRecoveryRedo, Core: 0, Region: 1},
+		{Kind: EvRecoveryDone, Count: 1},
+	}
+	_, aud := feed(t, events)
+	if err := aud.Err(); err != nil {
+		t.Fatalf("legal interrupted-recovery stream flagged: %v", err)
+	}
+}

@@ -68,6 +68,11 @@ type RunRecord struct {
 	Config      json.RawMessage `json:"config,omitempty"`
 	Stats       json.RawMessage `json:"stats,omitempty"`
 	Audit       *AuditSummary   `json:"audit,omitempty"`
+	// Faults is the injected fault plan (capri/fault-plan/v1 JSON) when the
+	// run was a fault-campaign trial — opaque here so this leaf package
+	// needs no fault types; capriinspect renders it and diff treats it as
+	// part of the run's identity.
+	Faults      json.RawMessage `json:"faults,omitempty"`
 	EventsTotal uint64          `json:"events_total"`
 	EventsKept  int             `json:"events_kept"`
 	Dropped     uint64          `json:"events_dropped"`

@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"capri/internal/machine"
+	"capri/internal/prog"
+	"capri/internal/recovery"
+	"capri/internal/workload"
+)
+
+// CorpusTargets returns the soak campaign's progen targets: `seeds` corpus
+// programs cycling the four generation shapes under the corpus seed
+// schedule (the same 104-program universe the differential sweep covers).
+func CorpusTargets(seeds, threshold int) []Target {
+	out := make([]Target, 0, seeds)
+	for s := 0; s < seeds; s++ {
+		out = append(out, Target{
+			ProgenSeed:  uint64(s)*0x9e3779b9 + 1,
+			ProgenShape: s % len(CorpusShapes),
+			Threshold:   threshold,
+		})
+	}
+	return out
+}
+
+// BenchTargets returns one target per paper benchmark.
+func BenchTargets(scale, threshold int) []Target {
+	var out []Target
+	for _, b := range workload.All() {
+		out = append(out, Target{Bench: b.Name, Scale: scale, Threshold: threshold})
+	}
+	return out
+}
+
+// CampaignConfig parameterizes a fault campaign.
+type CampaignConfig struct {
+	Seed      uint64        // base seed; trial seeds derive deterministically
+	Trials    int           // fault plans per target (default 3)
+	MaxFaults int           // faults per plan (default 3)
+	Targets   []Target      // workloads to sweep
+	Budget    time.Duration // stop starting new targets after this long (0: none)
+	Log       func(format string, args ...any)
+}
+
+// Failure is one reproducible campaign failure: the original failing plan
+// and its shrunk minimal form, both replayable via `capricrash -plan`.
+type Failure struct {
+	Plan       Plan
+	Shrunk     Plan
+	Err        string
+	ShrinkRuns int
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Targets       int
+	Trials        int
+	Faults        int // faults injected across all plans
+	Crashes       int
+	Vacuous       int
+	Exhausted     int
+	NestedCrashes int
+	Recoveries    int
+	DrainRetries  uint64
+	EventsAudited uint64
+	Failures      []Failure
+}
+
+// planSeed derives the deterministic per-trial plan seed, so any trial is
+// reproducible from (base seed, target index, trial index) alone — and the
+// plan JSON records the derived seed.
+func planSeed(base, target, trial uint64) uint64 {
+	r := rng{s: base ^ (target+1)*0x9e3779b97f4a7c15}
+	r.next()
+	return r.next() + trial*0x2545f4914f6cdd1d
+}
+
+// RunCampaign sweeps seeded fault plans over the targets: per target it
+// compiles once, captures the golden state once, then executes Trials
+// independent plans. The first failing trial of a target is shrunk to a
+// minimal failing plan and recorded; remaining trials of that target are
+// skipped (one minimal reproducer per target is the useful artifact).
+// Build or golden-run errors abort the campaign — they mean the target
+// itself is broken, not the fault response.
+func RunCampaign(cc CampaignConfig) (*CampaignResult, error) {
+	if cc.Trials <= 0 {
+		cc.Trials = 3
+	}
+	if cc.MaxFaults <= 0 {
+		cc.MaxFaults = 3
+	}
+	logf := cc.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := &CampaignResult{}
+	var deadline time.Time
+	if cc.Budget > 0 {
+		deadline = time.Now().Add(cc.Budget)
+	}
+	for ti, target := range cc.Targets {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			logf("budget exhausted after %d/%d targets", ti, len(cc.Targets))
+			break
+		}
+		pg, cfg, err := target.Build()
+		if err != nil {
+			return res, err
+		}
+		g, err := recovery.RunGolden(pg, cfg)
+		if err != nil {
+			return res, fmt.Errorf("%s: golden: %w", target.Name(), err)
+		}
+		res.Targets++
+		for trial := 0; trial < cc.Trials; trial++ {
+			seed := planSeed(cc.Seed, uint64(ti), uint64(trial))
+			plan := GeneratePlan(seed, target, g.Instret, cc.MaxFaults, pg.NumThreads())
+			outc := RunPlan(pg, cfg, g, plan)
+			res.Trials++
+			res.Faults += len(plan.Faults)
+			res.Recoveries += outc.Recoveries
+			res.NestedCrashes += outc.NestedCrashes
+			res.DrainRetries += outc.DrainRetries
+			res.EventsAudited += outc.EventsAudited
+			if outc.Crashed {
+				res.Crashes++
+			}
+			if outc.Vacuous {
+				res.Vacuous++
+			}
+			if outc.Exhausted {
+				res.Exhausted++
+			}
+			if outc.Err == nil {
+				continue
+			}
+			logf("%s: trial %d FAILED: %v — shrinking", target.Name(), trial, outc.Err)
+			shrunk, runs := Shrink(pg, cfg, g, plan)
+			res.Failures = append(res.Failures, Failure{
+				Plan:       plan,
+				Shrunk:     shrunk,
+				Err:        outc.Err.Error(),
+				ShrinkRuns: runs,
+			})
+			logf("%s: minimal plan (%d shrink runs): %s", target.Name(), runs, shrunk.Summary())
+			break
+		}
+	}
+	return res, nil
+}
+
+// ReplayPlan builds the plan's target, captures its golden state, and
+// executes the plan — the one-call reproduction path behind
+// `capricrash -plan failure.json`.
+func ReplayPlan(plan Plan) (Outcome, error) {
+	pg, cfg, err := plan.Target.Build()
+	if err != nil {
+		return Outcome{}, err
+	}
+	g, err := recovery.RunGolden(pg, cfg)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("%s: golden: %w", plan.Target.Name(), err)
+	}
+	return RunPlan(pg, cfg, g, plan), nil
+}
+
+// shrinkRunCap bounds the executor runs one shrink spends; RunPlan is
+// deterministic, so the cap only limits effort, never correctness.
+const shrinkRunCap = 200
+
+// Shrink minimizes a failing plan: greedy one-fault removal to a fixpoint,
+// interleaved with per-fault parameter shrinking (halving Pick/Keep/Step,
+// collapsing Fails to 1), accepting every candidate that still fails. The
+// executor is deterministic, so the result is a stable minimal failing plan;
+// a plan that does not reproduce its failure is returned unchanged.
+func Shrink(pg *prog.Program, cfg machine.Config, g *recovery.Golden, plan Plan) (Plan, int) {
+	runs := 0
+	fails := func(p Plan) bool {
+		runs++
+		return RunPlan(pg, cfg, g, p).Err != nil
+	}
+	if !fails(plan) {
+		return plan, runs
+	}
+	cur := plan
+	for changed := true; changed && runs < shrinkRunCap; {
+		changed = false
+		// Drop faults one at a time.
+		for i := 0; i < len(cur.Faults) && runs < shrinkRunCap; i++ {
+			cand := cur
+			cand.Faults = append(append([]Fault{}, cur.Faults[:i]...), cur.Faults[i+1:]...)
+			if fails(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+		// Shrink each surviving fault's parameters.
+		for i := 0; i < len(cur.Faults) && runs < shrinkRunCap; i++ {
+			for _, small := range shrinkFault(cur.Faults[i]) {
+				cand := cur
+				cand.Faults = append([]Fault{}, cur.Faults...)
+				cand.Faults[i] = small
+				if fails(cand) {
+					cur = cand
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return cur, runs
+}
+
+// shrinkFault proposes strictly smaller variants of one fault, most
+// aggressive first.
+func shrinkFault(f Fault) []Fault {
+	var out []Fault
+	add := func(g Fault) {
+		if g != f {
+			out = append(out, g)
+		}
+	}
+	g := f
+	g.Pick, g.Keep = 0, 0
+	if g.Kind == KindRecoveryCrash {
+		g.Step = 1
+	}
+	if g.Fails > 1 {
+		g.Fails = 1
+	}
+	add(g)
+	g = f
+	g.Pick /= 2
+	add(g)
+	g = f
+	g.Keep /= 2
+	add(g)
+	g = f
+	if g.Step > 1 {
+		g.Step /= 2
+		add(g)
+	}
+	g = f
+	if g.Fails > 1 {
+		g.Fails = 1
+		add(g)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"fmt"
+
+	"capri/internal/isa"
+	"capri/internal/machine"
+	"capri/internal/prog"
+)
+
+// Synthetic campaign workloads. The progen corpus and the paper benchmarks
+// exercise breadth; these programs are adversarial by construction — shapes
+// chosen so specific recovery obligations carry weight under the campaign's
+// tiny caches. rmwsweep is the canonical undo workload: read-modify-writes
+// across a footprint far larger than the L1/L2, so uncommitted increments
+// are constantly written back to NVM mid-region and recovery MUST roll them
+// back before re-execution (skipping phase B double-applies them).
+
+// synthNames lists the synthetic targets in campaign order.
+var synthNames = []string{"rmwsweep"}
+
+// SynthTargets returns one target per synthetic campaign workload.
+func SynthTargets(threshold int) []Target {
+	out := make([]Target, 0, len(synthNames))
+	for _, n := range synthNames {
+		out = append(out, Target{Synth: n, Threshold: threshold})
+	}
+	return out
+}
+
+// buildSynth constructs a synthetic workload's source program.
+func buildSynth(name string) (*prog.Program, error) {
+	switch name {
+	case "rmwsweep":
+		return synthRMWSweep(), nil
+	}
+	return nil, fmt.Errorf("unknown synthetic workload %q", name)
+}
+
+// synthRMWSweep: 6 straight-line sweeps of x[i]++ over the same 40 cache
+// lines, emitting a running checksum. The code is loop-free on purpose —
+// loop headers are mandatory region boundaries, so a loop commits every
+// iteration and its undo entries never matter. A straight-line 40-store
+// sweep is one region, and 40 lines thrash the campaign's 4-line
+// direct-mapped L1 (and 8-line L2), so every region leaks uncommitted
+// increments to NVM through dirty writebacks mid-region. Recovery must roll
+// those back before the region re-executes: skipping phase B double-applies
+// the increments and both the final memory and the checksum diverge.
+func synthRMWSweep() *prog.Program {
+	const (
+		sweeps = 6
+		lines  = 40
+	)
+	bd := prog.NewBuilder("rmwsweep")
+	f := bd.Func("main")
+	entry := f.Block()
+
+	const (
+		rBase = isa.Reg(8)
+		rAddr = isa.Reg(9)
+		rV    = isa.Reg(10)
+		rSum  = isa.Reg(11)
+	)
+	f.SetBlock(entry)
+	f.MovI(isa.SP, int64(machine.StackBase(0)))
+	f.MovI(rBase, int64(machine.HeapBase))
+	f.MovI(rSum, 0)
+	for s := 0; s < sweeps; s++ {
+		for i := 0; i < lines; i++ {
+			f.MovI(rAddr, int64(machine.HeapBase)+int64(i)*64)
+			f.Load(rV, rAddr, 0)
+			f.AddI(rV, rV, 1)
+			f.Store(rAddr, 0, rV)
+			f.Add(rSum, rSum, rV)
+		}
+	}
+	f.Emit(rSum)
+	f.Halt()
+	return bd.Program()
+}

@@ -62,6 +62,10 @@ const (
 	// and waiting on the per-core NVM write-pending-queue bank — the stall
 	// the paper attributes to NVM write bandwidth.
 	CauseNVMQueue
+	// CauseDrainRetry is a stall charged while the core's oldest phase-2
+	// drain is re-booked after a transient NVM write error (fault model
+	// only — zero unless Machine.ArmFaults installed a DrainError hook).
+	CauseDrainRetry
 	// CauseDrainWait is the end-of-run quiesce: cycles a finished core waits
 	// for its remaining regions to complete phase 2.
 	CauseDrainWait
@@ -85,6 +89,7 @@ var causeNames = [NumCycleCauses]string{
 	CauseFrontFull:    "front-full",
 	CauseBackPressure: "backpress",
 	CauseNVMQueue:     "nvm-queue",
+	CauseDrainRetry:   "drain-retry",
 	CauseDrainWait:    "drain-wait",
 }
 
@@ -100,7 +105,7 @@ func (cc CycleCause) String() string {
 // lost waiting on proxy machinery) rather than issue or memory-latency cost.
 func (cc CycleCause) IsStall() bool {
 	switch cc {
-	case CauseLockSpin, CauseFrontFull, CauseBackPressure, CauseNVMQueue, CauseDrainWait:
+	case CauseLockSpin, CauseFrontFull, CauseBackPressure, CauseNVMQueue, CauseDrainRetry, CauseDrainWait:
 		return true
 	}
 	return false
@@ -138,6 +143,7 @@ type Metrics struct {
 	RegionInsts  stats.Hist // instructions per committed region
 	RegionStores stats.Hist // stores (incl. checkpoints) per committed region
 	CommitLat    stats.Hist // cycles from boundary commit (front-end) to phase-2 completion
+	DrainRetries stats.Hist // write-error retries per phase-2 drain (fault model; recorded at final success or exhaustion)
 }
 
 // EnableMetrics switches on histogram collection (idempotent) and returns

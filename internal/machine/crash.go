@@ -1,7 +1,6 @@
 package machine
 
 import (
-	"fmt"
 	"sort"
 
 	"capri/internal/audit"
@@ -18,6 +17,11 @@ import (
 // front-end entries, preserving FIFO order. All volatile state (registers,
 // caches, the DRAM cache, staged checkpoints of the uncommitted region) is
 // gone.
+//
+// The image is fully unshared from the machine it was harvested from (apart
+// from the immutable compiled program): mutating the live machine afterwards
+// never changes the image, and one image supports any number of recovery
+// attempts.
 type CrashImage struct {
 	Prog    *prog.Program
 	Cfg     Config
@@ -32,15 +36,11 @@ type CrashImage struct {
 // stopping point (typically after RunUntil hit its crash step). The machine
 // itself must not be used afterwards.
 func (m *Machine) Crash() (*CrashImage, error) {
-	if !m.cfg.Capri {
-		return nil, fmt.Errorf("machine: baseline (volatile) machine has no crash image")
-	}
-	if m.tracer != nil {
-		m.tracer.TraceCrash(m.Cycles())
-	}
-	if m.tap != nil {
-		m.tap.Tap(audit.Event{Kind: audit.EvCrash, Cycle: m.Cycles()})
-	}
+	return m.CrashTorn(nil)
+}
+
+// harvest deep-copies the machine's persistent state into a CrashImage.
+func (m *Machine) harvest() *CrashImage {
 	img := &CrashImage{
 		Prog: m.prog,
 		Cfg:  m.cfg,
@@ -53,10 +53,26 @@ func (m *Machine) Crash() (*CrashImage, error) {
 		stream = append(stream, c.back.Entries()...)
 		stream = append(stream, c.path.DrainAll()...)
 		stream = append(stream, c.front.Entries()...)
-		img.Streams = append(img.Streams, append([]proxy.Entry(nil), stream...))
+		deepCopyEntries(stream)
+		img.Streams = append(img.Streams, stream)
 		img.Outputs = append(img.Outputs, append([]uint64(nil), c.output...))
 	}
-	return img, nil
+	return img
+}
+
+// deepCopyEntries unshares the slice-valued fields of harvested entries:
+// boundary entries' Ckpts and Emits otherwise alias the live proxy buffers'
+// backing arrays, which the machine reuses as it keeps running.
+func deepCopyEntries(stream []proxy.Entry) {
+	for i := range stream {
+		e := &stream[i]
+		if len(e.Ckpts) > 0 {
+			e.Ckpts = append([]proxy.RegCkpt(nil), e.Ckpts...)
+		}
+		if len(e.Emits) > 0 {
+			e.Emits = append([]uint64(nil), e.Emits...)
+		}
+	}
 }
 
 // RecoveryReport describes what the recovery protocol did.
@@ -130,10 +146,31 @@ func RecoverInstrumented(img *CrashImage, tr Tracer, tap audit.Sink, devices ...
 	return m, rep, nil
 }
 
+// RecoverInterrupted runs the §5.4 protocol but injects a nested power
+// failure after stopAfter persistent protocol steps — redo write
+// applications, marker folds, and undo applications, the NVM mutations a
+// real recovery performs. If the protocol finishes in fewer steps, the
+// recovered machine is returned with a nil nested image. Otherwise recovery
+// stops mid-flight and the partially recovered persistent state is harvested
+// into a fresh CrashImage (NVM and records as mutated so far; the original
+// battery-backed streams, which recovery only reads): §5.4 must be
+// restartable from any such point, converging to the same final image as an
+// uninterrupted recovery.
+func RecoverInterrupted(img *CrashImage, tap audit.Sink, stopAfter uint64, devices ...OutputDevice) (*Machine, *RecoveryReport, *CrashImage, error) {
+	return recoverCore(img, tap, stopAfter, devices...)
+}
+
 func recoverWithTap(img *CrashImage, tap audit.Sink, devices ...OutputDevice) (*Machine, *RecoveryReport, error) {
+	m, rep, _, err := recoverCore(img, tap, 0, devices...)
+	return m, rep, err
+}
+
+// recoverCore is the one implementation of the recovery protocol. stopAfter
+// is the nested-crash fault injection point (0: run to completion).
+func recoverCore(img *CrashImage, tap audit.Sink, stopAfter uint64, devices ...OutputDevice) (*Machine, *RecoveryReport, *CrashImage, error) {
 	m, err := New(img.Prog, img.Cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	m.SetTap(tap)
 	m.devices = append(m.devices, devices...)
@@ -143,6 +180,13 @@ func recoverWithTap(img *CrashImage, tap audit.Sink, devices ...OutputDevice) (*
 	copy(m.records, img.Records)
 	for t := range img.Outputs {
 		m.cores[t].output = append(m.cores[t].output[:0], img.Outputs[t]...)
+	}
+
+	// Persistent-step counter for the nested-crash injection point.
+	steps := uint64(0)
+	interrupt := func() bool {
+		steps++
+		return stopAfter != 0 && steps >= stopAfter
 	}
 
 	// Phase A: replay committed regions from the buffers, in stream order.
@@ -175,6 +219,9 @@ func recoverWithTap(img *CrashImage, tap audit.Sink, devices ...OutputDevice) (*
 						}
 						m.tap.Tap(ev)
 					}
+					if interrupt() {
+						return m.nestedCrash(img, rep)
+					}
 				}
 			}
 			pending = pending[:0]
@@ -182,6 +229,19 @@ func recoverWithTap(img *CrashImage, tap audit.Sink, devices ...OutputDevice) (*
 			if m.tap != nil {
 				m.tap.Tap(audit.Event{Kind: audit.EvRecoveryRedo, Core: int32(t), Region: e.Region})
 			}
+			if interrupt() {
+				return m.nestedCrash(img, rep)
+			}
+		}
+		if Mutations.SkipMarkerCheck {
+			// MUTATION: the §5.4 marker check is gone — the uncommitted tail
+			// is replayed as if its region had committed.
+			for _, d := range pending {
+				if d.Valid {
+					m.nvm.Write(d.Addr, d.Redo, d.Seq)
+				}
+			}
+			continue
 		}
 		for _, d := range pending {
 			uncommitted = append(uncommitted, undoEntry{e: d, core: t})
@@ -189,6 +249,11 @@ func recoverWithTap(img *CrashImage, tap audit.Sink, devices ...OutputDevice) (*
 	}
 
 	// Phase B: roll back the interrupted region(s), newest store first.
+	if Mutations.SkipUndo {
+		// MUTATION: phase B is dropped — uncommitted stores that reached NVM
+		// (writebacks, torn drains) are never rolled back.
+		uncommitted = nil
+	}
 	sort.Slice(uncommitted, func(i, j int) bool {
 		return uncommitted[i].e.Seq > uncommitted[j].e.Seq
 	})
@@ -225,11 +290,15 @@ func recoverWithTap(img *CrashImage, tap audit.Sink, devices ...OutputDevice) (*
 			}
 			m.tap.Tap(ev)
 		}
+		if interrupt() {
+			return m.nestedCrash(img, rep)
+		}
 	}
 
 	// Phase C: rebuild architectural memory from consistent NVM (page-copied,
 	// keeping the image's backing kind) and resume every core at its last
-	// committed boundary.
+	// committed boundary. Purely volatile — a crash here is a crash before
+	// the resumed run's first instruction.
 	m.mem = mem.MemFromNVM(m.nvm)
 	for t := range m.cores {
 		c := m.cores[t]
@@ -252,7 +321,30 @@ func recoverWithTap(img *CrashImage, tap audit.Sink, devices ...OutputDevice) (*
 	if m.tap != nil {
 		m.tap.Tap(audit.Event{Kind: audit.EvRecoveryDone, Count: uint32(len(m.cores))})
 	}
-	return m, rep, nil
+	return m, rep, nil, nil
+}
+
+// nestedCrash harvests the mid-recovery persistent image: NVM and records as
+// mutated by the partial replay, the original battery-backed streams (which
+// recovery reads but never consumes), and the output delivered so far.
+func (m *Machine) nestedCrash(img *CrashImage, rep *RecoveryReport) (*Machine, *RecoveryReport, *CrashImage, error) {
+	if m.tap != nil {
+		m.tap.Tap(audit.Event{Kind: audit.EvCrash, Flags: audit.FlagNested, Cycle: m.Cycles()})
+	}
+	nested := &CrashImage{
+		Prog: img.Prog,
+		Cfg:  img.Cfg,
+		NVM:  m.nvm.Clone(),
+		Seq:  img.Seq,
+	}
+	nested.Records = append(nested.Records, m.records...)
+	for t, stream := range img.Streams {
+		s := append([]proxy.Entry(nil), stream...)
+		deepCopyEntries(s)
+		nested.Streams = append(nested.Streams, s)
+		nested.Outputs = append(nested.Outputs, append([]uint64(nil), m.cores[t].output...))
+	}
+	return nil, rep, nested, nil
 }
 
 // orderedSlices returns a block's recovery slices in ascending register order
@@ -271,3 +363,7 @@ func orderedSlices(b *prog.Block) [][]isa.Inst {
 	}
 	return out
 }
+
+// NVMEntries exports the machine's persisted NVM image, sorted by address —
+// the byte-identical form the convergence tests compare.
+func (m *Machine) NVMEntries() []mem.WordEntry { return m.nvm.Entries() }

@@ -78,6 +78,12 @@ type core struct {
 	drainDone []uint64
 	drainFree uint64
 
+	// drain-retry state (fault model): consecutive transient write errors of
+	// the oldest booked drain, and lifetime retry/exhaustion counters.
+	drainAttempts  int
+	drainRetries   uint64
+	drainExhausted uint64
+
 	// in-flight data entries on the proxy path (for back-end space
 	// accounting).
 	inflightData int
@@ -132,8 +138,9 @@ type Machine struct {
 	fatal   error
 
 	tracer  Tracer
-	tap     audit.Sink // nil: provenance event emission off
-	metrics *Metrics   // nil: histogram collection off
+	tap     audit.Sink  // nil: provenance event emission off
+	metrics *Metrics    // nil: histogram collection off
+	flt     *faultState // nil: fault model unarmed (see fault.go)
 
 	// devices receive each core's committed output exactly once (§3.3's
 	// open I/O problem: effects are released only when their region's
@@ -380,7 +387,13 @@ func (m *Machine) quiesce() {
 		// Push everything out of the front-end and the path.
 		for c.front.Len() > 0 || c.path.InFlight() > 0 || c.back.Len() > 0 || len(c.drainDone) > 0 {
 			now := c.cycle + m.cfg.ProxyLatency + m.cfg.ProxyInterval*uint64(m.cfg.FrontEndEntries+2)
-			c.stall(CauseDrainWait, now)
+			cause := CauseDrainWait
+			if c.drainAttempts > 0 {
+				// The wait is a drain-retry backoff, not ordinary phase-2
+				// bandwidth (fault model).
+				cause = CauseDrainRetry
+			}
+			c.stall(cause, now)
 			m.service(c)
 			if c.front.Len() > 0 {
 				m.drainFront(c)

@@ -55,6 +55,9 @@ func (m *Machine) frontStallCause(c *core) CycleCause {
 	if c.front.Len() > 0 && c.front.Peek().Kind == proxy.KindData &&
 		c.back.Len()+c.path.InFlight() >= m.cfg.Threshold {
 		if len(c.drainDone) > 0 {
+			if c.drainAttempts > 0 {
+				return CauseDrainRetry
+			}
 			return CauseNVMQueue
 		}
 		return CauseBackPressure
@@ -136,9 +139,22 @@ func (m *Machine) controllerWriteback(now uint64, wb *cache.Writeback) {
 			Addr: wb.Line, Seq: wb.Seq,
 		})
 	}
+	var torn []tornWord // applied word writes, journaled when faults are armed
 	for _, w := range wb.Words {
 		val := m.mem.Load(w)
+		var old mem.Word
+		if m.flt != nil {
+			old = m.nvm.Peek(w)
+		}
 		applied := m.nvm.Write(w, val, wb.Seq)
+		if m.flt != nil {
+			// This write supersedes any journaled earlier write of the word
+			// (same-address WPQ ordering), whether the guard applied it or not.
+			m.flt.confirm(w)
+			if applied {
+				torn = append(torn, tornWord{addr: w, old: old, new: mem.Word{Val: val, Seq: wb.Seq}})
+			}
+		}
 		if m.tap != nil {
 			ev := audit.Event{
 				Kind: audit.EvWritebackWord, Core: int32(wb.Core), Cycle: now,
@@ -151,10 +167,22 @@ func (m *Machine) controllerWriteback(now uint64, wb *cache.Writeback) {
 		}
 		if m.cfg.Capri && !m.cfg.NoScanInvalidate {
 			for _, c := range m.cores {
-				c.back.ScanInvalidate(w, wb.Seq)
+				// The §5.3.2 scan elides redo writes because NVM "already
+				// holds" the writeback's data — an ADR assumption. Under the
+				// armed fault model this writeback is still in the tearable
+				// WPQ window, so the elision is unsound (a torn writeback
+				// would orphan committed data whose redo entry it
+				// invalidated); the seq guard makes the un-elided redo
+				// writes idempotent.
+				if m.flt == nil {
+					c.back.ScanInvalidate(w, wb.Seq)
+				}
 				c.path.NoteWriteback(w, wb.Seq, now)
 			}
 		}
+	}
+	if m.flt != nil && len(torn) > 0 {
+		m.flt.noteLineWrite(wb.Line, now, wb.Seq, torn)
 	}
 }
 
@@ -171,6 +199,15 @@ func (m *Machine) service(c *core) {
 	// Retire finished phase-2 drains. Pop by copy-down so the slice's
 	// backing array is reused instead of leaking capacity off the front.
 	for len(c.drainDone) > 0 && c.drainDone[0] <= now {
+		if m.flt != nil && m.flt.drainError != nil && !m.retryDrain(c, now) {
+			break // transient write error: re-booked with backoff, or fatal
+		}
+		if c.drainAttempts > 0 {
+			if m.metrics != nil {
+				m.metrics.DrainRetries.Record(uint64(c.drainAttempts))
+			}
+			c.drainAttempts = 0
+		}
 		n := copy(c.drainDone, c.drainDone[1:])
 		c.drainDone = c.drainDone[:n]
 		region, ok := c.back.PopRegion()
@@ -324,6 +361,11 @@ func (m *Machine) applyPhase2(c *core, region proxy.CommittedRegion) {
 		}
 		applied := m.nvm.Write(e.Addr, e.Redo, e.Seq)
 		m.nvm.Writes++
+		if m.flt != nil {
+			// Applied or elided, this drain write orders any journaled earlier
+			// write of the word ahead of it — no longer tearable.
+			m.flt.confirm(e.Addr)
+		}
 		if m.tap != nil {
 			ev := audit.Event{
 				Kind: audit.EvDrainWrite, Core: int32(c.id), Cycle: c.cycle,
@@ -342,6 +384,15 @@ func (m *Machine) applyPhase2(c *core, region proxy.CommittedRegion) {
 // record and durable output.
 func (m *Machine) applyMarker(t int, e *proxy.Entry) {
 	rec := &m.records[t]
+	if e.Region <= rec.Region {
+		// The record already absorbed this marker: a recovery interrupted by
+		// a nested crash replays markers a previous pass applied. Folding is
+		// idempotent for the register/PC payload but NOT for the emits —
+		// exactly-once output delivery requires skipping the whole fold.
+		// (Region numbers are per-core, start at 1, and strictly increase,
+		// so this guard never fires during normal phase-2 operation.)
+		return
+	}
 	for _, ck := range e.Ckpts {
 		rec.Regs[ck.Reg] = ck.Val
 	}

@@ -30,6 +30,8 @@ type Stats struct {
 	ScanHits        uint64 // redo valid-bits unset by writeback scans
 	WindowHits      uint64 // redo valid-bits unset by the monitoring window
 	RedoSkipped     uint64 // phase-2 entries skipped as invalid
+	DrainRetries    uint64 // transient NVM write errors retried (fault model)
+	DrainExhausted  uint64 // drains that exhausted the retry budget (fault model)
 
 	// Dynamic region shape (Figures 10 and 11).
 	Regions         uint64
@@ -79,6 +81,8 @@ func (m *Machine) Stats() Stats {
 			s.ScanHits += c.back.ScanHits
 			s.WindowHits += c.path.WindowHits
 			s.RedoSkipped += c.back.SkippedInvalid
+			s.DrainRetries += c.drainRetries
+			s.DrainExhausted += c.drainExhausted
 		}
 	}
 	if crit != nil {

@@ -142,6 +142,19 @@ func (b *BackEnd) PopRegion() (CommittedRegion, bool) {
 	return CommittedRegion{}, false
 }
 
+// OldestRegion returns (without removing) the oldest complete region's data
+// entries and boundary. The data slice aliases the buffer — read-only use
+// only. It is how the fault model identifies the drain in flight: the
+// region a booked-but-incomplete phase-2 drain is writing.
+func (b *BackEnd) OldestRegion() (data []Entry, boundary *Entry, ok bool) {
+	for i := range b.entries {
+		if b.entries[i].Kind == KindBoundary {
+			return b.entries[:i], &b.entries[i], true
+		}
+	}
+	return nil, nil, false
+}
+
 // HasRegion reports whether a complete region is buffered.
 func (b *BackEnd) HasRegion() bool {
 	for i := range b.entries {
