@@ -16,14 +16,15 @@ test:
 # check is the pre-merge tier: vet, the race-sensitive packages under the
 # race detector (compile carries the shared compile cache), the full
 # verifier matrix (semantic region verifier after every pass for every
-# benchmark x level x threshold), the store differential sweep, the
+# benchmark x level x threshold), the store and dispatch-equivalence
+# differential sweeps, the
 # documentation-freshness check, and a perf-harness smoke run (catches
 # BENCH_sim.json pipeline bit-rot without judging the numbers).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/machine ./internal/figures ./internal/compile
 	$(GO) test -run 'TestVerifierMatrix|TestMutation' ./internal/compile
-	$(GO) test -run 'Differential' .
+	$(GO) test -run 'Differential|DispatchEquivalence' .
 	$(MAKE) audit
 	$(MAKE) soak
 	$(MAKE) docs-verify
@@ -71,9 +72,11 @@ bench:
 	$(GO) test -bench 'Mem|NVM|Proxy|Path' -benchmem -run '^$$' ./internal/mem ./internal/proxy
 	$(GO) test -bench 'SimulatorThroughput' -run '^$$' .
 
-# perf regenerates BENCH_sim.json for the current tree.
+# perf regenerates BENCH_sim.json for the current tree, gated against the
+# committed report: a >10% inst/s regression on any timed sweep fails the
+# target (the fresh report is still written for inspection).
 perf:
-	$(GO) run ./cmd/capribench -perf -scale 1
+	$(GO) run ./cmd/capribench -perf -scale 1 -perfgate BENCH_sim.json
 
 # perf-seed additionally measures the growth seed's binary (built from git)
 # on this machine and records the end-to-end speedup in BENCH_sim.json —

@@ -9,10 +9,17 @@ import (
 
 	"capri/internal/compile"
 	"capri/internal/figures"
+	"capri/internal/machine"
 )
 
-// BenchSchema identifies the BENCH_sim.json format.
-const BenchSchema = "capri/bench-sim/v1"
+// BenchSchema identifies the BENCH_sim.json format. v2 added the dispatch
+// mode and the per-sweep decode-cache counters (blocks decoded, cache hits,
+// fused superinstructions); v1 reports remain readable for gating.
+const BenchSchema = "capri/bench-sim/v2"
+
+// gateTolerance is the fractional inst/s regression `-perfgate` tolerates
+// before failing (wall-clock noise allowance).
+const gateTolerance = 0.10
 
 // perfFigure is one timed sweep in the perf report.
 type perfFigure struct {
@@ -33,15 +40,25 @@ type perfFigure struct {
 	Mallocs         uint64  `json:"mallocs"`
 	MallocsPerKInst float64 `json:"mallocs_per_kinst"`
 	BytesAlloc      uint64  `json:"bytes_alloc"`
+	// Decode-cache traffic of the sweep (threaded dispatch only): basic
+	// blocks translated to thunk runs, block entries served from the cache,
+	// and fused superinstructions among the decoded thunks.
+	DecodeBlocks uint64 `json:"decode_blocks,omitempty"`
+	DecodeHits   uint64 `json:"decode_hits,omitempty"`
+	DecodeFused  uint64 `json:"decode_fused,omitempty"`
 }
 
 // perfReport is the BENCH_sim.json payload.
 type perfReport struct {
-	Schema           string       `json:"schema"`
-	Generated        time.Time    `json:"generated"`
-	Scale            int          `json:"scale"`
-	GoVersion        string       `json:"go_version"`
-	GOMAXPROCS       int          `json:"gomaxprocs"`
+	Schema    string    `json:"schema"`
+	Generated time.Time `json:"generated"`
+	Scale     int       `json:"scale"`
+	GoVersion string    `json:"go_version"`
+	// Dispatch records which execution core produced the numbers
+	// ("threaded" or "switch") — inst/s from different cores do not gate
+	// against each other meaningfully.
+	Dispatch   string       `json:"dispatch,omitempty"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
 	Figures          []perfFigure `json:"figures"`
 	TotalWallSeconds float64      `json:"total_wall_seconds"`
 	// RefFig8 times the identical Figure-8 sweep on the map-backed
@@ -71,6 +88,7 @@ func measure(name string, h *figures.Harness, fn func() error) (perfFigure, erro
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	inst0 := h.Instret()
+	blk0, hit0, fus0 := h.DecodeStats()
 	start := time.Now()
 	err := fn()
 	wall := time.Since(start).Seconds()
@@ -78,12 +96,16 @@ func measure(name string, h *figures.Harness, fn func() error) (perfFigure, erro
 	if err != nil {
 		return perfFigure{}, fmt.Errorf("%s: %w", name, err)
 	}
+	blk1, hit1, fus1 := h.DecodeStats()
 	pf := perfFigure{
 		Figure:       name,
 		WallSeconds:  wall,
 		Instructions: h.Instret() - inst0,
 		Mallocs:      after.Mallocs - before.Mallocs,
 		BytesAlloc:   after.TotalAlloc - before.TotalAlloc,
+		DecodeBlocks: blk1 - blk0,
+		DecodeHits:   hit1 - hit0,
+		DecodeFused:  fus1 - fus0,
 	}
 	if wall > 0 && pf.Instructions > 0 {
 		pf.InstPerSec = float64(pf.Instructions) / wall
@@ -92,15 +114,80 @@ func measure(name string, h *figures.Harness, fn func() error) (perfFigure, erro
 	return pf, nil
 }
 
+// loadPerfRef reads a previously committed perf report for gating. v1 reports
+// (no dispatch/decode fields) decode fine — the missing fields stay zero.
+func loadPerfRef(path string) (*perfReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep perfReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// gatePerf compares the fresh report against the committed reference and
+// errors when any timed sweep's throughput regressed by more than
+// gateTolerance. Sweeps that simulated nothing new in either report (pure
+// cache replays: fig10/11, headline) carry no signal and are skipped, as is
+// a reference produced by a different dispatch core or at another scale.
+func gatePerf(rep *perfReport, ref *perfReport) error {
+	if ref.Scale != rep.Scale {
+		fmt.Printf("  gate: reference scale %d != %d, skipping\n", ref.Scale, rep.Scale)
+		return nil
+	}
+	if ref.Dispatch != "" && ref.Dispatch != rep.Dispatch {
+		fmt.Printf("  gate: reference dispatch %q != %q, skipping\n", ref.Dispatch, rep.Dispatch)
+		return nil
+	}
+	refBy := map[string]perfFigure{}
+	for _, f := range ref.Figures {
+		refBy[f.Figure] = f
+	}
+	var failed []string
+	for _, f := range rep.Figures {
+		r, ok := refBy[f.Figure]
+		if !ok || r.InstPerSec <= 0 || f.InstPerSec <= 0 {
+			continue
+		}
+		ratio := f.InstPerSec / r.InstPerSec
+		verdict := "ok"
+		if ratio < 1-gateTolerance {
+			verdict = "REGRESSED"
+			failed = append(failed, f.Figure)
+		}
+		fmt.Printf("  gate: %-10s %10.0f inst/s vs ref %10.0f  (%.2fx) %s\n",
+			f.Figure, f.InstPerSec, r.InstPerSec, ratio, verdict)
+	}
+	if len(failed) != 0 {
+		return fmt.Errorf("perf gate: %v regressed more than %.0f%% vs reference", failed, 100*gateTolerance)
+	}
+	return nil
+}
+
 // runPerf times the full figure pipeline and writes BENCH_sim.json. withRef
 // additionally times the Figure-8 sweep on the map-backed reference store to
-// record the paged store's wall-clock speedup.
-func runPerf(scale int, withRef bool, seedWall float64, outPath string) error {
+// record the paged store's wall-clock speedup. A non-empty gatePath names a
+// committed reference report to regress against: the fresh report is still
+// written, then an error is returned if throughput fell beyond tolerance.
+func runPerf(scale int, withRef bool, seedWall float64, outPath, gatePath string) error {
+	var gateRef *perfReport
+	if gatePath != "" {
+		// Read the reference up front — outPath may overwrite it.
+		ref, err := loadPerfRef(gatePath)
+		if err != nil {
+			return fmt.Errorf("perf gate: %w", err)
+		}
+		gateRef = ref
+	}
 	rep := perfReport{
 		Schema:     BenchSchema,
 		Generated:  time.Now().UTC(),
 		Scale:      scale,
 		GoVersion:  runtime.Version(),
+		Dispatch:   machine.DefaultConfig().Dispatch.String(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
@@ -165,10 +252,14 @@ func runPerf(scale int, withRef bool, seedWall float64, outPath string) error {
 		return err
 	}
 
-	fmt.Printf("perf: wrote %s (scale %d)\n", outPath, scale)
+	fmt.Printf("perf: wrote %s (scale %d, %s dispatch)\n", outPath, scale, rep.Dispatch)
 	for _, f := range rep.Figures {
 		fmt.Printf("  %-10s %8.3fs  %9d inst  %10.0f inst/s  %6.1f mallocs/kinst\n",
 			f.Figure, f.WallSeconds, f.Instructions, f.InstPerSec, f.MallocsPerKInst)
+		if f.DecodeBlocks+f.DecodeHits > 0 {
+			fmt.Printf("  %-10s decode: %d blocks, %d cache hits, %d fused ops\n",
+				"", f.DecodeBlocks, f.DecodeHits, f.DecodeFused)
+		}
 	}
 	for _, cc := range []struct {
 		name string
@@ -184,6 +275,9 @@ func runPerf(scale int, withRef bool, seedWall float64, outPath string) error {
 	if rep.SpeedupVsSeed > 0 {
 		fmt.Printf("  fig8-seed  %8.3fs  (seed binary, via -seedwall)\n", rep.SeedFig8WallSeconds)
 		fmt.Printf("  end-to-end speedup vs seed: %.2fx (target >= 1.5x)\n", rep.SpeedupVsSeed)
+	}
+	if gateRef != nil {
+		return gatePerf(&rep, gateRef)
 	}
 	return nil
 }

@@ -44,6 +44,14 @@ type Harness struct {
 	results  map[runKey]Result
 	compiles *compile.Cache
 	instret  atomic.Uint64
+
+	// Decode-cache traffic summed over every simulation (zero when the
+	// machines run the switch core). The perf report records these beside
+	// inst/s so a fusion regression is visible even when wall-clock noise
+	// hides it.
+	decBlocks atomic.Uint64
+	decHits   atomic.Uint64
+	decFused  atomic.Uint64
 }
 
 // baselineRun is one benchmark's baseline simulation, executed exactly once
@@ -82,6 +90,21 @@ func (h *Harness) CompileCacheStats() compile.CacheStats { return h.compiles.Sta
 // (baseline and Capri runs; cache hits do not re-count). The perf harness
 // divides it by wall-clock for instructions-per-second.
 func (h *Harness) Instret() uint64 { return h.instret.Load() }
+
+// DecodeStats returns the summed decode-cache counters of every simulation:
+// blocks decoded (cache misses), block entries served from the cache, and
+// fused superinstructions among the decoded thunks.
+func (h *Harness) DecodeStats() (blocks, hits, fused uint64) {
+	return h.decBlocks.Load(), h.decHits.Load(), h.decFused.Load()
+}
+
+// addSim folds one finished machine's counters into the harness totals.
+func (h *Harness) addSim(ms machine.Stats) {
+	h.instret.Add(ms.Instret)
+	h.decBlocks.Add(ms.DecodeBlocks)
+	h.decHits.Add(ms.DecodeHits)
+	h.decFused.Add(ms.DecodeFused)
+}
 
 // sem returns a semaphore channel bounding parallel runs.
 func (h *Harness) sem() chan struct{} {
@@ -155,8 +178,8 @@ func (h *Harness) BaselineStats(b workload.Benchmark) (machine.Stats, error) {
 			e.err = fmt.Errorf("%s baseline: %w", b.Name, err)
 			return
 		}
-		h.instret.Add(m.Instret())
 		e.stats = m.Stats()
+		h.addSim(e.stats)
 	})
 	return e.stats, e.err
 }
@@ -202,7 +225,7 @@ func (h *Harness) Run(b workload.Benchmark, level compile.Level, threshold int) 
 		return Result{}, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
 	ms := m.Stats()
-	h.instret.Add(ms.Instret)
+	h.addSim(ms)
 	out := Result{
 		Norm:         float64(ms.Cycles) / float64(base),
 		Machine:      ms,
@@ -260,7 +283,7 @@ func (h *Harness) RunTapped(b workload.Benchmark, level compile.Level, threshold
 	if err := m.Run(); err != nil {
 		return nil, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
-	h.instret.Add(m.Instret())
+	h.addSim(m.Stats())
 	return m, nil
 }
 

@@ -22,13 +22,23 @@ func (m *Machine) step(c *core) {
 	if c.blkFn != c.fn || c.blkId != c.blk {
 		c.blkInsts = m.prog.Funcs[c.fn].Blocks[c.blk].Insts
 		c.blkFn, c.blkId = c.fn, c.blk
+		// The decoded-block cache is keyed by the same (blkFn, blkId) guard;
+		// it must never survive a block switch it did not see.
+		c.dblk = nil
 	}
 	if c.idx >= len(c.blkInsts) {
 		m.fatalf("core %d: PC f%d b%d idx %d beyond block", c.id, c.fn, c.blk, c.idx)
 		return
 	}
 	in := &c.blkInsts[c.idx]
-	c.curInsts++
+	// Provisionally count the instruction into the open region's body. Every
+	// path below that does NOT retire the instruction (front-end stalls, lock
+	// spins) backs this out, and boundary instructions are excluded outright:
+	// RegionInsts/sumInsts measure the region's retired body, not dispatch
+	// attempts or the delimiter itself.
+	if in.Op != isa.OpBoundary {
+		c.curInsts++
+	}
 
 	advance := true
 	switch in.Op {
@@ -121,6 +131,7 @@ func (m *Machine) step(c *core) {
 	case isa.OpStore:
 		addr := c.regs[in.Ra] + uint64(in.Imm)
 		if !m.doStore(c, addr, c.regs[in.Rb]) {
+			c.curInsts--
 			return // stalled on the front-end proxy; retry
 		}
 		c.dynStores++
@@ -147,6 +158,7 @@ func (m *Machine) step(c *core) {
 		c.regs[isa.SP] -= mem.WordSize
 		if !m.doStore(c, c.regs[isa.SP], uint64(in.Imm)) {
 			c.regs[isa.SP] += mem.WordSize // undo; retry whole instruction
+			c.curInsts--
 			return
 		}
 		c.dynStores++
@@ -170,6 +182,7 @@ func (m *Machine) step(c *core) {
 		return
 	case isa.OpHalt:
 		if !m.commitRegion(c, int32(c.fn), int32(c.blk), int32(c.idx), true, true) {
+			c.curInsts--
 			return // front-end full; retry
 		}
 		c.halted = true
@@ -187,6 +200,7 @@ func (m *Machine) step(c *core) {
 		addr := c.regs[in.Ra] + uint64(in.Imm)
 		old := m.mem.Load(addr)
 		if !m.doSyncStore(c, in, addr, old+c.regs[in.Rb], in.Rd, old) {
+			c.curInsts--
 			return
 		}
 	case isa.OpAtomicCAS:
@@ -194,6 +208,7 @@ func (m *Machine) step(c *core) {
 		old := m.mem.Load(addr)
 		if old == c.regs[in.Rb] {
 			if !m.doSyncStore(c, in, addr, c.regs[in.Rc], in.Rd, old) {
+				c.curInsts--
 				return
 			}
 		} else {
@@ -209,11 +224,13 @@ func (m *Machine) step(c *core) {
 			return
 		}
 		if !m.doSyncStore(c, in, addr, 1, 0, 0) {
+			c.curInsts--
 			return
 		}
 	case isa.OpUnlock:
 		addr := c.regs[in.Ra] + uint64(in.Imm)
 		if !m.doSyncStore(c, in, addr, 0, 0, 0) {
+			c.curInsts--
 			return
 		}
 	case isa.OpBarrier:
@@ -233,7 +250,6 @@ func (m *Machine) step(c *core) {
 			return // front-end full; retry
 		}
 		c.dynBounds++
-		c.curInsts-- // boundary instructions are not counted as region body
 		c.endRegionStats()
 		c.tick(CauseBoundary, 2*costALU)
 
@@ -284,6 +300,11 @@ func (m *Machine) doStore(c *core, addr uint64, val uint64) bool {
 			return false
 		}
 		c.regionStores = true
+		// New front entry: it cannot depart before the next departure slot,
+		// so folding that slot into the horizon keeps it exact.
+		if b := c.path.Backlog(); b < c.svcAt {
+			c.svcAt = b
+		}
 		if m.tap != nil {
 			m.tapStore(c, addr, val, undo, c.front.Merges > mergesBefore)
 		}
@@ -336,6 +357,9 @@ func (m *Machine) doSyncStore(c *core, in *isa.Inst, addr, newVal uint64, rd isa
 		return false
 	}
 	c.regionStores = true
+	if b := c.path.Backlog(); b < c.svcAt {
+		c.svcAt = b // new front entry: fold in the next departure slot
+	}
 	if m.tap != nil {
 		m.tapStore(c, addr, newVal, undo, c.front.Merges > mergesBefore)
 	}
@@ -380,6 +404,9 @@ func (m *Machine) commitRegion(c *core, fn, blk, idx int32, force, halt bool) bo
 	}
 	c.stagedEmits = c.stagedEmits[:0]
 	c.regionStores = false
+	if b := c.path.Backlog(); b < c.svcAt {
+		c.svcAt = b // new (or elided) boundary: fold in the next departure slot
+	}
 	if m.metrics != nil {
 		m.sampleBoundary(c, elided)
 	}
@@ -434,82 +461,125 @@ func (c *core) endRegionStats() {
 	c.curStores = 0
 }
 
-// resumeAt positions a recovered core (used by the recovery package).
+// resumeAt positions a recovered core (used by the recovery package). The
+// new PC may live in a different program generation than whatever the block
+// caches hold, so both the block-inst cache and the pre-decoded thunk cache
+// are invalidated here — stale decoded code must never execute after state is
+// reinstalled.
 func (c *core) resumeAt(rec CoreRecord) {
 	c.regs = rec.Regs
 	c.fn, c.blk, c.idx = int(rec.Fn), int(rec.Blk), int(rec.Idx)
 	c.regionSeq = rec.Region
 	c.halted = rec.Halted
+	c.svcAt = 0 // recovered proxy state: recompute the horizon from scratch
+	c.invalidateBlockCache()
+}
+
+// invalidateBlockCache drops the per-core current-block caches: the raw
+// instruction slice the switch core reads and the decoded thunk run the
+// threaded core dispatches. Both refresh lazily from m.prog on next dispatch.
+func (c *core) invalidateBlockCache() {
+	c.blkFn, c.blkId = -1, -1
+	c.blkInsts = nil
+	c.dblk = nil
+}
+
+// invalidateDecode drops every decoded-code cache in the machine: the shared
+// per-program thunk cache and each core's current-block caches. Called when
+// the loaded program is replaced; resumeAt covers the per-core half on
+// recovery.
+func (m *Machine) invalidateDecode() {
+	m.dec = nil
+	for _, c := range m.cores {
+		c.invalidateBlockCache()
+	}
 }
 
 // execSlice evaluates a recovery slice over a register file (paper §4.4.1's
 // recovery block). Only re-executable instructions may appear.
 func execSlice(regs *[isa.NumRegs]uint64, slice []isa.Inst) {
 	for i := range slice {
-		in := &slice[i]
-		switch in.Op {
-		case isa.OpAdd:
-			regs[in.Rd] = regs[in.Ra] + regs[in.Rb]
-		case isa.OpSub:
-			regs[in.Rd] = regs[in.Ra] - regs[in.Rb]
-		case isa.OpMul:
-			regs[in.Rd] = regs[in.Ra] * regs[in.Rb]
-		case isa.OpDiv:
-			if d := regs[in.Rb]; d == 0 {
-				regs[in.Rd] = 0
-			} else {
-				regs[in.Rd] = uint64(int64(regs[in.Ra]) / int64(d))
-			}
-		case isa.OpRem:
-			if d := regs[in.Rb]; d == 0 {
-				regs[in.Rd] = 0
-			} else {
-				regs[in.Rd] = uint64(int64(regs[in.Ra]) % int64(d))
-			}
-		case isa.OpAnd:
-			regs[in.Rd] = regs[in.Ra] & regs[in.Rb]
-		case isa.OpOr:
-			regs[in.Rd] = regs[in.Ra] | regs[in.Rb]
-		case isa.OpXor:
-			regs[in.Rd] = regs[in.Ra] ^ regs[in.Rb]
-		case isa.OpShl:
-			regs[in.Rd] = regs[in.Ra] << (regs[in.Rb] & 63)
-		case isa.OpShr:
-			regs[in.Rd] = regs[in.Ra] >> (regs[in.Rb] & 63)
-		case isa.OpMin:
-			if int64(regs[in.Ra]) < int64(regs[in.Rb]) {
-				regs[in.Rd] = regs[in.Ra]
-			} else {
-				regs[in.Rd] = regs[in.Rb]
-			}
-		case isa.OpMax:
-			if int64(regs[in.Ra]) > int64(regs[in.Rb]) {
-				regs[in.Rd] = regs[in.Ra]
-			} else {
-				regs[in.Rd] = regs[in.Rb]
-			}
-		case isa.OpAddI:
-			regs[in.Rd] = regs[in.Ra] + uint64(in.Imm)
-		case isa.OpMulI:
-			regs[in.Rd] = regs[in.Ra] * uint64(in.Imm)
-		case isa.OpAndI:
-			regs[in.Rd] = regs[in.Ra] & uint64(in.Imm)
-		case isa.OpShlI:
-			regs[in.Rd] = regs[in.Ra] << (uint64(in.Imm) & 63)
-		case isa.OpShrI:
-			regs[in.Rd] = regs[in.Ra] >> (uint64(in.Imm) & 63)
-		case isa.OpMovI:
-			regs[in.Rd] = uint64(in.Imm)
-		case isa.OpMov:
+		execOne(regs, &slice[i])
+	}
+}
+
+// execOne evaluates one re-executable (register-local) instruction. It is the
+// shared functional core of recovery-slice evaluation and the threaded
+// dispatcher's fused ALU runs; non-re-executable opcodes are ignored.
+func execOne(regs *[isa.NumRegs]uint64, in *isa.Inst) {
+	switch in.Op {
+	case isa.OpAdd:
+		regs[in.Rd] = regs[in.Ra] + regs[in.Rb]
+	case isa.OpSub:
+		regs[in.Rd] = regs[in.Ra] - regs[in.Rb]
+	case isa.OpMul:
+		regs[in.Rd] = regs[in.Ra] * regs[in.Rb]
+	case isa.OpDiv:
+		if d := regs[in.Rb]; d == 0 {
+			regs[in.Rd] = 0
+		} else {
+			regs[in.Rd] = uint64(int64(regs[in.Ra]) / int64(d))
+		}
+	case isa.OpRem:
+		if d := regs[in.Rb]; d == 0 {
+			regs[in.Rd] = 0
+		} else {
+			regs[in.Rd] = uint64(int64(regs[in.Ra]) % int64(d))
+		}
+	case isa.OpAnd:
+		regs[in.Rd] = regs[in.Ra] & regs[in.Rb]
+	case isa.OpOr:
+		regs[in.Rd] = regs[in.Ra] | regs[in.Rb]
+	case isa.OpXor:
+		regs[in.Rd] = regs[in.Ra] ^ regs[in.Rb]
+	case isa.OpShl:
+		regs[in.Rd] = regs[in.Ra] << (regs[in.Rb] & 63)
+	case isa.OpShr:
+		regs[in.Rd] = regs[in.Ra] >> (regs[in.Rb] & 63)
+	case isa.OpMin:
+		if int64(regs[in.Ra]) < int64(regs[in.Rb]) {
 			regs[in.Rd] = regs[in.Ra]
-		case isa.OpSel:
-			if regs[in.Ra] != 0 {
-				regs[in.Rd] = regs[in.Rb]
-			} else {
-				regs[in.Rd] = regs[in.Rc]
-			}
+		} else {
+			regs[in.Rd] = regs[in.Rb]
+		}
+	case isa.OpMax:
+		if int64(regs[in.Ra]) > int64(regs[in.Rb]) {
+			regs[in.Rd] = regs[in.Ra]
+		} else {
+			regs[in.Rd] = regs[in.Rb]
+		}
+	case isa.OpAddI:
+		regs[in.Rd] = regs[in.Ra] + uint64(in.Imm)
+	case isa.OpMulI:
+		regs[in.Rd] = regs[in.Ra] * uint64(in.Imm)
+	case isa.OpAndI:
+		regs[in.Rd] = regs[in.Ra] & uint64(in.Imm)
+	case isa.OpShlI:
+		regs[in.Rd] = regs[in.Ra] << (uint64(in.Imm) & 63)
+	case isa.OpShrI:
+		regs[in.Rd] = regs[in.Ra] >> (uint64(in.Imm) & 63)
+	case isa.OpMovI:
+		regs[in.Rd] = uint64(in.Imm)
+	case isa.OpMov:
+		regs[in.Rd] = regs[in.Ra]
+	case isa.OpSel:
+		if regs[in.Ra] != 0 {
+			regs[in.Rd] = regs[in.Rb]
+		} else {
+			regs[in.Rd] = regs[in.Rc]
 		}
 	}
+}
+
+// aluCost returns the fixed issue cost of a re-executable instruction.
+func aluCost(op isa.Op) uint64 {
+	switch op {
+	case isa.OpMul, isa.OpMulI:
+		return costMul
+	case isa.OpDiv, isa.OpRem:
+		return costDiv
+	}
+	return costALU
 }
 
 // blockOf is a small helper for recovery.

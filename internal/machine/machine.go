@@ -53,14 +53,20 @@ type core struct {
 	halted bool
 
 	// Current-block instruction cache: step refreshes it when (fn, blk)
-	// moves, saving two pointer chases per executed instruction.
+	// moves, saving two pointer chases per executed instruction. dblk is the
+	// threaded core's decoded form of the same block (see decode.go); the two
+	// are refreshed and invalidated together (invalidateBlockCache).
 	blkFn    int
 	blkId    int
 	blkInsts []isa.Inst
+	dblk     *dblock
 
-	// lineSeen is scheduleDrain's distinct-line scratch, reused (and
-	// cleared) per region instead of allocating a map per boundary.
-	lineSeen map[uint64]struct{}
+	// lineScratch is scheduleDrain's distinct-line scratch: linear dedup
+	// (which beats map hashing for the typical few-dozen-line region), with
+	// lineSeen as the reused map fallback once a region's distinct-line
+	// count makes the linear scan quadratic-expensive.
+	lineScratch []uint64
+	lineSeen    map[uint64]struct{}
 
 	l1    *cache.Cache
 	front *proxy.FrontEnd
@@ -77,6 +83,16 @@ type core struct {
 	// core's NVM write-queue bank.
 	drainDone []uint64
 	drainFree uint64
+
+	// svcAt is the service event horizon: the earliest cycle at which
+	// m.service(c) could do anything (next drain completion, next path
+	// arrival, or next front-end departure slot). Strictly before it,
+	// service is provably a no-op and is skipped; every proxy mutation
+	// outside service folds its earliest consequence (the next departure
+	// slot) into it, and service itself recomputes it (recomputeSvc).
+	// Purely a simulator fast path — the serviced schedule is identical to
+	// servicing before every instruction.
+	svcAt uint64
 
 	// drain-retry state (fault model): consecutive transient write errors of
 	// the oldest booked drain, and lifetime retry/exhaustion counters.
@@ -128,6 +144,8 @@ type Machine struct {
 
 	cores   []*core
 	records []CoreRecord // NVM-resident recovery records
+
+	dec *dprog // decoded-program cache of the threaded core (lazy; see decode.go)
 
 	seq         uint64 // global store sequence
 	steps       uint64
@@ -284,6 +302,27 @@ func (m *Machine) Config() Config { return m.cfg }
 // Program returns the loaded program.
 func (m *Machine) Program() *prog.Program { return m.prog }
 
+// ReplaceProgram swaps the loaded program in place (hot-patching between
+// RunUntil segments, e.g. a firmware update applied at a quiesce point). The
+// new program must be position-compatible with every core's current PC —
+// callers normally swap in a recompilation of the same source. All decoded
+// code and per-core block caches are dropped: nothing decoded from the old
+// program may execute afterwards.
+func (m *Machine) ReplaceProgram(p *prog.Program) error {
+	for _, c := range m.cores {
+		if c.halted {
+			continue
+		}
+		if c.fn >= len(p.Funcs) || c.blk >= len(p.Funcs[c.fn].Blocks) ||
+			c.idx > len(p.Funcs[c.fn].Blocks[c.blk].Insts) {
+			return fmt.Errorf("machine: core %d PC f%d b%d i%d outside replacement program", c.id, c.fn, c.blk, c.idx)
+		}
+	}
+	m.prog = p
+	m.invalidateDecode()
+	return nil
+}
+
 // Done reports whether every core has halted.
 func (m *Machine) Done() bool {
 	return m.haltedCores == len(m.cores)
@@ -333,9 +372,11 @@ func (m *Machine) Instret() uint64 {
 
 func (m *Machine) run(crashAt uint64) error {
 	// The crash-point check uses a running retired-instruction counter
-	// instead of re-summing every core's instret each step; step retires at
-	// most one instruction per call, so the delta around it is 0 or 1.
+	// instead of re-summing every core's instret each step; a dispatch
+	// retires at most maxFuseLen+1 instructions, so the delta around it is
+	// cheap to track.
 	m.retired = m.Instret()
+	threaded := m.cfg.Dispatch == DispatchThreaded
 	for !m.Done() {
 		if m.fatal != nil {
 			return m.fatal
@@ -344,38 +385,80 @@ func (m *Machine) run(crashAt uint64) error {
 			m.crashed = true
 			return nil
 		}
-		if m.steps >= m.cfg.MaxSteps {
-			return fmt.Errorf("machine: step budget exhausted (%d steps, %d instret) — deadlock?", m.steps, m.Instret())
+		// Pick the minimum-cycle runnable core (ties to the lowest ID — the
+		// per-instruction reference schedule) and, in the same pass, the two
+		// quantum bounds: limLess is the minimum cycle among runnable cores
+		// with a lower ID than the pick, limLeq among higher IDs. c stays the
+		// scheduler's pick exactly while its cycle count is strictly below
+		// limLess and at most limLeq, so the inner loop dispatches without
+		// rescanning all cores per instruction. Cores scan in ID order: when
+		// a later core strictly undercuts the current pick, everything seen
+		// so far (including the old pick) has a lower ID and folds into
+		// limLess.
+		var c *core
+		limLess, limLeq := ^uint64(0), ^uint64(0)
+		for _, o := range m.cores {
+			if o.halted {
+				continue
+			}
+			if c == nil {
+				c = o
+			} else if o.cycle < c.cycle {
+				lo := c.cycle
+				if limLess < lo {
+					lo = limLess
+				}
+				if limLeq < lo {
+					lo = limLeq
+				}
+				limLess, limLeq = lo, ^uint64(0)
+				c = o
+			} else if o.cycle < limLeq {
+				limLeq = o.cycle
+			}
 		}
-		m.steps++
-		c := m.nextCore()
 		if c == nil {
 			return fmt.Errorf("machine: no runnable core")
 		}
-		m.service(c)
-		before := c.instret
-		m.step(c)
-		m.retired += c.instret - before
+		// budget bounds fused-run dispatch: the highest cycle at which the
+		// scheduler would still pick c for a further instruction. limLess is
+		// at least c.cycle+1 here (c won the tie-break), so the -1 is safe.
+		budget := limLeq
+		if limLess != ^uint64(0) && limLess-1 < budget {
+			budget = limLess - 1
+		}
+		for {
+			if m.steps >= m.cfg.MaxSteps {
+				return fmt.Errorf("machine: step budget exhausted (%d steps, %d instret) — deadlock?", m.steps, m.Instret())
+			}
+			m.steps++
+			if c.front != nil && c.cycle >= c.svcAt {
+				m.service(c)
+			}
+			before := c.instret
+			if threaded && budget > c.cycle && crashAt-m.retired > maxFuseLen+1 {
+				m.stepThreaded(c, budget)
+			} else {
+				// With zero quantum slack (cores in lockstep — budget equals
+				// c.cycle, so no multi-instruction thunk could dispatch), near
+				// the crash point (crash injection is defined at instruction
+				// granularity), or in switch mode, retire one instruction at
+				// a time on the reference core.
+				m.step(c)
+			}
+			m.retired += c.instret - before
+			if c.halted || m.fatal != nil || m.retired >= crashAt {
+				break
+			}
+			if c.cycle >= limLess || c.cycle > limLeq {
+				break
+			}
+		}
 	}
 	// Quiesce: let every pending region finish phase 2 so the NVM image and
 	// output tapes are complete.
 	m.quiesce()
 	return m.fatal
-}
-
-// nextCore picks the runnable core with the smallest local cycle count
-// (deterministic: ties break by core ID).
-func (m *Machine) nextCore() *core {
-	var best *core
-	for _, c := range m.cores {
-		if c.halted {
-			continue
-		}
-		if best == nil || c.cycle < best.cycle {
-			best = c
-		}
-	}
-	return best
 }
 
 // quiesce drains all proxy machinery after the program completes.

@@ -218,21 +218,23 @@ func (m *Machine) service(c *core) {
 		m.applyPhase2(c, region)
 	}
 
-	// Deliver arrived packets into the back-end (pointer iteration: Entry is
-	// large, and this loop runs once per serviced instruction).
-	delivered := c.path.Deliver(now)
-	for i := range delivered {
-		e := &delivered[i]
+	// Deliver arrived packets into the back-end (zero-copy: the callback gets
+	// a pointer into the wire buffer, and AcceptFrom copies it exactly once,
+	// into the back-end ring).
+	c.path.DeliverEach(now, func(e *proxy.Entry, hit bool) {
 		if e.Kind == proxy.KindData {
 			c.inflightData--
 		}
-		if !c.back.Accept(*e) {
+		if !c.back.AcceptFrom(e) {
 			m.fatalf("core %d: back-end proxy overflow (threshold %d)", c.id, m.cfg.Threshold)
 			return
 		}
 		if e.Kind == proxy.KindBoundary {
 			m.scheduleDrain(c, now)
 		}
+	})
+	if m.fatal != nil {
+		return
 	}
 
 	// Drain the front-end while the path has bandwidth and the back-end
@@ -240,24 +242,48 @@ func (m *Machine) service(c *core) {
 	m.drainFront(c)
 }
 
-// drainFront moves entries from the front-end onto the proxy path.
+// recomputeSvc refreshes core c's service event horizon after service ran:
+// the earliest cycle at which any service phase could act again. A front-end
+// blocked purely on back-end space can only unblock at a drain retirement,
+// which the drainDone term already covers.
+func (m *Machine) recomputeSvc(c *core) {
+	next := ^uint64(0)
+	if len(c.drainDone) > 0 {
+		next = c.drainDone[0]
+	}
+	if a, ok := c.path.HeadArrival(); ok && a < next {
+		next = a
+	}
+	if c.front.Len() > 0 {
+		if c.front.Peek().Kind == proxy.KindData &&
+			c.back.Len()+c.path.InFlight() >= m.cfg.Threshold {
+			// Back-pressure: nothing departs until a drain retires.
+		} else if d := c.path.Backlog(); d < next {
+			next = d
+		}
+	}
+	c.svcAt = next
+}
+
+// drainFront moves entries from the front-end onto the proxy path. It is the
+// last phase of service (and of quiesce's pump), so it also refreshes the
+// service event horizon on every exit path.
 func (m *Machine) drainFront(c *core) {
+	defer m.recomputeSvc(c)
 	now := c.cycle
 	for c.front.Len() > 0 {
 		if c.path.Backlog() > now {
 			return // no departure slot yet
 		}
-		if c.front.Peek().Kind == proxy.KindData {
+		e := c.front.Peek()
+		if e.Kind == proxy.KindData {
 			// Reserve back-end space including packets already in flight.
 			if c.back.Len()+c.path.InFlight() >= m.cfg.Threshold {
 				return
 			}
-		}
-		e, _ := c.front.Pop()
-		if e.Kind == proxy.KindData {
 			c.inflightData++
 		}
-		depart := c.path.Send(e, now)
+		depart := c.path.SendFrom(e, now)
 		if m.tap != nil {
 			ev := audit.Event{Kind: audit.EvLaunch, Core: int32(c.id), Cycle: now, Val: depart}
 			if e.Kind == proxy.KindBoundary {
@@ -268,6 +294,7 @@ func (m *Machine) drainFront(c *core) {
 			}
 			m.tap.Tap(ev)
 		}
+		c.front.DropHead()
 	}
 }
 
@@ -283,11 +310,12 @@ func (m *Machine) scheduleDrain(c *core, now uint64) {
 	scheduled := len(c.drainDone)
 	seen := 0
 	writes := uint64(0)
-	if c.lineSeen == nil {
-		c.lineSeen = make(map[uint64]struct{}, 64)
-	} else {
-		clear(c.lineSeen)
-	}
+	// Count distinct lines with a linear-scan scratch (typical regions touch
+	// a few dozen lines at most); spill to the reused map only when the scan
+	// would go quadratic.
+	const lineScanMax = 48
+	lines := c.lineScratch[:0]
+	useMap := false
 	for i := range entries {
 		e := &entries[i]
 		if e.Kind == proxy.KindBoundary {
@@ -301,10 +329,41 @@ func (m *Machine) scheduleDrain(c *core, now uint64) {
 			continue
 		}
 		if seen == scheduled && e.Valid {
-			c.lineSeen[mem.LineAddr(e.Addr)] = struct{}{}
+			line := mem.LineAddr(e.Addr)
+			if useMap {
+				c.lineSeen[line] = struct{}{}
+				continue
+			}
+			dup := false
+			for _, l := range lines {
+				if l == line {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			lines = append(lines, line)
+			if len(lines) > lineScanMax {
+				if c.lineSeen == nil {
+					c.lineSeen = make(map[uint64]struct{}, 128)
+				} else {
+					clear(c.lineSeen)
+				}
+				for _, l := range lines {
+					c.lineSeen[l] = struct{}{}
+				}
+				useMap = true
+			}
 		}
 	}
-	writes += uint64(len(c.lineSeen))
+	c.lineScratch = lines
+	if useMap {
+		writes += uint64(len(c.lineSeen))
+	} else {
+		writes += uint64(len(lines))
+	}
 	start := c.drainFree
 	if start < now {
 		start = now
@@ -378,6 +437,12 @@ func (m *Machine) applyPhase2(c *core, region proxy.CommittedRegion) {
 		}
 	}
 	m.applyMarker(c.id, &region.Boundary)
+	// The boundary's slice backings are dead now: every buffer slot that held
+	// a copy of this entry was cleared as it moved through (front ring, wire
+	// packet, back ring), and applyMarker copied the payload out. Return them
+	// to the front-end's allocation pool. (Recovery's marker replay in
+	// crash.go does NOT recycle — harvested entries may alias crash images.)
+	c.front.Recycle(region.Boundary.Ckpts, region.Boundary.Emits)
 }
 
 // applyMarker folds a committed boundary entry into core t's NVM recovery

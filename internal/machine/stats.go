@@ -33,6 +33,11 @@ type Stats struct {
 	DrainRetries    uint64 // transient NVM write errors retried (fault model)
 	DrainExhausted  uint64 // drains that exhausted the retry budget (fault model)
 
+	// Threaded-dispatch decode cache (decode.go; zero under DispatchSwitch).
+	DecodeBlocks uint64 // basic blocks translated into thunk runs (cache misses)
+	DecodeHits   uint64 // block entries served from the decode cache
+	DecodeFused  uint64 // fused superinstructions among the decoded thunks
+
 	// Dynamic region shape (Figures 10 and 11).
 	Regions         uint64
 	AvgRegionInsts  float64
@@ -56,6 +61,11 @@ func (m *Machine) Stats() Stats {
 		L2Misses:      m.l2.Misses,
 		DRAMHits:      m.dram.Hits,
 		DRAMMisses:    m.dram.Misses,
+	}
+	if m.dec != nil {
+		s.DecodeBlocks = m.dec.misses
+		s.DecodeHits = m.dec.hits
+		s.DecodeFused = m.dec.fused
 	}
 	var crit *core
 	for _, c := range m.cores {

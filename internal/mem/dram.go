@@ -8,12 +8,20 @@ package mem
 // the memory controller propagate to the NVM write queue rather than
 // lingering dirty here, so the cache only ever holds clean lines.
 type DRAMCache struct {
-	sets []uint64 // tag per set; 0 means empty (tag = lineAddr | 1)
-	mask uint64   // len(sets)-1 when the set count is a power of two, else 0
+	// Tag storage is chunked and allocated lazily: a multi-MB direct-mapped
+	// cache would otherwise be zeroed wholesale at machine construction, and
+	// figure sweeps construct one machine per configuration point. A set
+	// holds the line tag, or 0 when empty (tag = lineAddr | 1).
+	chunks [][]uint64
+	nsets  uint64
+	mask   uint64 // nsets-1 when the set count is a power of two, else 0
 
 	Hits   uint64
 	Misses uint64
 }
+
+// dramChunkBits sizes a tag chunk (2^13 sets = 64 KB of tags).
+const dramChunkBits = 13
 
 // NewDRAMCache builds a direct-mapped cache of the given capacity in bytes.
 func NewDRAMCache(capacity uint64) *DRAMCache {
@@ -21,7 +29,8 @@ func NewDRAMCache(capacity uint64) *DRAMCache {
 	if n == 0 {
 		n = 1
 	}
-	d := &DRAMCache{sets: make([]uint64, n)}
+	nchunks := (n + (1 << dramChunkBits) - 1) >> dramChunkBits
+	d := &DRAMCache{chunks: make([][]uint64, nchunks), nsets: n}
 	if n&(n-1) == 0 {
 		d.mask = n - 1
 	}
@@ -33,23 +42,34 @@ func NewDRAMCache(capacity uint64) *DRAMCache {
 // for odd capacities and is bit-identical to the mask for power-of-two ones.
 func (d *DRAMCache) idx(line uint64) uint64 {
 	s := line / LineSize
-	if d.mask != 0 || len(d.sets) == 1 {
+	if d.mask != 0 || d.nsets == 1 {
 		return s & d.mask
 	}
-	return s % uint64(len(d.sets))
+	return s % d.nsets
+}
+
+// set returns a pointer to the tag slot for a set index, materializing its
+// chunk on first touch.
+func (d *DRAMCache) set(idx uint64) *uint64 {
+	ch := d.chunks[idx>>dramChunkBits]
+	if ch == nil {
+		ch = make([]uint64, 1<<dramChunkBits)
+		d.chunks[idx>>dramChunkBits] = ch
+	}
+	return &ch[idx&(1<<dramChunkBits-1)]
 }
 
 // Access looks up the line containing addr, filling it on miss. It reports
 // whether the access hit.
 func (d *DRAMCache) Access(addr uint64) bool {
 	line := LineAddr(addr)
-	idx := d.idx(line)
+	s := d.set(d.idx(line))
 	tag := line | 1
-	if d.sets[idx] == tag {
+	if *s == tag {
 		d.Hits++
 		return true
 	}
-	d.sets[idx] = tag
+	*s = tag
 	d.Misses++
 	return false
 }
@@ -58,12 +78,12 @@ func (d *DRAMCache) Access(addr uint64) bool {
 // (used when writebacks pass through the controller).
 func (d *DRAMCache) Fill(addr uint64) {
 	line := LineAddr(addr)
-	d.sets[d.idx(line)] = line | 1
+	*d.set(d.idx(line)) = line | 1
 }
 
 // Reset drops all lines (power failure).
 func (d *DRAMCache) Reset() {
-	for i := range d.sets {
-		d.sets[i] = 0
+	for i := range d.chunks {
+		d.chunks[i] = nil
 	}
 }

@@ -56,7 +56,12 @@ func (b *BackEnd) Len() int { return len(b.entries) }
 // while keeping the oldest undo image. Returns false — and counts an
 // overflow, which the machine treats as a fatal invariant violation — if a
 // data entry does not fit.
-func (b *BackEnd) Accept(e Entry) bool {
+func (b *BackEnd) Accept(e Entry) bool { return b.AcceptFrom(&e) }
+
+// AcceptFrom is Accept without the by-value argument copy; the entry is
+// copied exactly once, into the buffer (see Path.DeliverEach — the arrival
+// loop hands out pointers into the wire buffer).
+func (b *BackEnd) AcceptFrom(e *Entry) bool {
 	if e.Kind == KindData && !b.NoMerge {
 		for i := len(b.entries) - 1; i >= 0; i-- {
 			x := &b.entries[i]
@@ -78,12 +83,12 @@ func (b *BackEnd) Accept(e Entry) bool {
 			}
 		}
 	}
-	if !b.SpaceFor(e) {
+	if !b.SpaceFor(*e) {
 		b.Overflow++
 		return false
 	}
 	b.Received++
-	b.entries = append(b.entries, e)
+	b.entries = append(b.entries, *e)
 	if e.Kind == KindData {
 		b.ndata++
 	}
@@ -132,7 +137,8 @@ func (b *BackEnd) PopRegion() (CommittedRegion, bool) {
 			n := copy(b.entries, b.entries[i+1:])
 			dead := b.entries[n:]
 			for j := range dead {
-				dead[j] = Entry{} // drop Ckpts/Emits references
+				// drop Ckpts/Emits references; stale scalars are never read
+				dead[j].Ckpts, dead[j].Emits = nil, nil
 			}
 			b.entries = b.entries[:n]
 			b.ndata -= i

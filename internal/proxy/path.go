@@ -64,7 +64,12 @@ func NewPath(latency, interval uint64) *Path {
 
 // Send departs an entry at the given cycle (or the earliest bandwidth slot
 // after it) and returns the departure cycle actually used.
-func (p *Path) Send(e Entry, now uint64) uint64 {
+func (p *Path) Send(e Entry, now uint64) uint64 { return p.SendFrom(&e, now) }
+
+// SendFrom is Send without the by-value argument copy: the entry is copied
+// exactly once, straight into the in-flight packet (Entry is large, and the
+// drain loop runs once per proxy entry the whole simulation moves).
+func (p *Path) SendFrom(e *Entry, now uint64) uint64 {
 	depart := now
 	if p.nextDepart > depart {
 		depart = p.nextDepart
@@ -73,18 +78,31 @@ func (p *Path) Send(e Entry, now uint64) uint64 {
 	if len(p.inflight) == cap(p.inflight) && p.head > 0 {
 		n := copy(p.inflight, p.inflight[p.head:])
 		for i := n; i < len(p.inflight); i++ {
-			p.inflight[i] = packet{}
+			// Only the slice fields need clearing (reference retention);
+			// stale scalars in dead slots are never read.
+			p.inflight[i].e.Ckpts = nil
+			p.inflight[i].e.Emits = nil
 		}
 		p.inflight = p.inflight[:n]
 		p.head = 0
 	}
-	p.inflight = append(p.inflight, packet{e: e, arrives: depart + p.Latency})
+	p.inflight = append(p.inflight, packet{e: *e, arrives: depart + p.Latency})
 	p.Sent++
 	return depart
 }
 
 // InFlight returns the number of entries on the wire.
 func (p *Path) InFlight() int { return len(p.inflight) - p.head }
+
+// HeadArrival returns the wire-arrival cycle of the oldest in-flight packet.
+// ok is false when nothing is in flight. Deliver cannot pop anything before
+// this cycle — the machine's service gate is built on it.
+func (p *Path) HeadArrival() (uint64, bool) {
+	if p.head >= len(p.inflight) {
+		return 0, false
+	}
+	return p.inflight[p.head].arrives, true
+}
 
 // WindowLen returns the number of live monitoring-window entries (expired
 // entries that have not been pruned yet count — pruning is opportunistic).
@@ -95,20 +113,18 @@ func (p *Path) WindowLen() int { return len(p.window) }
 // entry — the machine uses it to model front-end drain pacing.
 func (p *Path) Backlog() uint64 { return p.nextDepart }
 
-// Deliver pops every entry that has arrived by `now`, applying the
-// monitoring window to unset stale redo valid-bits. The returned slice
-// aliases a per-path scratch reused by the next Deliver call.
-func (p *Path) Deliver(now uint64) []Entry {
-	if p.head >= len(p.inflight) {
-		return nil
-	}
-	out := p.outBuf[:0]
+// DeliverEach pops every entry that has arrived by `now`, applying the
+// monitoring window to unset stale redo valid-bits, and hands each to fn by
+// pointer into the packet storage — valid only for the duration of the call;
+// fn must copy whatever outlives it. This is the zero-copy arrival path: the
+// machine's service loop consumes entries straight out of the wire buffer.
+func (p *Path) DeliverEach(now uint64, fn func(e *Entry, hit bool)) {
 	for p.head < len(p.inflight) {
 		pk := &p.inflight[p.head]
 		if pk.arrives > now {
 			break
 		}
-		e := pk.e
+		e := &pk.e
 		hit := false
 		if e.Kind == KindData && len(p.window) > 0 {
 			if w, ok := p.window[e.Addr]; ok && pk.arrives <= w.expiry && e.Seq <= w.seq {
@@ -118,17 +134,25 @@ func (p *Path) Deliver(now uint64) []Entry {
 			}
 		}
 		if p.Probe != nil {
-			p.Probe(&e, pk.arrives, hit)
+			p.Probe(e, pk.arrives, hit)
 		}
 		p.Delivered++
-		out = append(out, e)
-		*pk = packet{}
+		fn(e, hit)
+		e.Ckpts, e.Emits = nil, nil
 		p.head++
 	}
 	if p.head == len(p.inflight) {
 		p.inflight = p.inflight[:0]
 		p.head = 0
 	}
+}
+
+// Deliver pops every entry that has arrived by `now`, applying the
+// monitoring window to unset stale redo valid-bits. The returned slice
+// aliases a per-path scratch reused by the next Deliver call.
+func (p *Path) Deliver(now uint64) []Entry {
+	out := p.outBuf[:0]
+	p.DeliverEach(now, func(e *Entry, hit bool) { out = append(out, *e) })
 	p.outBuf = out
 	return out
 }

@@ -92,6 +92,13 @@ type FrontEnd struct {
 	// Register-file checkpoint staging for the current (uncommitted) region.
 	staged []RegCkpt
 
+	// Bounded freelists for boundary-entry slice backings. AddBoundary is the
+	// simulator's hottest allocation site (one Ckpts and/or Emits slice per
+	// committed region); the machine returns the backings via Recycle once
+	// phase 2 has folded the boundary into the recovery record.
+	ckptPool [][]RegCkpt
+	emitPool [][]uint64
+
 	// Stats.
 	Allocs    uint64
 	Merges    uint64
@@ -126,11 +133,11 @@ func (f *FrontEnd) push(e Entry) {
 	f.entries = append(f.entries, e)
 }
 
-// clearEntries zeroes dead entries so their Ckpts/Emits slices are not
-// retained past their lifetime.
+// clearEntries drops dead entries' Ckpts/Emits slices so they are not
+// retained past their lifetime (stale scalar fields are never read).
 func clearEntries(dead []Entry) {
 	for i := range dead {
-		dead[i] = Entry{}
+		dead[i].Ckpts, dead[i].Emits = nil, nil
 	}
 }
 
@@ -204,15 +211,39 @@ func (f *FrontEnd) AddBoundary(region uint64, pcFunc, pcBlk, pcIdx int32, sp uin
 		PCFunc: pcFunc, PCBlk: pcBlk, PCIdx: pcIdx, SP: sp, Halt: halt,
 	}
 	if len(emits) > 0 {
-		e.Emits = append(e.Emits, emits...)
+		if n := len(f.emitPool); n > 0 {
+			e.Emits = append(f.emitPool[n-1][:0], emits...)
+			f.emitPool = f.emitPool[:n-1]
+		} else {
+			e.Emits = append(e.Emits, emits...)
+		}
 	}
 	if len(f.staged) > 0 {
-		e.Ckpts = append(e.Ckpts, f.staged...)
+		if n := len(f.ckptPool); n > 0 {
+			e.Ckpts = append(f.ckptPool[n-1][:0], f.staged...)
+			f.ckptPool = f.ckptPool[:n-1]
+		} else {
+			e.Ckpts = append(e.Ckpts, f.staged...)
+		}
 		f.staged = f.staged[:0]
 	}
 	f.push(e)
 	f.Boundary++
 	return true, false
+}
+
+// Recycle returns a consumed boundary entry's slice backings to the pool
+// AddBoundary draws from. The caller must guarantee no live Entry copy still
+// references them — the machine calls this only after phase 2 has folded the
+// boundary into the recovery record and every buffer slot holding a copy has
+// been cleared. The pools are bounded; excess backings fall to the GC.
+func (f *FrontEnd) Recycle(ckpts []RegCkpt, emits []uint64) {
+	if cap(ckpts) > 0 && len(f.ckptPool) < 64 {
+		f.ckptPool = append(f.ckptPool, ckpts[:0])
+	}
+	if cap(emits) > 0 && len(f.emitPool) < 64 {
+		f.emitPool = append(f.emitPool, emits[:0])
+	}
 }
 
 // DiscardStaged drops staged checkpoints (power failure hits before the
@@ -233,13 +264,22 @@ func (f *FrontEnd) Pop() (Entry, bool) {
 		return Entry{}, false
 	}
 	e := f.entries[f.head]
-	f.entries[f.head] = Entry{} // drop Ckpts/Emits references
+	f.DropHead()
+	return e, true
+}
+
+// DropHead removes the oldest entry after its contents have been copied out —
+// the zero-copy counterpart of Pop (the machine's drain loop peeks the head,
+// sends it straight into a path packet, then drops it). Dropping an empty
+// buffer panics — check Len first.
+func (f *FrontEnd) DropHead() {
+	// drop Ckpts/Emits references; stale scalars in dead slots are never read
+	f.entries[f.head].Ckpts, f.entries[f.head].Emits = nil, nil
 	f.head++
 	if f.head == len(f.entries) {
 		f.entries = f.entries[:0]
 		f.head = 0
 	}
-	return e, true
 }
 
 // Entries returns the buffered entries oldest-first (recovery reads them
