@@ -7,9 +7,13 @@
 //
 //	capribench -fig 8            # one figure
 //	capribench -all              # everything
+//	capribench -fig 8 -jobs 8    # shard the sweep across 8 workers
+//	capribench -fig 8 -store /tmp/capri-resultstore   # reuse stored results
 //	capribench -headline         # suite geomeans only
 //	capribench -list             # benchmark inventory
 //	capribench -perf             # time the sweeps, write BENCH_sim.json
+//	capribench -sweepcheck       # assert parallel == sequential, warm == 0 sims
+//	capribench -sweepcheck -verify EXPERIMENTS.md    # plus docs block check
 //	capribench -explain          # stall-attribution tables (cycle ledger)
 //	capribench -explain -verify EXPERIMENTS.md   # diff tables vs the docs
 //	capribench -audit            # run the suite under the Fig. 7 auditor
@@ -23,6 +27,7 @@ import (
 
 	"capri/internal/figures"
 	"capri/internal/machine"
+	"capri/internal/resultstore"
 	"capri/internal/stats"
 	"capri/internal/workload"
 )
@@ -45,8 +50,16 @@ func main() {
 		auditAll = flag.Bool("audit", false, "run every benchmark under the online Fig. 7 invariant auditor; exit non-zero on any violation")
 		recDir   = flag.String("record-out", "", "with -audit, write per-benchmark capri/run-record/v1 files into this directory")
 		auditTh  = flag.Int("threshold", 256, "region store threshold (with -audit)")
+		jobs     = flag.Int("jobs", 1, "parallel sweep workers (0 = GOMAXPROCS); see README \"Running parallel sweeps\"")
+		storeDir = flag.String("store", "", "content-addressed result store `dir`; stored configurations replay instead of simulating")
+		sweepChk = flag.Bool("sweepcheck", false, "assert the sweep determinism contract: parallel tables byte-identical to sequential, warm store rerun does zero simulations; with -verify FILE, also byte-check the embedded accounting block")
 	)
 	flag.Parse()
+
+	if *sweepChk {
+		check(runSweepCheck(*scale, *jobs, *verify))
+		return
+	}
 
 	if *auditAll {
 		check(runAudit(*scale, *auditTh, *recDir))
@@ -54,7 +67,7 @@ func main() {
 	}
 
 	if *perf {
-		check(runPerf(*scale, *perfRef, *seedWall, *perfOut, *perfGate))
+		check(runPerf(*scale, *jobs, *storeDir, *perfRef, *seedWall, *perfOut, *perfGate))
 		return
 	}
 
@@ -71,6 +84,15 @@ func main() {
 	}
 
 	h := figures.NewHarness(*scale)
+	h.Parallelism = *jobs
+	if *storeDir != "" {
+		store, err := resultstore.Open(*storeDir)
+		check(err)
+		// Close seals the final batch of results into a segment. Error paths
+		// exit without sealing; the store ignores the partial batch.
+		defer store.Close()
+		h.UseStore(store)
+	}
 
 	if *all || *fig == 0 && !*headline {
 		fmt.Print(machine.DefaultConfig().Table1())

@@ -10,12 +10,17 @@ import (
 	"capri/internal/compile"
 	"capri/internal/figures"
 	"capri/internal/machine"
+	"capri/internal/resultstore"
 )
 
 // BenchSchema identifies the BENCH_sim.json format. v2 added the dispatch
 // mode and the per-sweep decode-cache counters (blocks decoded, cache hits,
-// fused superinstructions); v1 reports remain readable for gating.
-const BenchSchema = "capri/bench-sim/v2"
+// fused superinstructions); v3 separates simulated-only throughput from
+// wall-clock (a result store replays configurations without simulating, so
+// wall-derived inst/s would gate replay speed, not simulator speed) and
+// records the sweep's job count and result-store traffic. Older reports
+// remain readable for gating.
+const BenchSchema = "capri/bench-sim/v3"
 
 // gateTolerance is the fractional inst/s regression `-perfgate` tolerates
 // before failing (wall-clock noise allowance).
@@ -46,6 +51,16 @@ type perfFigure struct {
 	DecodeBlocks uint64 `json:"decode_blocks,omitempty"`
 	DecodeHits   uint64 `json:"decode_hits,omitempty"`
 	DecodeFused  uint64 `json:"decode_fused,omitempty"`
+	// SimRuns counts machines actually turned during the sweep; store hits
+	// replay without simulating and are counted in StoreHits instead.
+	SimRuns   uint64 `json:"sim_runs"`
+	StoreHits uint64 `json:"store_hits,omitempty"`
+	// SimSeconds is wall time spent inside machine.Run, summed per run.
+	// SimInstPerSec = Instructions / SimSeconds is the throughput the gate
+	// compares: unlike InstPerSec it cannot be inflated by store replays or
+	// deflated by compile/setup time. Zero when the sweep simulated nothing.
+	SimSeconds    float64 `json:"sim_seconds"`
+	SimInstPerSec float64 `json:"sim_inst_per_sec"`
 }
 
 // perfReport is the BENCH_sim.json payload.
@@ -57,10 +72,16 @@ type perfReport struct {
 	// Dispatch records which execution core produced the numbers
 	// ("threaded" or "switch") — inst/s from different cores do not gate
 	// against each other meaningfully.
-	Dispatch   string       `json:"dispatch,omitempty"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
+	Dispatch   string `json:"dispatch,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Jobs is the sweep worker count (-jobs); wall-clock comparisons only
+	// mean something between reports with the same value.
+	Jobs             int          `json:"jobs,omitempty"`
 	Figures          []perfFigure `json:"figures"`
 	TotalWallSeconds float64      `json:"total_wall_seconds"`
+	// ResultStore snapshots the attached store's traffic at the end of the
+	// run (-store); absent when no store was attached.
+	ResultStore *resultstore.Stats `json:"result_store,omitempty"`
 	// RefFig8 times the identical Figure-8 sweep on the map-backed
 	// reference memory store (the seed's data structure grafted into the
 	// current binary); SpeedupVsRefStore is its wall-clock divided by the
@@ -89,6 +110,8 @@ func measure(name string, h *figures.Harness, fn func() error) (perfFigure, erro
 	runtime.ReadMemStats(&before)
 	inst0 := h.Instret()
 	blk0, hit0, fus0 := h.DecodeStats()
+	runs0, sec0 := h.SimRuns(), h.SimSeconds()
+	hits0, _ := h.StoreStats()
 	start := time.Now()
 	err := fn()
 	wall := time.Since(start).Seconds()
@@ -97,6 +120,7 @@ func measure(name string, h *figures.Harness, fn func() error) (perfFigure, erro
 		return perfFigure{}, fmt.Errorf("%s: %w", name, err)
 	}
 	blk1, hit1, fus1 := h.DecodeStats()
+	hits1, _ := h.StoreStats()
 	pf := perfFigure{
 		Figure:       name,
 		WallSeconds:  wall,
@@ -106,10 +130,16 @@ func measure(name string, h *figures.Harness, fn func() error) (perfFigure, erro
 		DecodeBlocks: blk1 - blk0,
 		DecodeHits:   hit1 - hit0,
 		DecodeFused:  fus1 - fus0,
+		SimRuns:      h.SimRuns() - runs0,
+		StoreHits:    hits1 - hits0,
+		SimSeconds:   h.SimSeconds() - sec0,
 	}
 	if wall > 0 && pf.Instructions > 0 {
 		pf.InstPerSec = float64(pf.Instructions) / wall
 		pf.MallocsPerKInst = 1000 * float64(pf.Mallocs) / float64(pf.Instructions)
+	}
+	if pf.SimSeconds > 0 && pf.Instructions > 0 {
+		pf.SimInstPerSec = float64(pf.Instructions) / pf.SimSeconds
 	}
 	return pf, nil
 }
@@ -128,11 +158,27 @@ func loadPerfRef(path string) (*perfReport, error) {
 	return &rep, nil
 }
 
+// gateRate picks the throughput a report's figure gates on: the
+// simulated-only rate when the report carries one (schema v3), otherwise the
+// wall-derived rate older reports recorded. Mixing the two for one figure is
+// fine — both measure instructions per second of actual simulation when no
+// store is attached, which is how reference reports are produced.
+func gateRate(f perfFigure) float64 {
+	if f.SimInstPerSec > 0 {
+		return f.SimInstPerSec
+	}
+	return f.InstPerSec
+}
+
 // gatePerf compares the fresh report against the committed reference and
 // errors when any timed sweep's throughput regressed by more than
-// gateTolerance. Sweeps that simulated nothing new in either report (pure
-// cache replays: fig10/11, headline) carry no signal and are skipped, as is
-// a reference produced by a different dispatch core or at another scale.
+// gateTolerance. The comparison prefers simulated-only inst/s (store hits
+// replay results without simulating, so wall-derived rates from a warm
+// store would gate disk speed, not the simulator). Sweeps that simulated
+// nothing new in either report (pure cache replays: fig10/11, headline, or
+// fully warm store runs) carry no signal and are skipped, as is a reference
+// produced by a different dispatch core, at another scale, or with a
+// different worker count.
 func gatePerf(rep *perfReport, ref *perfReport) error {
 	if ref.Scale != rep.Scale {
 		fmt.Printf("  gate: reference scale %d != %d, skipping\n", ref.Scale, rep.Scale)
@@ -142,24 +188,38 @@ func gatePerf(rep *perfReport, ref *perfReport) error {
 		fmt.Printf("  gate: reference dispatch %q != %q, skipping\n", ref.Dispatch, rep.Dispatch)
 		return nil
 	}
+	// A v2 reference has no jobs field (0 == 1: sequential).
+	refJobs, repJobs := max(ref.Jobs, 1), max(rep.Jobs, 1)
+	if refJobs != repJobs {
+		fmt.Printf("  gate: reference jobs %d != %d, skipping\n", refJobs, repJobs)
+		return nil
+	}
 	refBy := map[string]perfFigure{}
 	for _, f := range ref.Figures {
 		refBy[f.Figure] = f
 	}
+	// The reference-store run is always sequential and storeless, so it is
+	// gateable like-for-like even when the main sweeps ran parallel or
+	// replayed from a warm store.
+	figs := rep.Figures
+	if ref.RefFig8 != nil && rep.RefFig8 != nil {
+		refBy[ref.RefFig8.Figure] = *ref.RefFig8
+		figs = append(append([]perfFigure{}, figs...), *rep.RefFig8)
+	}
 	var failed []string
-	for _, f := range rep.Figures {
+	for _, f := range figs {
 		r, ok := refBy[f.Figure]
-		if !ok || r.InstPerSec <= 0 || f.InstPerSec <= 0 {
+		if !ok || gateRate(r) <= 0 || gateRate(f) <= 0 {
 			continue
 		}
-		ratio := f.InstPerSec / r.InstPerSec
+		ratio := gateRate(f) / gateRate(r)
 		verdict := "ok"
 		if ratio < 1-gateTolerance {
 			verdict = "REGRESSED"
 			failed = append(failed, f.Figure)
 		}
 		fmt.Printf("  gate: %-10s %10.0f inst/s vs ref %10.0f  (%.2fx) %s\n",
-			f.Figure, f.InstPerSec, r.InstPerSec, ratio, verdict)
+			f.Figure, gateRate(f), gateRate(r), ratio, verdict)
 	}
 	if len(failed) != 0 {
 		return fmt.Errorf("perf gate: %v regressed more than %.0f%% vs reference", failed, 100*gateTolerance)
@@ -167,12 +227,15 @@ func gatePerf(rep *perfReport, ref *perfReport) error {
 	return nil
 }
 
-// runPerf times the full figure pipeline and writes BENCH_sim.json. withRef
-// additionally times the Figure-8 sweep on the map-backed reference store to
-// record the paged store's wall-clock speedup. A non-empty gatePath names a
-// committed reference report to regress against: the fresh report is still
-// written, then an error is returned if throughput fell beyond tolerance.
-func runPerf(scale int, withRef bool, seedWall float64, outPath, gatePath string) error {
+// runPerf times the full figure pipeline and writes BENCH_sim.json. jobs
+// shards the sweeps; a non-empty storeDir attaches the result store to the
+// figure harnesses (never to the reference-store harness: its wall-clock IS
+// the measurement). withRef additionally times the Figure-8 sweep on the
+// map-backed reference store to record the paged store's wall-clock speedup.
+// A non-empty gatePath names a committed reference report to regress
+// against: the fresh report is still written, then an error is returned if
+// throughput fell beyond tolerance.
+func runPerf(scale, jobs int, storeDir string, withRef bool, seedWall float64, outPath, gatePath string) error {
 	var gateRef *perfReport
 	if gatePath != "" {
 		// Read the reference up front — outPath may overwrite it.
@@ -189,11 +252,25 @@ func runPerf(scale int, withRef bool, seedWall float64, outPath, gatePath string
 		GoVersion:  runtime.Version(),
 		Dispatch:   machine.DefaultConfig().Dispatch.String(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Jobs:       max(jobs, 1),
+	}
+	var store *resultstore.Store
+	if storeDir != "" {
+		s, err := resultstore.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		store = s
+		defer store.Close()
 	}
 
 	// Figure 8 on a fresh harness: the headline sweep (19 benchmarks x 6
 	// thresholds, plus baselines).
 	h8 := figures.NewHarness(scale)
+	h8.Parallelism = jobs
+	if store != nil {
+		h8.UseStore(store)
+	}
 	pf, err := measure("fig8", h8, func() error { _, err := h8.Fig8(nil); return err })
 	if err != nil {
 		return err
@@ -203,6 +280,10 @@ func runPerf(scale int, withRef bool, seedWall float64, outPath, gatePath string
 	// Figures 9-11 and the headline share one harness (as capribench -all
 	// does): fig9 pays the level sweep, 10/11 replay its cache.
 	h := figures.NewHarness(scale)
+	h.Parallelism = jobs
+	if store != nil {
+		h.UseStore(store)
+	}
 	for _, f := range []struct {
 		name string
 		run  func() error
@@ -223,8 +304,15 @@ func runPerf(scale int, withRef bool, seedWall float64, outPath, gatePath string
 	}
 	rep.Fig8CompileCache = h8.CompileCacheStats()
 	rep.FigureCompileCache = h.CompileCacheStats()
+	if store != nil {
+		st := store.Stats()
+		rep.ResultStore = &st
+	}
 
 	if withRef {
+		// The reference harness gets neither store nor parallelism: its
+		// wall-clock is compared against fig8's, so both must pay for every
+		// simulation the same way.
 		href := figures.NewHarness(scale)
 		href.RefStore = true
 		pf, err := measure("fig8-refstore", href, func() error { _, err := href.Fig8(nil); return err })
@@ -232,13 +320,17 @@ func runPerf(scale int, withRef bool, seedWall float64, outPath, gatePath string
 			return err
 		}
 		rep.RefFig8 = &pf
-		if fig8 := rep.Figures[0]; fig8.WallSeconds > 0 {
+		// Wall-vs-wall ratios are only honest when fig8 simulated everything
+		// sequentially: a store replay would be compared against the
+		// reference harness's full simulation cost, and a parallel sweep's
+		// wall reflects scheduling, not per-run simulator speed.
+		if fig8 := rep.Figures[0]; fig8.WallSeconds > 0 && fig8.StoreHits == 0 && rep.Jobs <= 1 {
 			rep.SpeedupVsRefStore = pf.WallSeconds / fig8.WallSeconds
 		}
 	}
 	if seedWall > 0 {
 		rep.SeedFig8WallSeconds = seedWall
-		if fig8 := rep.Figures[0]; fig8.WallSeconds > 0 {
+		if fig8 := rep.Figures[0]; fig8.WallSeconds > 0 && fig8.StoreHits == 0 && rep.Jobs <= 1 {
 			rep.SpeedupVsSeed = seedWall / fig8.WallSeconds
 		}
 	}
@@ -252,14 +344,22 @@ func runPerf(scale int, withRef bool, seedWall float64, outPath, gatePath string
 		return err
 	}
 
-	fmt.Printf("perf: wrote %s (scale %d, %s dispatch)\n", outPath, scale, rep.Dispatch)
+	fmt.Printf("perf: wrote %s (scale %d, %s dispatch, %d job(s))\n", outPath, scale, rep.Dispatch, rep.Jobs)
 	for _, f := range rep.Figures {
-		fmt.Printf("  %-10s %8.3fs  %9d inst  %10.0f inst/s  %6.1f mallocs/kinst\n",
-			f.Figure, f.WallSeconds, f.Instructions, f.InstPerSec, f.MallocsPerKInst)
+		fmt.Printf("  %-10s %8.3fs  %9d inst  %10.0f sim inst/s  %6.1f mallocs/kinst\n",
+			f.Figure, f.WallSeconds, f.Instructions, f.SimInstPerSec, f.MallocsPerKInst)
+		if f.SimRuns+f.StoreHits > 0 {
+			fmt.Printf("  %-10s %d simulated, %d replayed from the result store\n",
+				"", f.SimRuns, f.StoreHits)
+		}
 		if f.DecodeBlocks+f.DecodeHits > 0 {
 			fmt.Printf("  %-10s decode: %d blocks, %d cache hits, %d fused ops\n",
 				"", f.DecodeBlocks, f.DecodeHits, f.DecodeFused)
 		}
+	}
+	if rep.ResultStore != nil {
+		fmt.Printf("  result store: %d entries in %d segment(s); %d hits, %d misses, %d puts this run\n",
+			rep.ResultStore.Entries, rep.ResultStore.Segments, rep.ResultStore.Hits, rep.ResultStore.Misses, rep.ResultStore.Puts)
 	}
 	for _, cc := range []struct {
 		name string
@@ -270,7 +370,11 @@ func runPerf(scale int, withRef bool, seedWall float64, outPath, gatePath string
 	}
 	if rep.RefFig8 != nil {
 		fmt.Printf("  %-10s %8.3fs  (map-backed reference store, same binary)\n", rep.RefFig8.Figure, rep.RefFig8.WallSeconds)
-		fmt.Printf("  store-swap speedup vs in-binary reference: %.2fx\n", rep.SpeedupVsRefStore)
+		if rep.SpeedupVsRefStore > 0 {
+			fmt.Printf("  store-swap speedup vs in-binary reference: %.2fx\n", rep.SpeedupVsRefStore)
+		} else {
+			fmt.Printf("  store-swap speedup: n/a (fig8 replayed from store or ran parallel)\n")
+		}
 	}
 	if rep.SpeedupVsSeed > 0 {
 		fmt.Printf("  fig8-seed  %8.3fs  (seed binary, via -seedwall)\n", rep.SeedFig8WallSeconds)

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"capri/internal/figures"
+	"capri/internal/resultstore"
+)
+
+// sweepBlockName is the marker name of the sweep-accounting block embedded
+// in EXPERIMENTS.md. It reuses the explain-block marker syntax so `make
+// docs-verify` byte-checks it with the same extractor.
+const sweepBlockName = "sweep-accounting"
+
+// sweepTables is one harness's rendered Fig8+Fig9 output plus the counters
+// the determinism contract compares.
+type sweepTables struct {
+	fig8, fig9 string
+	instret    uint64
+	decBlocks  uint64
+	decHits    uint64
+	decFused   uint64
+	simRuns    uint64
+	storeHits  uint64
+	storeMiss  uint64
+	compiles   int64
+}
+
+// renderSweep runs the full Fig8 threshold sweep and the Fig9 level sweep on
+// one harness and snapshots the counters.
+func renderSweep(scale, jobs int, store *resultstore.Store) (sweepTables, error) {
+	var out sweepTables
+	h := figures.NewHarness(scale)
+	h.Parallelism = jobs
+	if store != nil {
+		h.UseStore(store)
+	}
+	t8, err := h.Fig8(nil)
+	if err != nil {
+		return out, err
+	}
+	t9, err := h.Fig9()
+	if err != nil {
+		return out, err
+	}
+	out.fig8, out.fig9 = t8.String(), t9.String()
+	out.instret = h.Instret()
+	out.decBlocks, out.decHits, out.decFused = h.DecodeStats()
+	out.simRuns = h.SimRuns()
+	out.storeHits, out.storeMiss = h.StoreStats()
+	out.compiles = h.CompileCacheStats().Misses
+	return out, nil
+}
+
+// runSweepCheck asserts the sweep orchestrator's determinism contract
+// (DESIGN.md §4h) end-to-end, in three acts:
+//
+//  1. sequential reference — no store, Parallelism 1;
+//  2. cold parallel — jobs workers against an empty store: the fig8/fig9
+//     tables and every simulation counter must be byte-identical to the
+//     sequential run's, and each store probe must miss;
+//  3. warm rerun — a fresh harness over the reopened store: identical
+//     tables again, with zero simulations and zero compilations
+//     (counter-asserted, not assumed).
+//
+// With verifyPath set it additionally byte-checks the accounting block
+// embedded in that file (the docs-verify half of the contract); otherwise it
+// prints the block for pasting into EXPERIMENTS.md.
+func runSweepCheck(scale, jobs int, verifyPath string) error {
+	if jobs < 2 {
+		jobs = 4 // the contract is about parallelism; a 1-job check is vacuous
+	}
+	dir, err := os.MkdirTemp("", "capri-sweepcheck-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	seq, err := renderSweep(scale, 1, nil)
+	if err != nil {
+		return fmt.Errorf("sweepcheck sequential: %w", err)
+	}
+
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	cold, err := renderSweep(scale, jobs, store)
+	if err != nil {
+		return fmt.Errorf("sweepcheck cold parallel: %w", err)
+	}
+	if err := store.Close(); err != nil {
+		return err
+	}
+	if cold.fig8 != seq.fig8 || cold.fig9 != seq.fig9 {
+		return fmt.Errorf("sweepcheck: parallel (-jobs %d) tables differ from sequential:\n--- sequential fig8 ---\n%s--- parallel fig8 ---\n%s--- sequential fig9 ---\n%s--- parallel fig9 ---\n%s",
+			jobs, seq.fig8, cold.fig8, seq.fig9, cold.fig9)
+	}
+	if cold.instret != seq.instret || cold.simRuns != seq.simRuns {
+		return fmt.Errorf("sweepcheck: parallel run simulated different work: %d inst / %d sims vs sequential %d / %d",
+			cold.instret, cold.simRuns, seq.instret, seq.simRuns)
+	}
+	if cold.decBlocks != seq.decBlocks || cold.decHits != seq.decHits || cold.decFused != seq.decFused {
+		return fmt.Errorf("sweepcheck: parallel decode counters diverged: %d/%d/%d vs %d/%d/%d",
+			cold.decBlocks, cold.decHits, cold.decFused, seq.decBlocks, seq.decHits, seq.decFused)
+	}
+	if cold.storeHits != 0 {
+		return fmt.Errorf("sweepcheck: cold store served %d hits from an empty store", cold.storeHits)
+	}
+
+	warmStore, err := resultstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	warmStats := warmStore.Stats()
+	warm, err := renderSweep(scale, jobs, warmStore)
+	if err != nil {
+		return fmt.Errorf("sweepcheck warm: %w", err)
+	}
+	if err := warmStore.Close(); err != nil {
+		return err
+	}
+	if warm.fig8 != seq.fig8 || warm.fig9 != seq.fig9 {
+		return fmt.Errorf("sweepcheck: warm-store tables differ from sequential")
+	}
+	if warm.simRuns != 0 || warm.instret != 0 {
+		return fmt.Errorf("sweepcheck: warm store still simulated %d runs / %d instructions, want 0", warm.simRuns, warm.instret)
+	}
+	if warm.compiles != 0 {
+		return fmt.Errorf("sweepcheck: warm store still compiled %d times, want 0", warm.compiles)
+	}
+	if warm.storeMiss != 0 || warm.storeHits == 0 {
+		return fmt.Errorf("sweepcheck: warm store traffic %d hits / %d misses, want all hits", warm.storeHits, warm.storeMiss)
+	}
+
+	block := renderSweepBlock(seq, cold, warm, warmStats)
+	fmt.Printf("sweepcheck: -jobs %d tables byte-identical to sequential; warm rerun: 0 sims, 0 compiles, %d store hits\n",
+		jobs, warm.storeHits)
+	if verifyPath == "" {
+		fmt.Printf("\n<!-- explain:%s -->\n%s<!-- /explain:%s -->\n", sweepBlockName, block, sweepBlockName)
+		return nil
+	}
+	data, err := os.ReadFile(verifyPath)
+	if err != nil {
+		return err
+	}
+	want, err := extractBlock(string(data), sweepBlockName)
+	if err != nil {
+		return fmt.Errorf("%s: %w", verifyPath, err)
+	}
+	if want != block {
+		return fmt.Errorf("docs-verify: sweep block %q is stale in %s (run `capribench -sweepcheck` and update)\n--- documented:\n%s--- measured:\n%s",
+			sweepBlockName, verifyPath, want, block)
+	}
+	fmt.Printf("docs-verify: sweep block %q in %s matches the simulator\n", sweepBlockName, verifyPath)
+	return nil
+}
+
+// renderSweepBlock builds the deterministic accounting block embedded in
+// EXPERIMENTS.md: pure counters — configurations, simulations, store entries
+// and segments — never wall times, so the block is byte-stable across
+// machines and job counts.
+func renderSweepBlock(seq, cold, warm sweepTables, warmStats resultstore.Stats) string {
+	var b strings.Builder
+	b.WriteString("```text\n")
+	fmt.Fprintf(&b, "fig8+fig9 sweep accounting (scale 1; counters, not clocks)\n")
+	fmt.Fprintf(&b, "  simulations (cold)      %6d  (baselines + fig8 cells + fig9 cells)\n", seq.simRuns)
+	fmt.Fprintf(&b, "  instructions simulated  %6d k\n", seq.instret/1000)
+	fmt.Fprintf(&b, "  distinct compilations   %6d\n", seq.compiles)
+	fmt.Fprintf(&b, "  store entries sealed    %6d  in %d segment(s)\n", warmStats.Entries, warmStats.Segments)
+	fmt.Fprintf(&b, "  warm-store rerun        %6d  simulations, %d compilations, %d store hits\n",
+		warm.simRuns, warm.compiles, warm.storeHits)
+	fmt.Fprintf(&b, "  parallel == sequential  fig8, fig9 byte-identical; instret delta %d\n",
+		cold.instret-seq.instret)
+	b.WriteString("```\n")
+	return b.String()
+}

@@ -8,6 +8,7 @@ import (
 
 	"capri/internal/audit"
 	"capri/internal/fault"
+	"capri/internal/resultstore"
 )
 
 // runCampaign is `capricrash -campaign`: a seeded hardware-fault campaign
@@ -17,14 +18,23 @@ import (
 // injected per seeded plan; every run is observed by the online Fig. 7
 // auditor and verified against its golden state. Any failure is shrunk to a
 // minimal reproducible fault plan and written as JSON for `-plan` replay.
-func runCampaign(seed uint64, trials, maxFaults, corpus, threshold, scale int,
-	benches bool, duration time.Duration, planOut, recordOut string) {
+func runCampaign(seed uint64, trials, maxFaults, corpus, threshold, scale, jobs int,
+	benches bool, duration time.Duration, planOut, recordOut, storeDir string) {
 	targets := append(fault.SynthTargets(threshold), fault.CorpusTargets(corpus, threshold)...)
 	if benches {
 		targets = append(targets, fault.BenchTargets(scale, threshold)...)
 	}
-	fmt.Printf("fault campaign: %d targets, %d trials each, <= %d faults/plan, seed %d\n",
-		len(targets), trials, maxFaults, seed)
+	var store *resultstore.Store
+	if storeDir != "" {
+		s, err := resultstore.Open(storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		store = s
+		defer store.Close()
+	}
+	fmt.Printf("fault campaign: %d targets, %d trials each, <= %d faults/plan, seed %d, %d job(s)\n",
+		len(targets), trials, maxFaults, seed, max(jobs, 1))
 	start := time.Now()
 	res, err := fault.RunCampaign(fault.CampaignConfig{
 		Seed:      seed,
@@ -32,6 +42,8 @@ func runCampaign(seed uint64, trials, maxFaults, corpus, threshold, scale int,
 		MaxFaults: maxFaults,
 		Targets:   targets,
 		Budget:    duration,
+		Jobs:      jobs,
+		Store:     store,
 		Log: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -41,6 +53,10 @@ func runCampaign(seed uint64, trials, maxFaults, corpus, threshold, scale int,
 	}
 	fmt.Printf("\n%d targets, %d trials, %d faults injected in %v\n",
 		res.Targets, res.Trials, res.Faults, time.Since(start).Round(time.Millisecond))
+	if store != nil {
+		fmt.Printf("result store: %d target outcomes replayed, %d freshly executed\n",
+			res.StoreHits, res.Targets-res.StoreHits)
+	}
 	fmt.Printf("crashes %d (vacuous %d, exhausted %d), recoveries %d, nested crashes %d\n",
 		res.Crashes, res.Vacuous, res.Exhausted, res.Recoveries, res.NestedCrashes)
 	fmt.Printf("drain retries %d, auditor events %d\n", res.DrainRetries, res.EventsAudited)

@@ -62,6 +62,8 @@ func main() {
 		duration  = flag.Duration("duration", 0, "stop starting new campaign targets after this long (with -campaign; 0 = no budget)")
 		planOut   = flag.String("plan-out", "", "where -campaign writes the minimal failing fault plan (default fault-plan-min.json)")
 		planIn    = flag.String("plan", "", "replay one capri/fault-plan/v1 JSON fault plan and exit")
+		jobs      = flag.Int("jobs", 1, "campaign targets to run in parallel (with -campaign; 0 = GOMAXPROCS)")
+		storeDir  = flag.String("store", "", "content-addressed result store `dir` (with -campaign); stored target outcomes replay instead of re-running")
 	)
 	flag.Parse()
 
@@ -70,8 +72,8 @@ func main() {
 		return
 	}
 	if *campaign {
-		runCampaign(*seed, *trials, *maxFaults, *corpus, *threshold, *scale,
-			*benches, *duration, *planOut, *recordOut)
+		runCampaign(*seed, *trials, *maxFaults, *corpus, *threshold, *scale, *jobs,
+			*benches, *duration, *planOut, *recordOut, *storeDir)
 		return
 	}
 

@@ -96,6 +96,13 @@ func (o Options) canonical() Options {
 	return o
 }
 
+// Canonical is the exported form of canonical, for callers that key
+// content-addressed stores by options — the sweep fleet's result store and
+// the persistent compile tier both hash Canonical()'s JSON encoding, so two
+// option values that compile to the same program share one key. Threshold
+// must already be validated positive.
+func (o Options) Canonical() Options { return o.canonical() }
+
 // DefaultThreshold is the paper's default region store threshold.
 const DefaultThreshold = 256
 

@@ -1,0 +1,81 @@
+package compile
+
+import (
+	"encoding/json"
+
+	"capri/internal/prog"
+	"capri/internal/resultstore"
+)
+
+// Persist is the optional on-disk tier behind the in-memory compile cache.
+// *resultstore.Store satisfies it directly. The cache trusts a hit's payload
+// because the key already binds everything that determines the output — the
+// source program fingerprint, the canonicalized options, and the caller's
+// toolchain salt — and the store verifies content checksums on every read,
+// so a decoded payload can only be the bytes a previous compile of the same
+// inputs wrote.
+type Persist interface {
+	// Get returns the payload stored under k, if any.
+	Get(k resultstore.Key) ([]byte, bool)
+	// Put records a payload under k; it may buffer until the store flushes.
+	Put(k resultstore.Key, v []byte)
+}
+
+// SetPersist attaches a persistent tier behind the in-memory cache. salt is
+// folded into every persistent key and must fingerprint the compiler's
+// observable semantics (the sweep package's ToolchainSalt); without it, a
+// compiler change would happily replay programs compiled by older binaries.
+// Must be called before the first Compile; the tier sits behind the same
+// per-entry singleflight, so concurrent misses on one key do one disk probe
+// and at most one real compilation.
+func (c *Cache) SetPersist(p Persist, salt []byte) {
+	c.mu.Lock()
+	c.persist = p
+	c.salt = append([]byte(nil), salt...)
+	c.mu.Unlock()
+}
+
+// storedCompile is the persistent tier's payload: the compiled program and
+// its statistics. Pass wall times are measurement, not result — they are
+// zeroed so stored batches stay byte-deterministic.
+type storedCompile struct {
+	Program *prog.Program `json:"program"`
+	Stats   Stats         `json:"stats"`
+}
+
+// StripTimings returns the stats with per-pass wall times zeroed — the form
+// every content-addressed store uses, since timings are measurement noise,
+// not compilation output.
+func (s Stats) StripTimings() Stats {
+	s.Passes = append([]PassStat(nil), s.Passes...)
+	for i := range s.Passes {
+		s.Passes[i].WallNS = 0
+		s.Passes[i].VerifyNS = 0
+	}
+	return s
+}
+
+// persistKey derives the on-disk key for a cache key.
+func (c *Cache) persistKey(k cacheKey) resultstore.Key {
+	optsJSON, err := json.Marshal(k.opts)
+	if err != nil {
+		panic(err) // Options is a plain struct; cannot fail
+	}
+	return resultstore.KeyOf("capri/compile", c.salt, k.prog[:], optsJSON)
+}
+
+// encodeStored renders a successful compile for the persistent tier.
+func encodeStored(res *Result) ([]byte, error) {
+	return json.Marshal(storedCompile{Program: res.Program, Stats: res.Stats.StripTimings()})
+}
+
+// decodeStored parses a persistent-tier payload back into a Result. A
+// payload that does not decode to a program is reported as absent — the
+// caller falls back to compiling.
+func decodeStored(raw []byte, opts Options) (*Result, bool) {
+	var sc storedCompile
+	if err := json.Unmarshal(raw, &sc); err != nil || sc.Program == nil {
+		return nil, false
+	}
+	return &Result{Program: sc.Program, Options: opts, Stats: sc.Stats}, true
+}

@@ -1,12 +1,15 @@
 package fault
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"capri/internal/machine"
 	"capri/internal/prog"
 	"capri/internal/recovery"
+	"capri/internal/resultstore"
+	"capri/internal/sweep"
 	"capri/internal/workload"
 )
 
@@ -41,7 +44,17 @@ type CampaignConfig struct {
 	MaxFaults int           // faults per plan (default 3)
 	Targets   []Target      // workloads to sweep
 	Budget    time.Duration // stop starting new targets after this long (0: none)
-	Log       func(format string, args ...any)
+	// Jobs shards targets across the sweep orchestrator (0 or 1:
+	// sequential). Targets are independent — each owns its program, golden
+	// state and machines — and aggregation folds per-target outcomes in
+	// target order, so the campaign result is the same at any job count.
+	Jobs int
+	// Store, when set, content-addresses each target's outcome (plans,
+	// shrunk failures and all) so a rerun of the same campaign replays from
+	// disk instead of re-injecting faults. Keys bind the toolchain salt, the
+	// campaign seed, the target's index and identity, and the trial shape.
+	Store *resultstore.Store
+	Log   func(format string, args ...any)
 }
 
 // Failure is one reproducible campaign failure: the original failing plan
@@ -65,7 +78,27 @@ type CampaignResult struct {
 	Recoveries    int
 	DrainRetries  uint64
 	EventsAudited uint64
-	Failures      []Failure
+	// StoreHits counts targets whose outcome replayed from the attached
+	// result store instead of being re-executed.
+	StoreHits int
+	Failures  []Failure
+}
+
+// targetOutcome is one target's campaign contribution — the unit the result
+// store persists. Ran distinguishes an executed target from one skipped by
+// the budget (skips are never stored).
+type targetOutcome struct {
+	Ran           bool      `json:"ran"`
+	Trials        int       `json:"trials"`
+	Faults        int       `json:"faults"`
+	Crashes       int       `json:"crashes"`
+	Vacuous       int       `json:"vacuous"`
+	Exhausted     int       `json:"exhausted"`
+	NestedCrashes int       `json:"nested_crashes"`
+	Recoveries    int       `json:"recoveries"`
+	DrainRetries  uint64    `json:"drain_retries"`
+	EventsAudited uint64    `json:"events_audited"`
+	Failures      []Failure `json:"failures,omitempty"`
 }
 
 // planSeed derives the deterministic per-trial plan seed, so any trial is
@@ -77,13 +110,80 @@ func planSeed(base, target, trial uint64) uint64 {
 	return r.next() + trial*0x2545f4914f6cdd1d
 }
 
-// RunCampaign sweeps seeded fault plans over the targets: per target it
-// compiles once, captures the golden state once, then executes Trials
-// independent plans. The first failing trial of a target is shrunk to a
-// minimal failing plan and recorded; remaining trials of that target are
-// skipped (one minimal reproducer per target is the useful artifact).
-// Build or golden-run errors abort the campaign — they mean the target
-// itself is broken, not the fault response.
+// campaignKey content-addresses one target's outcome: toolchain salt (the
+// simulator and compiler ARE inputs to a fault response), campaign seed,
+// target index (plan seeds derive from it), target identity, and the trial
+// shape. Anything else — job count, wall-clock, sibling targets' outcomes —
+// cannot change the target's result and stays out of the key.
+func campaignKey(cc CampaignConfig, ti int, target Target) resultstore.Key {
+	tj, err := json.Marshal(target)
+	if err != nil {
+		panic(err) // Target is a plain struct; cannot fail
+	}
+	meta := fmt.Sprintf("seed=%d ti=%d trials=%d maxfaults=%d", cc.Seed, ti, cc.Trials, cc.MaxFaults)
+	return resultstore.KeyOf("capri/fault-campaign", sweep.ToolchainSalt(), tj, []byte(meta))
+}
+
+// runTarget executes one target's full trial schedule: build once, capture
+// the golden state once, then Trials independent plans. The first failing
+// trial is shrunk to a minimal failing plan and recorded; remaining trials
+// of that target are skipped (one minimal reproducer per target is the
+// useful artifact).
+func runTarget(cc CampaignConfig, ti int, target Target, logf func(string, ...any)) (targetOutcome, error) {
+	to := targetOutcome{Ran: true}
+	pg, cfg, err := target.Build()
+	if err != nil {
+		return to, err
+	}
+	g, err := recovery.RunGolden(pg, cfg)
+	if err != nil {
+		return to, fmt.Errorf("%s: golden: %w", target.Name(), err)
+	}
+	for trial := 0; trial < cc.Trials; trial++ {
+		seed := planSeed(cc.Seed, uint64(ti), uint64(trial))
+		plan := GeneratePlan(seed, target, g.Instret, cc.MaxFaults, pg.NumThreads())
+		outc := RunPlan(pg, cfg, g, plan)
+		to.Trials++
+		to.Faults += len(plan.Faults)
+		to.Recoveries += outc.Recoveries
+		to.NestedCrashes += outc.NestedCrashes
+		to.DrainRetries += outc.DrainRetries
+		to.EventsAudited += outc.EventsAudited
+		if outc.Crashed {
+			to.Crashes++
+		}
+		if outc.Vacuous {
+			to.Vacuous++
+		}
+		if outc.Exhausted {
+			to.Exhausted++
+		}
+		if outc.Err == nil {
+			continue
+		}
+		logf("%s: trial %d FAILED: %v — shrinking", target.Name(), trial, outc.Err)
+		shrunk, runs := Shrink(pg, cfg, g, plan)
+		to.Failures = append(to.Failures, Failure{
+			Plan:       plan,
+			Shrunk:     shrunk,
+			Err:        outc.Err.Error(),
+			ShrinkRuns: runs,
+		})
+		logf("%s: minimal plan (%d shrink runs): %s", target.Name(), runs, shrunk.Summary())
+		break
+	}
+	return to, nil
+}
+
+// RunCampaign sweeps seeded fault plans over the targets, sharding targets
+// across cc.Jobs workers (see CampaignConfig.Jobs). Per-target outcomes fold
+// into the result in target order, so counters and the Failures list are
+// identical at any job count. With a store attached, previously executed
+// targets replay their stored outcomes — shrunk plans included — without
+// re-injecting a single fault, and fresh outcomes are published back. Build
+// or golden-run errors fail the campaign (they mean the target itself is
+// broken, not the fault response); the aggregated result of the remaining
+// targets is still returned alongside the lowest-indexed error.
 func RunCampaign(cc CampaignConfig) (*CampaignResult, error) {
 	if cc.Trials <= 0 {
 		cc.Trials = 3
@@ -95,60 +195,72 @@ func RunCampaign(cc CampaignConfig) (*CampaignResult, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	res := &CampaignResult{}
 	var deadline time.Time
 	if cc.Budget > 0 {
 		deadline = time.Now().Add(cc.Budget)
 	}
-	for ti, target := range cc.Targets {
+	outs := make([]targetOutcome, len(cc.Targets))
+	hits := make([]bool, len(cc.Targets))
+	err := sweep.Run(cc.Jobs, len(cc.Targets), func(ti int) error {
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			logf("budget exhausted after %d/%d targets", ti, len(cc.Targets))
-			break
+			return nil // budget-skipped: outs[ti].Ran stays false
 		}
-		pg, cfg, err := target.Build()
-		if err != nil {
-			return res, err
+		target := cc.Targets[ti]
+		var key resultstore.Key
+		if cc.Store != nil {
+			key = campaignKey(cc, ti, target)
+			if raw, ok := cc.Store.Get(key); ok {
+				var to targetOutcome
+				if json.Unmarshal(raw, &to) == nil && to.Ran {
+					outs[ti] = to
+					hits[ti] = true
+					return nil
+				}
+			}
 		}
-		g, err := recovery.RunGolden(pg, cfg)
-		if err != nil {
-			return res, fmt.Errorf("%s: golden: %w", target.Name(), err)
+		to, terr := runTarget(cc, ti, target, logf)
+		if terr != nil {
+			return terr
+		}
+		outs[ti] = to
+		if cc.Store != nil {
+			if raw, merr := json.Marshal(to); merr == nil {
+				cc.Store.Put(key, raw)
+			}
+		}
+		return nil
+	})
+	res := &CampaignResult{}
+	skipped := 0
+	for ti, to := range outs {
+		if !to.Ran {
+			skipped++
+			continue
+		}
+		if hits[ti] {
+			res.StoreHits++
 		}
 		res.Targets++
-		for trial := 0; trial < cc.Trials; trial++ {
-			seed := planSeed(cc.Seed, uint64(ti), uint64(trial))
-			plan := GeneratePlan(seed, target, g.Instret, cc.MaxFaults, pg.NumThreads())
-			outc := RunPlan(pg, cfg, g, plan)
-			res.Trials++
-			res.Faults += len(plan.Faults)
-			res.Recoveries += outc.Recoveries
-			res.NestedCrashes += outc.NestedCrashes
-			res.DrainRetries += outc.DrainRetries
-			res.EventsAudited += outc.EventsAudited
-			if outc.Crashed {
-				res.Crashes++
-			}
-			if outc.Vacuous {
-				res.Vacuous++
-			}
-			if outc.Exhausted {
-				res.Exhausted++
-			}
-			if outc.Err == nil {
-				continue
-			}
-			logf("%s: trial %d FAILED: %v — shrinking", target.Name(), trial, outc.Err)
-			shrunk, runs := Shrink(pg, cfg, g, plan)
-			res.Failures = append(res.Failures, Failure{
-				Plan:       plan,
-				Shrunk:     shrunk,
-				Err:        outc.Err.Error(),
-				ShrinkRuns: runs,
-			})
-			logf("%s: minimal plan (%d shrink runs): %s", target.Name(), runs, shrunk.Summary())
-			break
+		res.Trials += to.Trials
+		res.Faults += to.Faults
+		res.Crashes += to.Crashes
+		res.Vacuous += to.Vacuous
+		res.Exhausted += to.Exhausted
+		res.NestedCrashes += to.NestedCrashes
+		res.Recoveries += to.Recoveries
+		res.DrainRetries += to.DrainRetries
+		res.EventsAudited += to.EventsAudited
+		res.Failures = append(res.Failures, to.Failures...)
+	}
+	if skipped > 0 {
+		logf("budget exhausted: %d/%d targets skipped", skipped, len(cc.Targets))
+	}
+	if cc.Store != nil {
+		if ferr := cc.Store.Flush(); err == nil {
+			err = ferr
 		}
 	}
-	return res, nil
+	return res, err
 }
 
 // ReplayPlan builds the plan's target, captures its golden state, and

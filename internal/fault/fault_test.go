@@ -9,6 +9,7 @@ import (
 
 	"capri/internal/machine"
 	"capri/internal/recovery"
+	"capri/internal/resultstore"
 )
 
 // TestPlanRoundTrip: a plan survives the JSON write/read cycle bit-exact.
@@ -253,5 +254,73 @@ func TestCorpusTargetsSchedule(t *testing.T) {
 		if tgt.ProgenShape != i%len(CorpusShapes) {
 			t.Fatalf("target %d: shape %d", i, tgt.ProgenShape)
 		}
+	}
+}
+
+// TestCampaignParallelAndStoreDeterminism: the same campaign at jobs 1,
+// jobs 4, and jobs 4 over a warm store produces identical aggregates, and
+// the warm run replays every target from the store.
+func TestCampaignParallelAndStoreDeterminism(t *testing.T) {
+	targets := append(SynthTargets(64), CorpusTargets(8, 64)...)
+	base := CampaignConfig{Seed: 7, Trials: 2, MaxFaults: 3, Targets: targets}
+
+	norm := func(r *CampaignResult) CampaignResult {
+		c := *r
+		c.StoreHits = 0 // provenance, not outcome
+		return c
+	}
+
+	seq, err := RunCampaign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := base
+	par.Jobs = 4
+	pres, err := RunCampaign(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(norm(seq), norm(pres)) {
+		t.Fatalf("parallel campaign diverged:\nseq %+v\npar %+v", seq, pres)
+	}
+
+	dir := t.TempDir()
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := par
+	cold.Store = store
+	cres, err := RunCampaign(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.StoreHits != 0 {
+		t.Fatalf("cold campaign hit the empty store %d times", cres.StoreHits)
+	}
+	if !reflect.DeepEqual(norm(seq), norm(cres)) {
+		t.Fatalf("store-backed campaign diverged:\nseq %+v\ncold %+v", seq, cres)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	warm := par
+	warm.Store = store2
+	wres, err := RunCampaign(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.StoreHits != len(targets) {
+		t.Fatalf("warm campaign replayed %d/%d targets", wres.StoreHits, len(targets))
+	}
+	if !reflect.DeepEqual(norm(seq), norm(wres)) {
+		t.Fatalf("warm campaign diverged:\nseq %+v\nwarm %+v", seq, wres)
 	}
 }

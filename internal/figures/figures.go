@@ -7,15 +7,18 @@
 package figures
 
 import (
+	"encoding/json"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"capri/internal/audit"
 	"capri/internal/compile"
 	"capri/internal/machine"
+	"capri/internal/resultstore"
 	"capri/internal/stats"
+	"capri/internal/sweep"
 	"capri/internal/workload"
 )
 
@@ -41,9 +44,21 @@ type Harness struct {
 
 	mu       sync.Mutex
 	baseline map[string]*baselineRun
-	results  map[runKey]Result
+	results  map[runKey]*resultRun
 	compiles *compile.Cache
+	store    *resultstore.Store
 	instret  atomic.Uint64
+
+	// Simulated-only accounting: runs that actually turned a machine (store
+	// hits excluded) and the wall time they took. The perf report divides
+	// Instret by SimSeconds for an inst/s that a warm store cannot skew.
+	simRuns  atomic.Uint64
+	simNanos atomic.Int64
+
+	// Result-store traffic at simulation granularity (baseline + Capri runs;
+	// the compile cache's disk tier counts separately).
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
 
 	// Decode-cache traffic summed over every simulation (zero when the
 	// machines run the switch core). The perf report records these beside
@@ -69,13 +84,35 @@ type runKey struct {
 	threshold int
 }
 
+// resultRun single-flights one (benchmark, level, threshold) configuration:
+// under a parallel Prefetch, racing callers share one simulation (or one
+// store probe) instead of duplicating it, which keeps the harness's sim and
+// store counters schedule-independent.
+type resultRun struct {
+	once sync.Once
+	res  Result
+	err  error
+}
+
 // NewHarness returns a harness at the given workload scale.
 func NewHarness(scale int) *Harness {
 	return &Harness{
 		Scale:    scale,
 		baseline: map[string]*baselineRun{},
-		results:  map[runKey]Result{},
+		results:  map[runKey]*resultRun{},
 		compiles: compile.NewCache(),
+	}
+}
+
+// UseStore attaches a content-addressed result store (DESIGN.md §4h): runs
+// whose keys are already present replay from disk instead of simulating, new
+// results are published back, and the compile cache gains its persistent
+// tier behind the same store. Call before the first run; pass nil to detach
+// the simulation tier (the compile tier, once attached, stays).
+func (h *Harness) UseStore(s *resultstore.Store) {
+	h.store = s
+	if s != nil {
+		h.compiles.SetPersist(s, sweep.ToolchainSalt())
 	}
 }
 
@@ -98,21 +135,34 @@ func (h *Harness) DecodeStats() (blocks, hits, fused uint64) {
 	return h.decBlocks.Load(), h.decHits.Load(), h.decFused.Load()
 }
 
-// addSim folds one finished machine's counters into the harness totals.
-func (h *Harness) addSim(ms machine.Stats) {
+// SimRuns returns the number of simulations this harness actually executed —
+// store hits replay results without turning a machine and do not count.
+func (h *Harness) SimRuns() uint64 { return h.simRuns.Load() }
+
+// SimSeconds returns the wall time spent inside machine.Run across all
+// simulations, summed per run (not wall-clock of the sweep: parallel runs
+// overlap). Instret / SimSeconds is the store-proof inst/s the perf gate
+// compares.
+func (h *Harness) SimSeconds() float64 {
+	return float64(h.simNanos.Load()) / 1e9
+}
+
+// StoreStats reports result-store traffic at simulation granularity: probes
+// that replayed a stored result and probes that fell through to a live
+// simulation. Both are zero when no store is attached.
+func (h *Harness) StoreStats() (hits, misses uint64) {
+	return h.storeHits.Load(), h.storeMisses.Load()
+}
+
+// addSim folds one finished machine's counters and its simulation wall time
+// into the harness totals.
+func (h *Harness) addSim(ms machine.Stats, wall time.Duration) {
 	h.instret.Add(ms.Instret)
+	h.simRuns.Add(1)
+	h.simNanos.Add(int64(wall))
 	h.decBlocks.Add(ms.DecodeBlocks)
 	h.decHits.Add(ms.DecodeHits)
 	h.decFused.Add(ms.DecodeFused)
-}
-
-// sem returns a semaphore channel bounding parallel runs.
-func (h *Harness) sem() chan struct{} {
-	n := h.Parallelism
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	return make(chan struct{}, n)
 }
 
 // config builds the machine configuration for a run. It errors instead of
@@ -169,17 +219,38 @@ func (h *Harness) BaselineStats(b workload.Benchmark) (machine.Stats, error) {
 			return
 		}
 		p := b.Build(h.Scale)
+		var key resultstore.Key
+		if h.store != nil {
+			key = sweep.BaselineKey(p.Fingerprint(), cfg)
+			if raw, ok := h.store.Get(key); ok {
+				var ms machine.Stats
+				if err := json.Unmarshal(raw, &ms); err == nil {
+					h.storeHits.Add(1)
+					e.stats = ms
+					return
+				}
+			}
+			h.storeMisses.Add(1)
+		}
 		m, err := machine.New(p, cfg)
 		if err != nil {
 			e.err = fmt.Errorf("%s baseline: %w", b.Name, err)
 			return
 		}
+		start := time.Now()
 		if err := m.Run(); err != nil {
 			e.err = fmt.Errorf("%s baseline: %w", b.Name, err)
 			return
 		}
+		wall := time.Since(start)
 		e.stats = m.Stats()
-		h.addSim(e.stats)
+		h.addSim(e.stats, wall)
+		if h.store != nil {
+			raw, err := json.Marshal(e.stats)
+			if err == nil {
+				h.store.Put(key, raw)
+			}
+		}
 	})
 	return e.stats, e.err
 }
@@ -195,25 +266,60 @@ type Result struct {
 
 // Run executes one benchmark under Capri at the given optimization level and
 // threshold, returning normalized cycles and region statistics. Results are
-// cached per (benchmark, level, threshold); safe for concurrent use.
+// cached per (benchmark, level, threshold) behind a per-key singleflight —
+// racing callers share one simulation or one store probe, never duplicate
+// either — so the harness's counters are the same under any parallelism.
+// Safe for concurrent use.
 func (h *Harness) Run(b workload.Benchmark, level compile.Level, threshold int) (Result, error) {
 	key := runKey{bench: b.Name, level: level, threshold: threshold}
 	h.mu.Lock()
-	if r, ok := h.results[key]; ok {
-		h.mu.Unlock()
-		return r, nil
+	e, ok := h.results[key]
+	if !ok {
+		e = &resultRun{}
+		h.results[key] = e
 	}
 	h.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = h.runOnce(b, level, threshold)
+	})
+	return e.res, e.err
+}
+
+// storedSim is the result store's payload for one Capri simulation: the full
+// machine counter snapshot plus the compile statistics (timings stripped —
+// they are measurement, not result). Everything else in Result derives from
+// these plus the benchmark's baseline.
+type storedSim struct {
+	Machine machine.Stats `json:"machine"`
+	Compile compile.Stats `json:"compile"`
+}
+
+// runOnce does the work behind Run's singleflight: baseline, store probe,
+// and — on a miss — compile + simulate + publish.
+func (h *Harness) runOnce(b workload.Benchmark, level compile.Level, threshold int) (Result, error) {
 	base, err := h.Baseline(b)
 	if err != nil {
 		return Result{}, err
 	}
-	src := b.Build(h.Scale)
-	res, err := h.compiles.Compile(src, compile.OptionsForLevel(level, threshold))
+	cfg, err := h.config(b.Threads, threshold, true)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
-	cfg, err := h.config(b.Threads, threshold, true)
+	src := b.Build(h.Scale)
+	opts := compile.OptionsForLevel(level, threshold)
+	var key resultstore.Key
+	if h.store != nil {
+		key = sweep.SimKey(src.Fingerprint(), opts, cfg)
+		if raw, ok := h.store.Get(key); ok {
+			var ss storedSim
+			if err := json.Unmarshal(raw, &ss); err == nil {
+				h.storeHits.Add(1)
+				return resultFrom(ss, base), nil
+			}
+		}
+		h.storeMisses.Add(1)
+	}
+	res, err := h.compiles.Compile(src, opts)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
@@ -221,22 +327,34 @@ func (h *Harness) Run(b workload.Benchmark, level compile.Level, threshold int) 
 	if err != nil {
 		return Result{}, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
+	start := time.Now()
 	if err := m.Run(); err != nil {
 		return Result{}, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
+	wall := time.Since(start)
 	ms := m.Stats()
-	h.addSim(ms)
-	out := Result{
-		Norm:         float64(ms.Cycles) / float64(base),
-		Machine:      ms,
-		Compile:      res.Stats,
-		RegionInsts:  ms.AvgRegionInsts,
-		RegionStores: ms.AvgRegionStores,
+	h.addSim(ms, wall)
+	ss := storedSim{Machine: ms, Compile: res.Stats.StripTimings()}
+	if h.store != nil {
+		if raw, err := json.Marshal(ss); err == nil {
+			h.store.Put(key, raw)
+		}
 	}
-	h.mu.Lock()
-	h.results[key] = out
-	h.mu.Unlock()
-	return out, nil
+	return resultFrom(ss, base), nil
+}
+
+// resultFrom derives the figure-facing Result from a stored (or fresh)
+// simulation payload and the benchmark's baseline cycles. Simulated and
+// replayed runs go through the same derivation, which is what makes warm
+// tables byte-identical to cold ones.
+func resultFrom(ss storedSim, base uint64) Result {
+	return Result{
+		Norm:         float64(ss.Machine.Cycles) / float64(base),
+		Machine:      ss.Machine,
+		Compile:      ss.Compile,
+		RegionInsts:  ss.Machine.AvgRegionInsts,
+		RegionStores: ss.Machine.AvgRegionStores,
+	}
 }
 
 // RunInstrumented executes one Capri run outside the result cache, with the
@@ -280,42 +398,32 @@ func (h *Harness) RunTapped(b workload.Benchmark, level compile.Level, threshold
 	if collect {
 		m.EnableMetrics()
 	}
+	start := time.Now()
 	if err := m.Run(); err != nil {
 		return nil, fmt.Errorf("%s %s@%d: %w", b.Name, level, threshold, err)
 	}
-	h.addSim(m.Stats())
+	h.addSim(m.Stats(), time.Since(start))
 	return m, nil
 }
 
-// Prefetch runs the given (benchmark × level × threshold) grid concurrently,
-// filling the result cache so the figure builders' sequential loops hit it.
+// Prefetch shards the (benchmark × level × threshold) grid across the sweep
+// orchestrator (Parallelism workers; 0 = GOMAXPROCS), filling the result
+// cache so the figure builders' sequential loops hit it. The reported error
+// is the lowest-indexed failing unit (schedule-independent), and every unit
+// runs even when one fails. When a result store is attached, the batch of
+// newly simulated results is flushed into a sealed segment afterwards.
 func (h *Harness) Prefetch(levels []compile.Level, thresholds []int) error {
-	sem := h.sem()
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for _, b := range workload.All() {
-		for _, l := range levels {
-			for _, th := range thresholds {
-				b, l, th := b, l, th
-				wg.Add(1)
-				sem <- struct{}{}
-				go func() {
-					defer wg.Done()
-					defer func() { <-sem }()
-					if _, err := h.Run(b, l, th); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-					}
-				}()
-			}
+	units := sweep.Grid(workload.All(), levels, thresholds)
+	err := sweep.RunUnits(h.Parallelism, units, func(u sweep.Unit) error {
+		_, err := h.Run(u.Bench, u.Level, u.Threshold)
+		return err
+	})
+	if h.store != nil {
+		if ferr := h.store.Flush(); err == nil {
+			err = ferr
 		}
 	}
-	wg.Wait()
-	return firstErr
+	return err
 }
 
 // suiteOf maps a benchmark name to its suite label for geomean rows.

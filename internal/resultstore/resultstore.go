@@ -1,0 +1,572 @@
+// Package resultstore is the on-disk content-addressed result store behind
+// the sweep fleet (DESIGN.md §4h): immutable result batches written as
+// append-only segment files, each sealed with a checksummed index, and
+// merged LSM-style — the incremental-batch discipline of the DBSP Spine —
+// once the segment count crosses a threshold.
+//
+// The store is a cache with a strict never-wrong-data contract. Values are
+// opaque byte payloads addressed by a 32-byte content key; a reader either
+// gets back exactly the bytes that were stored under that key or a miss.
+// Partial segment writes, truncated files, and bit flips in either the index
+// or a record are all detected by checksums and demoted to misses — a
+// corrupt store can cost re-simulation, never a wrong figure.
+//
+// Crash safety of the store itself: a segment is built in a temp file,
+// fsynced, and published with an atomic link+rename claim, so a crashed
+// writer leaves only ignorable *.tmp garbage. Compaction publishes the
+// merged segment before deleting its inputs; a crash in between leaves
+// duplicate keys that resolve newest-segment-wins on the next open.
+package resultstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Key is a 32-byte content address. Keys are derived with KeyOf so distinct
+// domains (simulation results, compiled programs, fault-plan outcomes) can
+// never collide even over identical input bytes.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyOf derives a content key: sha256 over the domain tag and every part,
+// each length-prefixed so part boundaries cannot be confused.
+func KeyOf(domain string, parts ...[]byte) Key {
+	h := sha256.New()
+	var n [8]byte
+	w := func(b []byte) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	w([]byte(domain))
+	for _, p := range parts {
+		w(p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Segment file layout (all integers little-endian):
+//
+//	header   "capriseg" | version u8
+//	records  repeat { key [32] | len u32 | payload | sum [32] }
+//	index    repeat { key [32] | payloadOff u64 | len u32 }
+//	trailer  indexOff u64 | count u64 | indexSum [32] | "capriidx"
+//
+// A record's sum is sha256(key || payload); indexSum is sha256 over the raw
+// index bytes. A segment without a valid header, trailer, and indexSum is
+// ignored wholesale at Open — that is how partial writes and index bit flips
+// are excluded — and each record's sum is verified again on Get, so a flipped
+// payload byte in an otherwise healthy segment is also just a miss.
+const (
+	segMagic    = "capriseg"
+	idxMagic    = "capriidx"
+	segVersion  = 1
+	headerLen   = len(segMagic) + 1
+	idxEntryLen = sha256.Size + 8 + 4
+	trailerLen  = 8 + 8 + sha256.Size + len(idxMagic)
+
+	// DefaultCompactThreshold is the segment count past which Flush merges
+	// every sealed segment into one (see Store.CompactThreshold).
+	DefaultCompactThreshold = 8
+)
+
+// entryRef locates one record's payload inside a sealed segment.
+type entryRef struct {
+	seg *segment
+	off uint64
+	len uint32
+}
+
+// segment is one sealed on-disk batch.
+type segment struct {
+	seq  uint64
+	path string
+	f    *os.File
+	keys int
+}
+
+// SegmentInfo describes one sealed segment for inspection tooling.
+type SegmentInfo struct {
+	Seq  uint64 `json:"seq"`
+	Path string `json:"path"`
+	Keys int    `json:"keys"` // records in the segment (including superseded ones)
+	Size int64  `json:"size"` // file size in bytes
+}
+
+// Stats is a snapshot of store traffic and shape.
+type Stats struct {
+	Segments        int    `json:"segments"`
+	Entries         int    `json:"entries"` // distinct live keys (sealed + pending)
+	Pending         int    `json:"pending"` // buffered puts not yet sealed
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	Puts            uint64 `json:"puts"`
+	Compactions     uint64 `json:"compactions"`
+	CorruptSegments uint64 `json:"corrupt_segments,omitempty"` // ignored at open
+	CorruptRecords  uint64 `json:"corrupt_records,omitempty"`  // demoted to misses
+}
+
+// Store is a concurrency-safe handle on one store directory. Multiple
+// processes may share a directory: segments are immutable once published and
+// publication is an atomic link, so the worst cross-process outcome is a
+// duplicate batch, resolved newest-wins. One process should use one Store.
+type Store struct {
+	// CompactThreshold is the sealed-segment count past which Flush merges
+	// all segments into one. Set it before concurrent use; zero means
+	// DefaultCompactThreshold.
+	CompactThreshold int
+
+	dir string
+
+	mu      sync.Mutex
+	segs    []*segment // ascending seq; later overrides earlier
+	index   map[Key]entryRef
+	pending map[Key][]byte
+	order   []Key // pending insertion order (deterministic segments)
+	tmpSeq  uint64
+	stats   Stats
+	closed  bool
+}
+
+// Open opens (creating if needed) the store rooted at dir and loads every
+// sealed segment's index. Unreadable or corrupt segments are skipped and
+// counted in Stats.CorruptSegments, never trusted.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{
+		CompactThreshold: DefaultCompactThreshold,
+		dir:              dir,
+		index:            make(map[Key]entryRef),
+		pending:          make(map[Key][]byte),
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	var seqs []uint64
+	for _, de := range names {
+		name := de.Name()
+		if !strings.HasSuffix(name, ".seg") || de.IsDir() {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, ".seg"), 16, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		if err := s.loadSegment(seq); err != nil {
+			// Corrupt or torn segment: its results are lost, not wrong.
+			s.stats.CorruptSegments++
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// loadSegment validates and indexes one sealed segment file.
+func (s *Store) loadSegment(seq uint64) error {
+	path := filepath.Join(s.dir, segName(seq))
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	seg, entries, err := readSegment(f, seq, path)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	s.segs = append(s.segs, seg)
+	for _, e := range entries {
+		s.index[e.key] = entryRef{seg: seg, off: e.off, len: e.len}
+	}
+	return nil
+}
+
+type indexEntry struct {
+	key Key
+	off uint64
+	len uint32
+}
+
+// readSegment validates header, trailer, and index checksum, returning the
+// segment handle and its index entries.
+func readSegment(f *os.File, seq uint64, path string) (*segment, []indexEntry, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size < int64(headerLen+trailerLen) {
+		return nil, nil, fmt.Errorf("resultstore: %s: truncated (%d bytes)", path, size)
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, nil, err
+	}
+	if string(hdr[:len(segMagic)]) != segMagic || hdr[len(segMagic)] != segVersion {
+		return nil, nil, fmt.Errorf("resultstore: %s: bad header", path)
+	}
+	tr := make([]byte, trailerLen)
+	if _, err := f.ReadAt(tr, size-int64(trailerLen)); err != nil {
+		return nil, nil, err
+	}
+	if string(tr[16+sha256.Size:]) != idxMagic {
+		return nil, nil, fmt.Errorf("resultstore: %s: bad trailer magic", path)
+	}
+	idxOff := binary.LittleEndian.Uint64(tr[0:8])
+	count := binary.LittleEndian.Uint64(tr[8:16])
+	var wantSum [sha256.Size]byte
+	copy(wantSum[:], tr[16:16+sha256.Size])
+	idxLen := count * uint64(idxEntryLen)
+	if idxOff < uint64(headerLen) || idxOff+idxLen != uint64(size)-uint64(trailerLen) {
+		return nil, nil, fmt.Errorf("resultstore: %s: index out of bounds", path)
+	}
+	idx := make([]byte, idxLen)
+	if _, err := f.ReadAt(idx, int64(idxOff)); err != nil {
+		return nil, nil, err
+	}
+	if sha256.Sum256(idx) != wantSum {
+		return nil, nil, fmt.Errorf("resultstore: %s: index checksum mismatch", path)
+	}
+	entries := make([]indexEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		e := idx[i*uint64(idxEntryLen):]
+		var ie indexEntry
+		copy(ie.key[:], e[:sha256.Size])
+		ie.off = binary.LittleEndian.Uint64(e[sha256.Size : sha256.Size+8])
+		ie.len = binary.LittleEndian.Uint32(e[sha256.Size+8 : sha256.Size+12])
+		if ie.off+uint64(ie.len)+sha256.Size > idxOff {
+			return nil, nil, fmt.Errorf("resultstore: %s: record out of bounds", path)
+		}
+		entries = append(entries, ie)
+	}
+	return &segment{seq: seq, path: path, f: f, keys: int(count)}, entries, nil
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("%016x.seg", seq) }
+
+// Get returns the payload stored under k. Pending (unflushed) puts are
+// visible. A record whose checksum no longer matches is dropped from the
+// index and reported as a miss — corrupt data is never returned.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.pending[k]; ok {
+		s.stats.Hits++
+		return append([]byte(nil), v...), true
+	}
+	ref, ok := s.index[k]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	buf := make([]byte, int(ref.len)+sha256.Size)
+	if _, err := ref.seg.f.ReadAt(buf, int64(ref.off)); err != nil {
+		delete(s.index, k)
+		s.stats.CorruptRecords++
+		s.stats.Misses++
+		return nil, false
+	}
+	payload, sum := buf[:ref.len], buf[ref.len:]
+	if recordSum(k, payload) != *(*[sha256.Size]byte)(sum) {
+		delete(s.index, k)
+		s.stats.CorruptRecords++
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	return payload, true
+}
+
+// recordSum is the per-record integrity checksum: sha256(key || payload).
+func recordSum(k Key, payload []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(k[:])
+	h.Write(payload)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Put buffers a payload under k. The value becomes durable at the next
+// Flush; until then it is visible to Get in this process only. Re-putting a
+// key overwrites the pending value (last wins).
+func (s *Store) Put(k Key, v []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if _, ok := s.pending[k]; !ok {
+		s.order = append(s.order, k)
+	}
+	s.pending[k] = append([]byte(nil), v...)
+	s.stats.Puts++
+}
+
+// Flush seals the pending batch into a new immutable segment (a no-op when
+// nothing is pending) and compacts the store if the sealed-segment count
+// exceeds CompactThreshold.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	th := s.CompactThreshold
+	if th <= 0 {
+		th = DefaultCompactThreshold
+	}
+	if len(s.segs) > th {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// flushLocked writes the pending batch as one sealed segment.
+func (s *Store) flushLocked() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	entries := make([]indexEntry, 0, len(s.order))
+	buf.WriteString(segMagic)
+	buf.WriteByte(segVersion)
+	for _, k := range s.order {
+		payload := s.pending[k]
+		var hdr [sha256.Size + 4]byte
+		copy(hdr[:], k[:])
+		binary.LittleEndian.PutUint32(hdr[sha256.Size:], uint32(len(payload)))
+		buf.Write(hdr[:])
+		off := uint64(buf.Len())
+		buf.Write(payload)
+		sum := recordSum(k, payload)
+		buf.Write(sum[:])
+		entries = append(entries, indexEntry{key: k, off: off, len: uint32(len(payload))})
+	}
+	writeIndexAndTrailer(&buf, entries)
+	seg, idx, err := s.publish(buf.Bytes(), len(entries))
+	if err != nil {
+		return err
+	}
+	for _, e := range idx {
+		s.index[e.key] = entryRef{seg: seg, off: e.off, len: e.len}
+	}
+	s.pending = make(map[Key][]byte)
+	s.order = nil
+	return nil
+}
+
+// writeIndexAndTrailer appends the index section and trailer for entries to
+// buf (which must already hold header + records).
+func writeIndexAndTrailer(buf *bytes.Buffer, entries []indexEntry) {
+	idxOff := uint64(buf.Len())
+	idxStart := buf.Len()
+	for _, e := range entries {
+		var ie [idxEntryLen]byte
+		copy(ie[:], e.key[:])
+		binary.LittleEndian.PutUint64(ie[sha256.Size:], e.off)
+		binary.LittleEndian.PutUint32(ie[sha256.Size+8:], e.len)
+		buf.Write(ie[:])
+	}
+	idxSum := sha256.Sum256(buf.Bytes()[idxStart:])
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint64(tr[0:8], idxOff)
+	binary.LittleEndian.PutUint64(tr[8:16], uint64(len(entries)))
+	copy(tr[16:], idxSum[:])
+	copy(tr[16+sha256.Size:], idxMagic)
+	buf.Write(tr[:])
+}
+
+// publish durably writes raw as a new sealed segment: temp file, fsync,
+// atomic link into the next free sequence slot, directory fsync. It returns
+// the opened segment and its re-validated index.
+func (s *Store) publish(raw []byte, keys int) (*segment, []indexEntry, error) {
+	s.tmpSeq++
+	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-%d-%d", os.Getpid(), s.tmpSeq))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, nil, fmt.Errorf("resultstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, nil, fmt.Errorf("resultstore: %w", err)
+	}
+	f.Close()
+
+	// Claim the next free sequence number with link(2): it fails if the name
+	// exists, so concurrent writers (even other processes) cannot clobber
+	// each other's batches.
+	seq := uint64(1)
+	if n := len(s.segs); n > 0 {
+		seq = s.segs[n-1].seq + 1
+	}
+	var path string
+	for {
+		path = filepath.Join(s.dir, segName(seq))
+		err := os.Link(tmp, path)
+		if err == nil {
+			break
+		}
+		if os.IsExist(err) {
+			seq++
+			continue
+		}
+		os.Remove(tmp)
+		return nil, nil, fmt.Errorf("resultstore: %w", err)
+	}
+	os.Remove(tmp)
+	syncDir(s.dir)
+
+	rf, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("resultstore: %w", err)
+	}
+	seg, idx, err := readSegment(rf, seq, path)
+	if err != nil {
+		rf.Close()
+		return nil, nil, fmt.Errorf("resultstore: reread own segment: %w", err)
+	}
+	s.segs = append(s.segs, seg)
+	return seg, idx, nil
+}
+
+// syncDir fsyncs a directory so a published segment's link survives a crash.
+// Best effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// compactLocked merges every sealed segment into one (newest key wins),
+// publishes the merged segment, then removes the inputs. A crash after
+// publish and before removal only leaves duplicates that resolve
+// newest-wins at the next Open. Keys are written in sorted order so the
+// merged segment is byte-deterministic for a given live set.
+func (s *Store) compactLocked() error {
+	keys := make([]Key, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i][:], keys[j][:]) < 0 })
+
+	var buf bytes.Buffer
+	buf.WriteString(segMagic)
+	buf.WriteByte(segVersion)
+	entries := make([]indexEntry, 0, len(keys))
+	for _, k := range keys {
+		ref := s.index[k]
+		payload := make([]byte, int(ref.len)+sha256.Size)
+		if _, err := ref.seg.f.ReadAt(payload, int64(ref.off)); err != nil {
+			s.stats.CorruptRecords++
+			continue
+		}
+		if recordSum(k, payload[:ref.len]) != *(*[sha256.Size]byte)(payload[ref.len:]) {
+			s.stats.CorruptRecords++
+			continue
+		}
+		var hdr [sha256.Size + 4]byte
+		copy(hdr[:], k[:])
+		binary.LittleEndian.PutUint32(hdr[sha256.Size:], ref.len)
+		buf.Write(hdr[:])
+		entries = append(entries, indexEntry{key: k, off: uint64(buf.Len()), len: ref.len})
+		buf.Write(payload)
+	}
+	writeIndexAndTrailer(&buf, entries)
+
+	old := s.segs
+	s.segs = nil
+	seg, idx, err := s.publish(buf.Bytes(), len(entries))
+	if err != nil {
+		s.segs = old
+		return err
+	}
+	s.index = make(map[Key]entryRef, len(idx))
+	for _, e := range idx {
+		s.index[e.key] = entryRef{seg: seg, off: e.off, len: e.len}
+	}
+	for _, o := range old {
+		o.f.Close()
+		os.Remove(o.path)
+	}
+	syncDir(s.dir)
+	s.stats.Compactions++
+	return nil
+}
+
+// Stats returns a snapshot of store traffic and shape.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Segments = len(s.segs)
+	st.Pending = len(s.pending)
+	live := len(s.index)
+	for k := range s.pending {
+		if _, ok := s.index[k]; !ok {
+			live++
+		}
+	}
+	st.Entries = live
+	return st
+}
+
+// Segments lists the sealed segments in sequence order, for inspection
+// tooling (capriinspect store).
+func (s *Store) Segments() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(s.segs))
+	for _, seg := range s.segs {
+		info := SegmentInfo{Seq: seg.seq, Path: seg.path, Keys: seg.keys}
+		if fi, err := seg.f.Stat(); err == nil {
+			info.Size = fi.Size()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Close flushes pending puts and releases every segment handle. The Store
+// must not be used afterwards.
+func (s *Store) Close() error {
+	err := s.Flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+	s.segs = nil
+	s.index = make(map[Key]entryRef)
+	return err
+}

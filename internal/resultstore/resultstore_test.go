@@ -1,0 +1,331 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testKey(i int) Key { return KeyOf("test", []byte(fmt.Sprintf("key-%d", i))) }
+
+func testVal(i int) []byte {
+	return bytes.Repeat([]byte{byte(i), byte(i >> 8)}, 40+i%17)
+}
+
+// fill puts n entries and flushes them into one sealed segment.
+func fill(t *testing.T, s *Store, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		s.Put(testKey(i), testVal(i))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pending values are visible before Flush.
+	s.Put(testKey(0), testVal(0))
+	if v, ok := s.Get(testKey(0)); !ok || !bytes.Equal(v, testVal(0)) {
+		t.Fatalf("pending get = %v, %v", v, ok)
+	}
+	fill(t, s, 1, 50)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything sealed must come back byte-identical.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 50; i++ {
+		v, ok := s2.Get(testKey(i))
+		if !ok {
+			t.Fatalf("key %d missing after reopen", i)
+		}
+		if !bytes.Equal(v, testVal(i)) {
+			t.Fatalf("key %d corrupted: got %x want %x", i, v, testVal(i))
+		}
+	}
+	if _, ok := s2.Get(testKey(999)); ok {
+		t.Fatal("absent key reported present")
+	}
+	st := s2.Stats()
+	if st.Entries != 50 || st.Segments == 0 {
+		t.Fatalf("stats after reopen: %+v", st)
+	}
+}
+
+func TestNewestWinsAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put(testKey(1), []byte("old"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(1), []byte("new"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, _ := Open(dir)
+	defer s2.Close()
+	if v, ok := s2.Get(testKey(1)); !ok || string(v) != "new" {
+		t.Fatalf("got %q, %v; want newest value", v, ok)
+	}
+}
+
+// segPaths lists the sealed segment files in the directory.
+func segPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTruncatedSegmentIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	fill(t, s, 0, 20)
+	s.Close()
+
+	paths := segPaths(t, dir)
+	if len(paths) != 1 {
+		t.Fatalf("want 1 segment, have %v", paths)
+	}
+	fi, _ := os.Stat(paths[0])
+	if err := os.Truncate(paths[0], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.CorruptSegments != 1 || st.Entries != 0 {
+		t.Fatalf("truncated segment not excluded: %+v", st)
+	}
+	if _, ok := s2.Get(testKey(3)); ok {
+		t.Fatal("got a value out of a truncated segment")
+	}
+}
+
+func TestBitFlippedIndexEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	fill(t, s, 0, 20)
+	s.Close()
+
+	path := segPaths(t, dir)[0]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the index section (between indexOff and the
+	// trailer); the index checksum must reject the whole segment.
+	idxStart := len(raw) - trailerLen - 20*idxEntryLen
+	raw[idxStart+7] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := Open(dir)
+	defer s2.Close()
+	if st := s2.Stats(); st.CorruptSegments != 1 {
+		t.Fatalf("flipped index entry not detected: %+v", st)
+	}
+	for i := 0; i < 20; i++ {
+		if _, ok := s2.Get(testKey(i)); ok {
+			t.Fatalf("key %d served from a segment with a corrupt index", i)
+		}
+	}
+}
+
+func TestBitFlippedPayloadIsMissNeverWrongData(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	fill(t, s, 0, 3)
+	s.Close()
+
+	path := segPaths(t, dir)[0]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte of the first record's payload, leaving the index (and
+	// its checksum) intact: the segment opens, but the per-record checksum
+	// must demote the damaged key to a miss at Get time.
+	raw[headerLen+36+3] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := Open(dir)
+	defer s2.Close()
+	if st := s2.Stats(); st.CorruptSegments != 0 {
+		t.Fatalf("segment should open (index intact): %+v", st)
+	}
+	if v, ok := s2.Get(testKey(0)); ok {
+		t.Fatalf("corrupt payload returned as data: %x", v)
+	}
+	if st := s2.Stats(); st.CorruptRecords != 1 {
+		t.Fatalf("corrupt record not counted: %+v", st)
+	}
+	// The other records are untouched and must still verify.
+	for i := 1; i < 3; i++ {
+		if v, ok := s2.Get(testKey(i)); !ok || !bytes.Equal(v, testVal(i)) {
+			t.Fatalf("undamaged key %d lost: %v %v", i, v, ok)
+		}
+	}
+}
+
+func TestPartialTempWriteIgnored(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a writer that died mid-batch: a bare temp file in the store.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-999-1"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if st := s.Stats(); st.Segments != 0 || st.CorruptSegments != 0 {
+		t.Fatalf("temp garbage affected open: %+v", st)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.CompactThreshold = 3
+	for batch := 0; batch < 5; batch++ {
+		fill(t, s, batch*10, batch*10+10)
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after 5 batches over threshold 3: %+v", st)
+	}
+	if st.Segments > 3 {
+		t.Fatalf("segment count %d not compacted under threshold", st.Segments)
+	}
+	if st.Entries != 50 {
+		t.Fatalf("entries after compaction: %+v", st)
+	}
+	for i := 0; i < 50; i++ {
+		if v, ok := s.Get(testKey(i)); !ok || !bytes.Equal(v, testVal(i)) {
+			t.Fatalf("key %d lost by compaction", i)
+		}
+	}
+	s.Close()
+
+	// Survives reopen, and the merged segment carries everything.
+	s2, _ := Open(dir)
+	defer s2.Close()
+	for i := 0; i < 50; i++ {
+		if v, ok := s2.Get(testKey(i)); !ok || !bytes.Equal(v, testVal(i)) {
+			t.Fatalf("key %d lost after compaction + reopen", i)
+		}
+	}
+}
+
+// TestCompactionDeterministic: compacting the same live set yields
+// byte-identical merged segments (sorted key order), so store state is a
+// pure function of its contents.
+func TestCompactionDeterministic(t *testing.T) {
+	render := func(dir string) []byte {
+		s, _ := Open(dir)
+		s.CompactThreshold = 1
+		// Insert in different orders per call site via the caller.
+		for i := 9; i >= 0; i-- {
+			s.Put(testKey(i), testVal(i))
+		}
+		s.Flush()
+		for i := 10; i < 20; i++ {
+			s.Put(testKey(i), testVal(i))
+		}
+		s.Flush() // exceeds threshold 1 -> compacts
+		s.Close()
+		paths := segPaths(t, dir)
+		if len(paths) != 1 {
+			t.Fatalf("want 1 merged segment, have %v", paths)
+		}
+		raw, err := os.ReadFile(paths[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a := render(t.TempDir())
+	b := render(t.TempDir())
+	if !bytes.Equal(a, b) {
+		t.Fatal("merged segments differ for identical live sets")
+	}
+}
+
+func TestConcurrentPutGetFlush(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.CompactThreshold = 2
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := w*50 + i
+				s.Put(testKey(k), testVal(k))
+				if v, ok := s.Get(testKey(k)); !ok || !bytes.Equal(v, testVal(k)) {
+					t.Errorf("worker %d: lost own put %d", w, k)
+					return
+				}
+				if i%20 == 19 {
+					if err := s.Flush(); err != nil {
+						t.Errorf("flush: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Open(dir)
+	defer s2.Close()
+	if st := s2.Stats(); st.Entries != 400 {
+		t.Fatalf("entries after concurrent writes: %+v", st)
+	}
+}
+
+func TestKeyOfDomainsAndParts(t *testing.T) {
+	a := KeyOf("sim", []byte("x"), []byte("y"))
+	b := KeyOf("compile", []byte("x"), []byte("y"))
+	c := KeyOf("sim", []byte("xy"), []byte(""))
+	d := KeyOf("sim", []byte("x"), []byte("y"))
+	if a == b {
+		t.Fatal("domains collide")
+	}
+	if a == c {
+		t.Fatal("part boundaries collide")
+	}
+	if a != d {
+		t.Fatal("KeyOf not deterministic")
+	}
+}

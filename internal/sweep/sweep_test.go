@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/machine"
+	"capri/internal/resultstore"
+	"capri/internal/workload"
+)
+
+func TestRunVisitsEveryUnit(t *testing.T) {
+	for _, jobs := range []int{0, 1, 3, 7, 64} {
+		const n = 37
+		var hits [n]int32
+		err := Run(jobs, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("jobs=%d: unit %d ran %d times", jobs, i, h)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	wantErr := errors.New("unit 5 failed")
+	var ran int32
+	err := Run(4, 20, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		switch i {
+		case 5:
+			return wantErr
+		case 11:
+			return errors.New("unit 11 failed")
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want the lowest-indexed failure", err)
+	}
+	// Failures never cancel the sweep: every unit still runs.
+	if ran != 20 {
+		t.Fatalf("ran %d of 20 units", ran)
+	}
+}
+
+func TestRunZeroUnits(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridOrder(t *testing.T) {
+	benches := workload.All()[:2]
+	levels := []compile.Level{compile.LevelRegion, compile.LevelLICM}
+	ths := []int{64, 256}
+	units := Grid(benches, levels, ths)
+	if len(units) != 8 {
+		t.Fatalf("len = %d", len(units))
+	}
+	// Benchmark-major, then level, then threshold — the sequential loop order.
+	u := units[1]
+	if u.Bench.Name != benches[0].Name || u.Level != compile.LevelRegion || u.Threshold != 256 {
+		t.Fatalf("units[1] = {%s %v %d}", u.Bench.Name, u.Level, u.Threshold)
+	}
+	if units[4].Bench.Name != benches[1].Name {
+		t.Fatalf("units[4] = %+v", units[4])
+	}
+}
+
+func TestToolchainSaltStable(t *testing.T) {
+	a := ToolchainSalt()
+	b := ToolchainSalt()
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("salt unstable: %x vs %x", a, b)
+	}
+}
+
+func TestKeysDistinguishInputs(t *testing.T) {
+	var fp1, fp2 [32]byte
+	fp2[0] = 1
+	opts := compile.DefaultOptions()
+	opts2 := opts
+	opts2.Threshold = 64
+	cfg := machine.DefaultConfig()
+	cfg2 := cfg
+	cfg2.Cores = 2
+
+	base := SimKey(fp1, opts, cfg)
+	if SimKey(fp2, opts, cfg) == base {
+		t.Fatal("fingerprint not in key")
+	}
+	if SimKey(fp1, opts2, cfg) == base {
+		t.Fatal("options not in key")
+	}
+	if SimKey(fp1, opts, cfg2) == base {
+		t.Fatal("machine config not in key")
+	}
+	if BaselineKey(fp1, cfg) == base {
+		t.Fatal("baseline and sim domains collide")
+	}
+	if SimKey(fp1, opts, cfg) != base {
+		t.Fatal("SimKey not deterministic")
+	}
+}
+
+// TestVerifyAfterDoesNotChangeKey: VerifyAfter is diagnostics, not output;
+// canonicalization must erase it so verified and unverified runs share
+// stored results.
+func TestVerifyAfterDoesNotChangeKey(t *testing.T) {
+	var fp [32]byte
+	opts := compile.DefaultOptions()
+	verif := opts
+	verif.VerifyAfter = compile.VerifyAfterAll
+	cfg := machine.DefaultConfig()
+	if SimKey(fp, opts, cfg) != SimKey(fp, verif, cfg) {
+		t.Fatal("VerifyAfter leaked into the result key")
+	}
+}
+
+// TestOrchestratorSharedStoreRace drives the real orchestrator shape — many
+// workers computing units and publishing into one shared store, with
+// duplicate keys across workers — under the race detector.
+func TestOrchestratorSharedStoreRace(t *testing.T) {
+	dir := t.TempDir()
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.CompactThreshold = 2
+
+	const n = 64
+	var sims int64
+	err = Run(8, n, func(i int) error {
+		// Units collide on keys (i%16) like overlapping sweep cells do.
+		key := resultstore.KeyOf("race-test", []byte(fmt.Sprintf("cell-%d", i%16)))
+		if _, ok := store.Get(key); ok {
+			return nil
+		}
+		atomic.AddInt64(&sims, 1)
+		store.Put(key, []byte(fmt.Sprintf("result-%d", i%16)))
+		if i%8 == 0 {
+			return store.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Entries != 16 {
+		t.Fatalf("entries = %d, want 16: %+v", st.Entries, st)
+	}
+	if sims < 16 || sims > n {
+		t.Fatalf("implausible sim count %d", sims)
+	}
+}
