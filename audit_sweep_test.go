@@ -5,7 +5,7 @@ package capri
 // spread points, recovered, and resumed with the online Fig. 7 auditor
 // attached end-to-end (run → crash → recovery replay → resumption); any
 // violated provenance invariant fails with the offending per-line event
-// chain. The 19 paper benchmarks additionally run to completion under the
+// chain. The 21 paper benchmarks additionally run to completion under the
 // auditor. Mutation coverage — that seeded protocol corruptions DO trip the
 // auditor — lives in internal/audit's mutation tests.
 

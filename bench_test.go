@@ -37,7 +37,7 @@ func BenchmarkTable1Config(b *testing.B) {
 }
 
 // BenchmarkFig8Thresholds regenerates Figure 8: normalized execution cycles
-// across store thresholds for all 19 benchmarks. Reported metrics are the
+// across store thresholds for all 21 benchmarks. Reported metrics are the
 // overall geometric means at the swept thresholds.
 func BenchmarkFig8Thresholds(b *testing.B) {
 	h := figures.NewHarness(benchScale)
@@ -188,6 +188,44 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		instret = m.Instret()
 	}
 	b.ReportMetric(float64(instret)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkSimulatorThroughputMT measures multi-core simulation speed on one
+// lock-dense Splash kernel, with the conflict-aware quantum extension on
+// (ext) and off (lockstep) — the simulator-performance pair behind the
+// fig8-mt4 perf figures.
+func BenchmarkSimulatorThroughputMT(b *testing.B) {
+	w, err := workload.ByName("water-nsquared")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := w.Build(benchScale)
+	res, err := compile.Compile(src, compile.OptionsForLevel(compile.LevelLICM, 256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		noExt bool
+	}{{"ext", false}, {"lockstep", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := machine.DefaultConfig()
+			cfg.NoQuantumExt = mode.noExt
+			var instret uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(res.Program, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				instret = m.Instret()
+			}
+			b.ReportMetric(float64(instret)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+		})
+	}
 }
 
 // BenchmarkRecovery measures the crash-image harvest plus recovery-protocol

@@ -11,6 +11,7 @@ import (
 	"capri/internal/figures"
 	"capri/internal/machine"
 	"capri/internal/resultstore"
+	"capri/internal/workload"
 )
 
 // BenchSchema identifies the BENCH_sim.json format. v2 added the dispatch
@@ -18,9 +19,12 @@ import (
 // fused superinstructions); v3 separates simulated-only throughput from
 // wall-clock (a result store replays configurations without simulating, so
 // wall-derived inst/s would gate replay speed, not simulator speed) and
-// records the sweep's job count and result-store traffic. Older reports
-// remain readable for gating.
-const BenchSchema = "capri/bench-sim/v3"
+// records the sweep's job count and result-store traffic; v4 adds the
+// multi-core figures (fig8-mt4 and its lockstep control) with their
+// mt_inst_per_sec throughput, quantum grant/abort counters, and run-queue
+// traffic. Older
+// reports remain readable for gating — figures they lack are skipped.
+const BenchSchema = "capri/bench-sim/v4"
 
 // gateTolerance is the fractional inst/s regression `-perfgate` tolerates
 // before failing (wall-clock noise allowance).
@@ -61,6 +65,20 @@ type perfFigure struct {
 	// deflated by compile/setup time. Zero when the sweep simulated nothing.
 	SimSeconds    float64 `json:"sim_seconds"`
 	SimInstPerSec float64 `json:"sim_inst_per_sec"`
+	// MTInstPerSec is the multi-threaded simulated throughput of the fig8-mt4
+	// sweeps (the 4-thread Splash-3 suite on 8 simulated cores). It equals
+	// SimInstPerSec for those figures and is zero elsewhere; it exists as a
+	// named series so the lockstep-vs-extension ratio can be read straight
+	// out of the report.
+	MTInstPerSec float64 `json:"mt_inst_per_sec,omitempty"`
+	// Quantum extension traffic of the sweep (runq.go + quantum.go): grants
+	// count dispatches extended past the strict per-instruction quantum,
+	// aborts count extension attempts declined or cut short by a conflict.
+	// SchedQueueOps counts run-queue pushes+pops — the scheduler traffic the
+	// extension exists to cut; compare fig8-mt4 against its lockstep control.
+	QuantumGrants uint64 `json:"quantum_grants,omitempty"`
+	QuantumAborts uint64 `json:"quantum_aborts,omitempty"`
+	SchedQueueOps uint64 `json:"sched_queue_ops,omitempty"`
 }
 
 // perfReport is the BENCH_sim.json payload.
@@ -140,6 +158,58 @@ func measure(name string, h *figures.Harness, fn func() error) (perfFigure, erro
 	}
 	if pf.SimSeconds > 0 && pf.Instructions > 0 {
 		pf.SimInstPerSec = float64(pf.Instructions) / pf.SimSeconds
+	}
+	return pf, nil
+}
+
+// runMTFigure times the 4-thread Splash-3 suite — the paper's Figure-8
+// multi-threaded class — on fresh machines at the paper configuration
+// (8 cores, threshold 256, LICM). noExt pins the scheduler to the strict
+// per-instruction lockstep schedule (Config.NoQuantumExt), giving the
+// control the extension's speedup is measured against; both runs produce
+// byte-identical simulated results (the dispatch equivalence suite proves
+// it), so the ratio is pure simulator speed.
+func runMTFigure(name string, scale int, noExt bool) (perfFigure, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	pf := perfFigure{Figure: name}
+	for _, b := range workload.BySuite(workload.SuiteSplash) {
+		res, err := compile.Compile(b.Build(scale), compile.OptionsForLevel(compile.LevelLICM, 256))
+		if err != nil {
+			return perfFigure{}, fmt.Errorf("%s: %s: %w", name, b.Name, err)
+		}
+		cfg := machine.DefaultConfig()
+		cfg.NoQuantumExt = noExt
+		m, err := machine.New(res.Program, cfg)
+		if err != nil {
+			return perfFigure{}, fmt.Errorf("%s: %s: %w", name, b.Name, err)
+		}
+		t0 := time.Now()
+		if err := m.Run(); err != nil {
+			return perfFigure{}, fmt.Errorf("%s: %s: %w", name, b.Name, err)
+		}
+		pf.SimSeconds += time.Since(t0).Seconds()
+		s := m.Stats()
+		pf.Instructions += s.Instret
+		pf.QuantumGrants += s.QuantumGrants
+		pf.QuantumAborts += s.QuantumAborts
+		pf.SchedQueueOps += s.SchedQueueOps
+		pf.SimRuns++
+	}
+	pf.WallSeconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	pf.Mallocs = after.Mallocs - before.Mallocs
+	pf.BytesAlloc = after.TotalAlloc - before.TotalAlloc
+	if pf.Instructions > 0 {
+		pf.MallocsPerKInst = 1000 * float64(pf.Mallocs) / float64(pf.Instructions)
+		if pf.WallSeconds > 0 {
+			pf.InstPerSec = float64(pf.Instructions) / pf.WallSeconds
+		}
+		if pf.SimSeconds > 0 {
+			pf.SimInstPerSec = float64(pf.Instructions) / pf.SimSeconds
+			pf.MTInstPerSec = pf.SimInstPerSec
+		}
 	}
 	return pf, nil
 }
@@ -264,7 +334,7 @@ func runPerf(scale, jobs int, storeDir string, withRef bool, seedWall float64, o
 		defer store.Close()
 	}
 
-	// Figure 8 on a fresh harness: the headline sweep (19 benchmarks x 6
+	// Figure 8 on a fresh harness: the headline sweep (21 benchmarks x 6
 	// thresholds, plus baselines).
 	h8 := figures.NewHarness(scale)
 	h8.Parallelism = jobs
@@ -297,6 +367,26 @@ func runPerf(scale, jobs int, storeDir string, withRef bool, seedWall float64, o
 		if err != nil {
 			return err
 		}
+		rep.Figures = append(rep.Figures, pf)
+	}
+	// The multi-core figures: the 4-thread Splash-3 suite with the quantum
+	// extension (the default scheduler) and pinned to strict lockstep. Their
+	// simulated results are identical; the mt_inst_per_sec ratio is the
+	// scheduler speedup on lockstep-heavy workloads.
+	var mtExt, mtLock perfFigure
+	for _, mt := range []struct {
+		name  string
+		noExt bool
+		out   *perfFigure
+	}{
+		{"fig8-mt4", false, &mtExt},
+		{"fig8-mt4-lockstep", true, &mtLock},
+	} {
+		pf, err := runMTFigure(mt.name, scale, mt.noExt)
+		if err != nil {
+			return err
+		}
+		*mt.out = pf
 		rep.Figures = append(rep.Figures, pf)
 	}
 	for _, f := range rep.Figures {
@@ -355,6 +445,15 @@ func runPerf(scale, jobs int, storeDir string, withRef bool, seedWall float64, o
 		if f.DecodeBlocks+f.DecodeHits > 0 {
 			fmt.Printf("  %-10s decode: %d blocks, %d cache hits, %d fused ops\n",
 				"", f.DecodeBlocks, f.DecodeHits, f.DecodeFused)
+		}
+	}
+	if mtExt.MTInstPerSec > 0 && mtLock.MTInstPerSec > 0 {
+		fmt.Printf("  multi-core: %d quantum grants, %d aborts; sim speedup vs lockstep: %.2fx\n",
+			mtExt.QuantumGrants, mtExt.QuantumAborts, mtExt.MTInstPerSec/mtLock.MTInstPerSec)
+		if mtLock.SchedQueueOps > 0 {
+			fmt.Printf("  multi-core: scheduler queue ops %d vs %d lockstep (%.0f%% fewer pops)\n",
+				mtExt.SchedQueueOps, mtLock.SchedQueueOps,
+				100*(1-float64(mtExt.SchedQueueOps)/float64(mtLock.SchedQueueOps)))
 		}
 	}
 	if rep.ResultStore != nil {

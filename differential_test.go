@@ -93,7 +93,7 @@ func runPair(t *testing.T, what string, p *prog.Program, threads, threshold int)
 	return imgs[0], imgs[1]
 }
 
-// TestDifferentialBenchmarks runs every paper benchmark (all 19 stand-ins) to
+// TestDifferentialBenchmarks runs every paper benchmark (all 21 stand-ins) to
 // completion on both stores and requires byte-identical outcomes: same cycle
 // count, same architectural and NVM images, same committed output.
 func TestDifferentialBenchmarks(t *testing.T) {

@@ -56,45 +56,80 @@ func (d *eventDigest) Tap(e audit.Event) {
 	d.n++
 }
 
-// dispatchRun executes p under the given dispatch mode and returns the final
-// image, the full stats, and the audit stream digest.
-func dispatchRun(t *testing.T, what string, p *prog.Program, threads, threshold int, mode machine.DispatchMode) (machineImage, machine.Stats, eventDigest) {
+// dispatchRun executes p under the given machine configuration and returns
+// the final image, the full stats, and (when tapped) the audit stream digest.
+// The untapped legs matter on their own: an audit sink forces the quantum
+// extension onto its conservative service horizon, so only untapped runs
+// exercise the wide-window grant path the perf harness runs under.
+func dispatchRun(t *testing.T, what string, p *prog.Program, threads int, cfg machine.Config, tap bool) (machineImage, machine.Stats, eventDigest) {
 	t.Helper()
-	cfg := diffConfig(threads, threshold, false)
-	cfg.Dispatch = mode
 	m, err := machine.New(p, cfg)
 	if err != nil {
-		t.Fatalf("%s (%v): %v", what, mode, err)
+		t.Fatalf("%s (%v): %v", what, cfg.Dispatch, err)
 	}
 	var dig eventDigest
-	m.SetTap(&dig)
+	if tap {
+		m.SetTap(&dig)
+	}
 	if err := m.Run(); err != nil {
-		t.Fatalf("%s (%v): %v", what, mode, err)
+		t.Fatalf("%s (%v): %v", what, cfg.Dispatch, err)
 	}
 	return imageOf(m, threads), m.Stats(), dig
 }
 
 // comparableStats strips the fields the two dispatch cores legitimately
 // disagree on: Steps counts dispatches (a decoded run retires many
-// instructions per step) and the decode counters exist only in the threaded
-// core.
+// instructions per step), the decode counters exist only in the threaded
+// core, and the scheduler counters (quantum grants/aborts, run-queue ops)
+// depend on how many dispatches the run took. Everything else — every
+// simulated observable — must match exactly.
 func comparableStats(s machine.Stats) machine.Stats {
 	s.Steps = 0
 	s.DecodeBlocks, s.DecodeHits, s.DecodeFused = 0, 0, 0
+	s.QuantumGrants, s.QuantumAborts, s.SchedQueueOps = 0, 0, 0
 	return s
 }
 
 func requireDispatchIdentical(t *testing.T, what string, p *prog.Program, threads, threshold int) {
 	t.Helper()
-	thImg, thStats, thDig := dispatchRun(t, what, p, threads, threshold, machine.DispatchThreaded)
-	swImg, swStats, swDig := dispatchRun(t, what, p, threads, threshold, machine.DispatchSwitch)
+	base := diffConfig(threads, threshold, false)
+	thCfg := base
+	thCfg.Dispatch = machine.DispatchThreaded
+	swCfg := base
+	swCfg.Dispatch = machine.DispatchSwitch
+	noExtCfg := thCfg
+	noExtCfg.NoQuantumExt = true
+
+	// Tapped legs: the chained digest pins the exact audit event order, so a
+	// window that reordered a single launch or drain event would surface.
+	thImg, thStats, thDig := dispatchRun(t, what, p, threads, thCfg, true)
+	swImg, swStats, swDig := dispatchRun(t, what, p, threads, swCfg, true)
+	neImg, neStats, neDig := dispatchRun(t, what, p, threads, noExtCfg, true)
 	requireIdentical(t, what, thImg, swImg)
+	requireIdentical(t, what+" (NoQuantumExt)", neImg, swImg)
 	if a, b := comparableStats(thStats), comparableStats(swStats); !reflect.DeepEqual(a, b) {
 		t.Errorf("%s: stats diverge beyond Steps/decode counters:\n  threaded %+v\n  switch   %+v", what, a, b)
+	}
+	if a, b := comparableStats(neStats), comparableStats(swStats); !reflect.DeepEqual(a, b) {
+		t.Errorf("%s: NoQuantumExt stats diverge beyond Steps/decode counters:\n  threaded %+v\n  switch   %+v", what, a, b)
 	}
 	if thDig.n != swDig.n || thDig.sum != swDig.sum {
 		t.Errorf("%s: audit streams diverge: threaded %d events (%#x), switch %d events (%#x)",
 			what, thDig.n, thDig.sum, swDig.n, swDig.sum)
+	}
+	if neDig.n != swDig.n || neDig.sum != swDig.sum {
+		t.Errorf("%s: NoQuantumExt audit stream diverges: %d events (%#x), switch %d events (%#x)",
+			what, neDig.n, neDig.sum, swDig.n, swDig.sum)
+	}
+
+	// Untapped legs: with no audit sink the extension grants its widest
+	// windows (drain-completion horizon only); the NVM image, memory image,
+	// and full cycle ledger must still be byte-identical to the reference.
+	wtImg, wtStats, _ := dispatchRun(t, what, p, threads, thCfg, false)
+	wsImg, wsStats, _ := dispatchRun(t, what, p, threads, swCfg, false)
+	requireIdentical(t, what+" (untapped)", wtImg, wsImg)
+	if a, b := comparableStats(wtStats), comparableStats(wsStats); !reflect.DeepEqual(a, b) {
+		t.Errorf("%s: untapped stats diverge beyond Steps/decode counters:\n  threaded %+v\n  switch   %+v", what, a, b)
 	}
 }
 
@@ -114,6 +149,36 @@ func TestDispatchEquivalenceBenchmarks(t *testing.T) {
 			}
 			requireDispatchIdentical(t, b.Name, res.Program, b.Threads, 256)
 		})
+	}
+}
+
+// TestDispatchEquivalenceMultiCore sweeps the scheduler geometries the
+// conflict-aware quantum extension cares about: 2, 4, and 8 cores change the
+// run-queue tie-break pattern, the number of horizons a grant must clear,
+// and the phase alignment of store bursts. Every geometry runs the full
+// five-leg equivalence check (threaded vs switch, extension on and off,
+// tapped and untapped).
+func TestDispatchEquivalenceMultiCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-core dispatch sweep is not short")
+	}
+	for _, threads := range []int{2, 4, 8} {
+		for s := 0; s < 6; s++ {
+			shape := progen.Config{Funcs: 2, MaxDepth: 2, MaxStmts: 5, MaxLoopTrip: 5, Threads: threads}
+			if s%2 == 1 {
+				shape.Barriers = true
+			}
+			name := fmt.Sprintf("cores%d_seed%d", threads, s)
+			src := progen.Generate(uint64(threads*1000+s)*0x9e3779b9+7, shape)
+			res, err := compile.Compile(src, compile.OptionsForLevel(compile.LevelLICM, 64))
+			if err != nil {
+				t.Fatalf("%s: compile: %v", name, err)
+			}
+			requireDispatchIdentical(t, name, res.Program, threads, 64)
+			if t.Failed() {
+				t.Fatalf("%s: stopping after first divergence", name)
+			}
+		}
 	}
 }
 

@@ -2,7 +2,7 @@
 // (normalized cycles vs store threshold), Figure 9 (normalized cycles under
 // cumulative compiler optimizations), Figures 10 and 11 (average region
 // length in instructions and stores), the §6.2 headline numbers, and
-// Table 1. Every figure is a stats.Table whose rows are the 19 benchmarks in
+// Table 1. Every figure is a stats.Table whose rows are the 21 benchmarks in
 // the paper's plotting order plus per-suite and overall geometric means.
 package figures
 

@@ -226,8 +226,8 @@ func TestFig8SmallSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tbl.Rows() != 19+4 {
-		t.Errorf("rows = %d, want 23 (19 benchmarks + 4 geomeans)", tbl.Rows())
+	if tbl.Rows() != 21+4 {
+		t.Errorf("rows = %d, want 25 (21 benchmarks + 4 geomeans)", tbl.Rows())
 	}
 	s := tbl.String()
 	for _, want := range []string{"505.mcf_r", "cpu2017_gmean", "overall_gmean", "Figure 8"} {
@@ -374,9 +374,9 @@ func TestSweepCompilesEachConfigurationOnce(t *testing.T) {
 		t.Skip("full sweep")
 	}
 	// A fresh Fig8+Fig9 sweep must compile each distinct
-	// (benchmark, level, threshold) exactly once: Fig8 takes 19 benchmarks x
-	// 2 thresholds at +licm, Fig9 adds 19 x 5 levels at threshold 256, and
-	// the (+licm, 256) column is shared -- 38 + 95 - 19 = 114 distinct
+	// (benchmark, level, threshold) exactly once: Fig8 takes N benchmarks x
+	// 2 thresholds at +licm, Fig9 adds N x 5 levels at threshold 256, and
+	// the (+licm, 256) column is shared -- 2N + 5N - N = 6N distinct
 	// compilations, no matter how the prefetch goroutines race.
 	h := NewHarness(1)
 	if _, err := h.Fig8([]int{64, 256}); err != nil {

@@ -192,6 +192,7 @@ type DrainExhaustedError struct {
 	Attempts int
 }
 
+// Error formats the exhausted drain's core, region and attempt count.
 func (e *DrainExhaustedError) Error() string {
 	return fmt.Sprintf("machine: core %d: phase-2 drain of region %d exhausted %d write attempts (NVM write error persists)",
 		e.Core, e.Region, e.Attempts)

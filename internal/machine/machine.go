@@ -61,12 +61,22 @@ type core struct {
 	blkInsts []isa.Inst
 	dblk     *dblock
 
-	// lineScratch is scheduleDrain's distinct-line scratch: linear dedup
-	// (which beats map hashing for the typical few-dozen-line region), with
-	// lineSeen as the reused map fallback once a region's distinct-line
-	// count makes the linear scan quadratic-expensive.
-	lineScratch []uint64
-	lineSeen    map[uint64]struct{}
+	// Hard-horizon span cache (quantum.go): cycles of purely local work from
+	// the core's parked PC to its next non-local action, plus the PC it was
+	// computed at. Refreshed only when the core leaves the scheduler with a
+	// moved PC — stall-only pops keep it, since the span depends on the PC
+	// alone. extBudget reads it relative to the core's current cycle and
+	// caps it with svcAt at attempt time; all inputs are frozen while the
+	// core is parked. Simulator-side only.
+	horSpan uint64
+	horFn   int
+	horBlk  int
+	horIdx  int
+
+	// lines is scheduleDrain's distinct-line dedup scratch: an epoch-stamped
+	// flat table cleared by generation bump and reused across every region
+	// (zero steady-state allocation; see scratch.go).
+	lines lineTable
 
 	l1    *cache.Cache
 	front *proxy.FrontEnd
@@ -151,6 +161,29 @@ type Machine struct {
 	steps       uint64
 	retired     uint64 // running sum of core instret (crash-point check)
 	haltedCores int    // running count of halted cores (Done fast path)
+
+	// Scheduler state: the event-ordered run queue and the quantum-extension
+	// switch and counters (runq.go, quantum.go). extOK is derived per run()
+	// entry; the counters are simulator-side statistics only.
+	rq      runq
+	extOK   bool   // quantum extension armed for the current run segment
+	qGrants uint64 // pops granted a window beyond the strict quantum
+	qAborts uint64 // extension attempts that could not beat the strict quantum
+	// Abort backoff: after a failed grant the next extBackoff pops skip the
+	// attempt (extDefer counts them down); each consecutive failure doubles
+	// the distance, any success rearms full-rate attempts. Horizons keep
+	// refreshing while attempts are deferred, so the first attempt after a
+	// phase change sees current bounds. Purely a simulator heuristic that
+	// trims the extension's overhead in conflict-dense phases where no
+	// window is possible.
+	extDefer   uint32
+	extBackoff uint32
+
+	// The dispatch window of the current pop (quantum.go): the highest cycle
+	// at which c may still start an op. Without a grant it coincides with
+	// the strict quantum and the loop behaves exactly as the reference
+	// scheduler.
+	winExt uint64
 
 	crashed bool
 	fatal   error
@@ -371,12 +404,30 @@ func (m *Machine) Instret() uint64 {
 }
 
 func (m *Machine) run(crashAt uint64) error {
-	// The crash-point check uses a running retired-instruction counter
-	// instead of re-summing every core's instret each step; a dispatch
-	// retires at most maxFuseLen+1 instructions, so the delta around it is
-	// cheap to track.
-	m.retired = m.Instret()
+	// m.retired is the running sum of every core's instret, maintained by
+	// this loop alone: New starts every core at zero and recovery builds
+	// fresh cores, so a machine resumed mid-run (RunUntil segments, or Run
+	// after a survived crash point) keeps its counter instead of re-summing
+	// Instret() per entry. A dispatch retires at most maxFuseLen+1
+	// instructions, so the delta around it is cheap to track.
 	threaded := m.cfg.Dispatch == DispatchThreaded
+	// The interleaving-safe quantum extension (quantum.go) engages only
+	// under threaded dispatch and never on a crash run: crash points are
+	// defined at instruction granularity on the reference schedule's global
+	// retired-instruction order, which extended quanta reorder.
+	m.extOK = threaded && !m.cfg.NoQuantumExt && crashAt == ^uint64(0)
+	// The run queue orders runnable cores by (cycle, coreID) — the reference
+	// per-instruction schedule. Rebuilt per entry: cores may have been
+	// resumed, recovered, or left stale by a crash/fatal exit.
+	m.rq.reset(m.cores)
+	// Horizons start degenerate (a zero span grants nothing); each core
+	// publishes a real bound the first time it leaves the scheduler.
+	for _, o := range m.cores {
+		o.horSpan, o.horFn, o.horBlk, o.horIdx = 0, -1, -1, -1
+	}
+	// c is the scheduled core, held OUT of the queue while it runs; the next
+	// round re-enqueues it and takes the new minimum in one pushpop pass.
+	var c *core
 	for !m.Done() {
 		if m.fatal != nil {
 			return m.fatal
@@ -385,47 +436,46 @@ func (m *Machine) run(crashAt uint64) error {
 			m.crashed = true
 			return nil
 		}
-		// Pick the minimum-cycle runnable core (ties to the lowest ID — the
-		// per-instruction reference schedule) and, in the same pass, the two
-		// quantum bounds: limLess is the minimum cycle among runnable cores
-		// with a lower ID than the pick, limLeq among higher IDs. c stays the
-		// scheduler's pick exactly while its cycle count is strictly below
-		// limLess and at most limLeq, so the inner loop dispatches without
-		// rescanning all cores per instruction. Cores scan in ID order: when
-		// a later core strictly undercuts the current pick, everything seen
-		// so far (including the old pick) has a lower ID and folds into
-		// limLess.
-		var c *core
-		limLess, limLeq := ^uint64(0), ^uint64(0)
-		for _, o := range m.cores {
-			if o.halted {
-				continue
-			}
-			if c == nil {
-				c = o
-			} else if o.cycle < c.cycle {
-				lo := c.cycle
-				if limLess < lo {
-					lo = limLess
-				}
-				if limLeq < lo {
-					lo = limLeq
-				}
-				limLess, limLeq = lo, ^uint64(0)
-				c = o
-			} else if o.cycle < limLeq {
-				limLeq = o.cycle
-			}
+		if c == nil {
+			c = m.rq.pop()
+		} else {
+			c = m.rq.pushpop(c)
 		}
 		if c == nil {
 			return fmt.Errorf("machine: no runnable core")
 		}
-		// budget bounds fused-run dispatch: the highest cycle at which the
-		// scheduler would still pick c for a further instruction. limLess is
-		// at least c.cycle+1 here (c won the tie-break), so the -1 is safe.
-		budget := limLeq
-		if limLess != ^uint64(0) && limLess-1 < budget {
-			budget = limLess - 1
+		// The strict quantum: the highest cycle at which the scheduler would
+		// still pick c for a further instruction, read off the queue's new
+		// minimum. A lower-ID core wins a cycle tie, so it caps the budget
+		// one cycle earlier; its cycle is strictly above c's here (c was the
+		// minimum), so the -1 is safe.
+		budget := ^uint64(0)
+		if o := m.rq.peek(); o != nil {
+			budget = o.cycle
+			if o.id < c.id {
+				budget--
+			}
+		}
+		// Open this pop's dispatch window (quantum.go). Without a grant it
+		// coincides with the strict quantum and changes nothing; with one, c
+		// may keep dispatching up to winExt. The attempt is a handful of
+		// loads and compares over published horizons, cheap enough to run on
+		// every pop (declined attempts back off, refreshes never do).
+		m.winExt = budget
+		if m.extOK && budget != ^uint64(0) {
+			if m.extDefer > 0 {
+				m.extDefer--
+			} else if ext := m.extBudget(c); ext != ^uint64(0) && ext >= budget+minExtGain {
+				m.qGrants++
+				m.extBackoff = 0
+				m.winExt = ext
+			} else {
+				m.qAborts++
+				if m.extBackoff < 255 {
+					m.extBackoff = m.extBackoff*2 + 1
+				}
+				m.extDefer = m.extBackoff
+			}
 		}
 		for {
 			if m.steps >= m.cfg.MaxSteps {
@@ -436,12 +486,12 @@ func (m *Machine) run(crashAt uint64) error {
 				m.service(c)
 			}
 			before := c.instret
-			if threaded && budget > c.cycle && crashAt-m.retired > maxFuseLen+1 {
-				m.stepThreaded(c, budget)
+			if threaded && crashAt-m.retired > maxFuseLen+1 && c.cycle < m.winExt {
+				m.stepThreaded(c)
 			} else {
-				// With zero quantum slack (cores in lockstep — budget equals
-				// c.cycle, so no multi-instruction thunk could dispatch), near
-				// the crash point (crash injection is defined at instruction
+				// With zero window slack (cores in tight cycle lockstep — no
+				// multi-instruction thunk could dispatch), near the crash
+				// point (crash injection is defined at instruction
 				// granularity), or in switch mode, retire one instruction at
 				// a time on the reference core.
 				m.step(c)
@@ -450,9 +500,19 @@ func (m *Machine) run(crashAt uint64) error {
 			if c.halted || m.fatal != nil || m.retired >= crashAt {
 				break
 			}
-			if c.cycle >= limLess || c.cycle > limLeq {
+			if c.cycle > m.winExt {
 				break
 			}
+		}
+		if m.extOK && (c.idx != c.horIdx || c.blk != c.horBlk || c.fn != c.horFn) {
+			// The PC moved: publish the span other cores will read while c
+			// is parked. Stall-only pops skip this — their span is current.
+			m.refreshHorizon(c)
+		}
+		if c.halted {
+			// Halted cores never re-enqueue; the next round pops fresh.
+			// Crash/fatal exits leave the queue stale by design.
+			c = nil
 		}
 	}
 	// Quiesce: let every pending region finish phase 2 so the NVM image and

@@ -310,12 +310,10 @@ func (m *Machine) scheduleDrain(c *core, now uint64) {
 	scheduled := len(c.drainDone)
 	seen := 0
 	writes := uint64(0)
-	// Count distinct lines with a linear-scan scratch (typical regions touch
-	// a few dozen lines at most); spill to the reused map only when the scan
-	// would go quadratic.
-	const lineScanMax = 48
-	lines := c.lineScratch[:0]
-	useMap := false
+	// Count distinct lines with the core's epoch-stamped scratch table
+	// (scratch.go): O(1) per entry at every region size, no allocation in
+	// steady state.
+	c.lines.reset()
 	for i := range entries {
 		e := &entries[i]
 		if e.Kind == proxy.KindBoundary {
@@ -328,41 +326,9 @@ func (m *Machine) scheduleDrain(c *core, now uint64) {
 			}
 			continue
 		}
-		if seen == scheduled && e.Valid {
-			line := mem.LineAddr(e.Addr)
-			if useMap {
-				c.lineSeen[line] = struct{}{}
-				continue
-			}
-			dup := false
-			for _, l := range lines {
-				if l == line {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			lines = append(lines, line)
-			if len(lines) > lineScanMax {
-				if c.lineSeen == nil {
-					c.lineSeen = make(map[uint64]struct{}, 128)
-				} else {
-					clear(c.lineSeen)
-				}
-				for _, l := range lines {
-					c.lineSeen[l] = struct{}{}
-				}
-				useMap = true
-			}
+		if seen == scheduled && e.Valid && c.lines.add(mem.LineAddr(e.Addr)) {
+			writes++
 		}
-	}
-	c.lineScratch = lines
-	if useMap {
-		writes += uint64(len(c.lineSeen))
-	} else {
-		writes += uint64(len(lines))
 	}
 	start := c.drainFree
 	if start < now {

@@ -1,0 +1,251 @@
+package machine
+
+import "capri/internal/isa"
+
+// This file is the conflict-aware quantum extension of the multi-core
+// scheduler (DESIGN §4i). Under the reference per-instruction schedule,
+// cores in cycle lockstep pin the strict quantum (machine.go's budget) to a
+// single instruction, so the threaded core's fused superinstructions never
+// engage and every retired instruction pays a full scheduler round-trip. The
+// extension proves, once per run-queue pop, that no other core can touch
+// shared state — a cache line, the global store sequence, the NVM write
+// queue, the audit event stream, or any proxy interaction — before a window
+// of cycles ends. Within that window, core c keeps dispatching without
+// surrendering the scheduler, and because every op it starts at a cycle
+// inside the window precedes every other core's next shared interaction in
+// the reference order too, all simulated observables (per-core cycles and
+// ledger, memory/NVM images, event stream order and content) stay
+// byte-identical to the reference schedule.
+//
+// The window is justified by an exchange argument over op start cycles: each
+// instruction executes atomically within one dispatch in both schedules, so
+// only dispatch start cycles determine the cross-core order of shared
+// interactions. Every other core's ops up to its hard horizon are core-local
+// (register-only ALU work, emits, fences, staged checkpoints), so running
+// c's ops — loads, stores, services, boundaries included — ahead of them
+// commutes.
+//
+// A core's hard horizon is the minimum of facts that are exact and readable
+// without touching shared simulator state:
+//
+//   - The static local span. Each decoded block carries, per instruction
+//     index, the exact cycle span of purely core-local work before the next
+//     "stopper" (decode.go): local op costs are fixed, local ops cannot
+//     stall, and services strictly before the horizon are no-ops, so the
+//     span is exact, not an estimate. The span is published as the core
+//     leaves the scheduler (refreshHorizon) and only recomputed when the
+//     core's PC actually moved — a stall-only pop pays three compares.
+//   - Service horizons, folded in at attempt time (extBudget). Not every
+//     service phase is a shared interaction, and the cap depends on what is
+//     observable: with an audit sink attached every launch event's order is
+//     observable, so a parked core's full service horizon (c.svcAt,
+//     memsys.go) bounds the window; untapped, only the earliest phase-2
+//     drain retirement (writes NVM, the ledger, durable output) and the
+//     head in-flight proxy packet's arrival (a later store can fold a
+//     writeback note into it, and the note's effect depends on delivery)
+//     are hard, and both are exact field reads.
+//
+// Every horizon input is frozen while the core is parked in the run queue —
+// the decoded span table is immutable, and svcAt, the drain book, and the
+// proxy path are only ever moved by the core's own dispatches — so an
+// attempt is a handful of loads and compares per parked core, which is why
+// the extension can afford to test every single pop instead of sampling.
+// An earlier design extended horizons past provably-local dynamic shapes
+// (spins on held locks, loads hitting the private L1); the peeks walked
+// other cores' cold register files and cache tags on every attempt and cost
+// more than the few extra window cycles they bought, so the static subset
+// is the whole design.
+//
+// The fallback contract: whenever independence cannot be proven the window
+// collapses to the strict quantum and every op executes on the exact
+// single-step reference schedule. Crash injection (RunUntil) disables the
+// extension entirely — crash points are defined at instruction granularity
+// on the reference schedule's global retired-instruction order, and must
+// keep landing on its boundaries.
+
+// minExtGain is the narrowest window worth granting, in cycles beyond the
+// strict quantum. A granted window routes dispatches through the windowed
+// path (threaded dispatch, overflow checks), so a sliver of a window costs
+// more simulator time than the two or three batched instructions it buys.
+// Purely a simulator heuristic — granting never changes simulated
+// observables.
+const minExtGain = 8
+
+// refreshHorizon recomputes core c's hard horizon — a sound lower bound on
+// the cycle at which its next non-local ("hard") action starts — as it
+// leaves the scheduler. The scheduler consults the cached bound (extBudget)
+// while c is parked; both inputs are frozen until c runs again.
+func (m *Machine) refreshHorizon(c *core) {
+	c.horFn, c.horBlk, c.horIdx = c.fn, c.blk, c.idx
+	c.horSpan = 0
+	if c.halted || c.fn < 0 || c.fn >= len(m.prog.Funcs) {
+		return
+	}
+	f := m.prog.Funcs[c.fn]
+	if c.blk < 0 || c.blk >= len(f.Blocks) {
+		return
+	}
+	// A pop usually ends just after a fused branch retired, so the PC sits
+	// at the head of a successor block the block cache has not seen yet;
+	// refresh it here exactly as the next dispatch would (stepThreaded), or
+	// the span lookup would miss the common case. Malformed PCs fall
+	// through to the degenerate zero span and fatal on the next dispatch.
+	if c.blkFn != c.fn || c.blkId != c.blk || c.dblk == nil {
+		b := f.Blocks[c.blk]
+		c.blkInsts = b.Insts
+		c.blkFn, c.blkId = c.fn, c.blk
+		c.dblk = m.decodedBlock(c.fn, c.blk, b)
+	}
+	if c.idx < len(c.dblk.span) {
+		c.horSpan = c.dblk.span[c.idx]
+	}
+}
+
+// extBudget computes core c's extended window: the highest cycle at which c
+// may still start an op without reordering any shared interaction. The
+// bound is adjusted for the scheduler's ID tie-break exactly like the
+// strict budget: a lower-ID core wins a cycle tie, so c must stay strictly
+// below its horizon.
+func (m *Machine) extBudget(c *core) (ext uint64) {
+	ext = ^uint64(0)
+	obs := m.tap != nil
+	for _, o := range m.cores {
+		if o == c || o.halted {
+			continue
+		}
+		h := o.cycle + o.horSpan
+		if o.front != nil {
+			// Service horizons. Not every service phase is a shared
+			// interaction: front-end departures and path deliveries only
+			// move entries between o's own proxy stages, so they commute
+			// with anything c does and do not bound the window — with two
+			// exceptions, both exact.
+			if obs {
+				// An audit sink taps every launch, and the stream's event
+				// order must match the reference schedule, so o's full
+				// service horizon caps the window.
+				if o.svcAt < h {
+					h = o.svcAt
+				}
+			} else {
+				// A drain retirement writes NVM words, the ledger, and
+				// durable output: a hard action.
+				if len(o.drainDone) > 0 && o.drainDone[0] < h {
+					h = o.drainDone[0]
+				}
+				// An in-flight packet must be delivered before any later
+				// store of c's can hit it (a store invalidating o's dirty
+				// L1 line folds a writeback note into o's path, and the
+				// note's effect depends on whether the packet has left).
+				if a, ok := o.path.HeadArrival(); ok && a < h {
+					h = a
+				}
+			}
+		}
+		if o.id < c.id && h != 0 {
+			h--
+		}
+		if h < ext {
+			ext = h
+		}
+	}
+	return ext
+}
+
+// runExtended executes the prefix of fused run d that fits the current
+// dispatch window: every op may start at any cycle ≤ winExt, the interior
+// mirrors runInterior's batched-tick and service-gate semantics exactly,
+// and a tail executes only if its own start cycle is still inside the
+// window. When the window is exhausted mid-run the executed prefix retires
+// and the PC rests on an interior index, so the remainder single-steps on
+// the reference core — identical to the proven stalled-fused-tail shape.
+// stepThreaded calls this whenever a run's worst case overflows a granted
+// window; the worst case prices loads at their miss cost, so the actual
+// execution usually fits.
+func (m *Machine) runExtended(c *core, d *dop) {
+	gated := c.front != nil
+	var acc uint64
+	executed := 0
+	for i := range d.slice {
+		if c.cycle+acc > m.winExt {
+			break
+		}
+		if gated && i > 0 && c.cycle+acc >= c.svcAt {
+			if acc != 0 {
+				c.tick(CauseExec, acc)
+				acc = 0
+			}
+			m.service(c)
+		}
+		in := &d.slice[i]
+		switch in.Op {
+		case isa.OpLoad:
+			if acc != 0 {
+				c.tick(CauseExec, acc)
+				acc = 0
+			}
+			addr := c.regs[in.Ra] + uint64(in.Imm)
+			c.regs[in.Rd] = m.mem.Load(addr)
+			m.chargeLoad(c, addr)
+		case isa.OpFence, isa.OpBarrier:
+			c.tick(CauseFence, 4)
+		case isa.OpEmit:
+			c.stagedEmits = append(c.stagedEmits, c.regs[in.Ra])
+			acc += costALU
+		case isa.OpCkpt:
+			if m.cfg.Capri {
+				c.front.StageCkpt(in.Ra, c.regs[in.Ra])
+			}
+			c.dynCkpts++
+			c.curStores++
+			c.tick(CauseCkpt, 2*costStore)
+		default:
+			execOne(&c.regs, in)
+			acc += aluCost(in.Op)
+		}
+		executed++
+	}
+	if acc != 0 {
+		c.tick(CauseExec, acc)
+	}
+	c.idx += executed
+	c.instret += uint64(executed)
+	c.curInsts += uint64(executed)
+	if executed < d.n || d.in == nil {
+		return // window exhausted mid-interior, or tail-less run fully retired
+	}
+	if c.cycle > m.winExt {
+		return // tail left for the next dispatch (interior resume point)
+	}
+	switch d.in.Op {
+	case isa.OpBr:
+		m.serviceGate(c)
+		c.tick(CauseExec, costBranch)
+		c.blk, c.idx = int(d.in.Target), 0
+		c.instret++
+		c.curInsts++
+	case isa.OpBrIf:
+		in := d.in
+		m.serviceGate(c)
+		c.tick(CauseExec, costBranch)
+		if in.Cond.Eval(c.regs[in.Ra], c.regs[in.Rb]) {
+			c.blk = int(in.Target)
+		} else {
+			c.blk = int(in.Else)
+		}
+		c.idx = 0
+		c.instret++
+		c.curInsts++
+	case isa.OpStore:
+		in := d.in
+		addr := c.regs[in.Ra] + uint64(in.Imm)
+		if !m.doStore(c, addr, c.regs[in.Rb]) {
+			return // stalled on the front-end proxy; retry
+		}
+		c.dynStores++
+		c.curStores++
+		c.idx++
+		c.instret++
+		c.curInsts++
+	}
+}

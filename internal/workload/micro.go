@@ -6,7 +6,7 @@ import (
 
 // Micro-workloads: single-behaviour kernels for studying one mechanism at a
 // time (caprisim -bench seqwrite, etc.). They are registered separately from
-// the 19 paper stand-ins so the figure tables remain exactly the paper's
+// the 21 paper stand-ins so the figure tables remain exactly the paper's
 // benchmark set.
 
 // SuiteMicro labels the microbenchmarks.

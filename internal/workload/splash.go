@@ -33,6 +33,15 @@ func init() {
 		Build: splashBuilder("water-spatial", kernelSpec{bodyStores: 2, bodyALU: 6, bodyLoads: 2, stride: 16, span: 1 << 15, liveRegs: 3}, 3800, 8)})
 	register(Benchmark{Name: "radix", Suite: SuiteSplash, Threads: splashThreads,
 		Build: splashBuilder("radix", kernelSpec{bodyStores: 2, bodyALU: 6, bodyLoads: 2, stride: 8, span: 1 << 18, random: true, liveRegs: 2}, 3400, 48)})
+	// Compute-dense members: long store-free arithmetic runs between writes
+	// (butterfly / elimination inner loops), the shape where cores' pending
+	// windows stay provably independent for tens of cycles at a stretch — the
+	// conflict-aware scheduler's best case, mirroring the real suite's
+	// FFT/LU kernels where flops dominate memory traffic.
+	register(Benchmark{Name: "fft", Suite: SuiteSplash, Threads: splashThreads,
+		Build: splashBuilder("fft", kernelSpec{bodyStores: 1, bodyALU: 96, bodyLoads: 2, stride: 16, span: 1 << 16, liveRegs: 4}, 800, 8)})
+	register(Benchmark{Name: "lu", Suite: SuiteSplash, Threads: splashThreads,
+		Build: splashBuilder("lu", kernelSpec{bodyStores: 1, bodyALU: 72, bodyLoads: 2, stride: 8, span: 1 << 15, liveRegs: 6}, 1000, 16)})
 }
 
 // splashBuilder returns a Build function: each of splashThreads workers runs

@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registry has %d benchmarks, want 19", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d benchmarks, want 21", len(all))
 	}
 	if len(BySuite(SuiteSPEC)) != 5 {
 		t.Errorf("SPEC count = %d", len(BySuite(SuiteSPEC)))
@@ -18,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 	if len(BySuite(SuiteSTAMP)) != 5 {
 		t.Errorf("STAMP count = %d", len(BySuite(SuiteSTAMP)))
 	}
-	if len(BySuite(SuiteSplash)) != 9 {
+	if len(BySuite(SuiteSplash)) != 11 {
 		t.Errorf("Splash count = %d", len(BySuite(SuiteSplash)))
 	}
 	// Plotting order: SPEC first, then STAMP, then Splash.
@@ -40,7 +40,7 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if len(Names()) != 19 {
+	if len(Names()) != 21 {
 		t.Errorf("Names() = %d", len(Names()))
 	}
 }
