@@ -11,7 +11,7 @@ GO ?= go
 JOBS ?= 4
 PERF_STORE ?= /tmp/capri-resultstore
 
-.PHONY: all build test check lint audit soak soak-long docs-verify bench perf perf-seed clean
+.PHONY: all build test check lint audit soak soak-long docs-verify bench telemetry-smoke perf perf-single perf-seed clean
 
 all: build
 
@@ -26,7 +26,7 @@ test:
 # no external linters).
 lint:
 	$(GO) vet ./...
-	$(GO) run ./tools/doccheck internal/sweep internal/resultstore internal/fault internal/audit internal/figures internal/compile internal/machine
+	$(GO) run ./tools/doccheck internal/sweep internal/resultstore internal/fault internal/audit internal/figures internal/compile internal/machine internal/telemetry cmd/capristat
 
 # check is the pre-merge tier: lint (vet + godoc coverage), the
 # race-sensitive packages under the race detector (compile carries the
@@ -37,12 +37,16 @@ lint:
 # the sweep determinism contract: parallel (-jobs) fig8/fig9 tables
 # byte-identical to sequential, and a warm-store rerun counter-asserted at
 # zero simulations — and a perf-harness smoke run (catches BENCH_sim.json
-# pipeline bit-rot without judging the numbers).
+# pipeline bit-rot without judging the numbers). The telemetry smoke test
+# stands up a live OpenMetrics endpoint plus heartbeat stream and scrapes
+# it over HTTP; the dispatch-equivalence run includes the telemetry
+# observer-equivalence matrix (armed/bus runs byte-identical to disarmed).
 check:
 	$(MAKE) lint
-	$(GO) test -race ./internal/machine ./internal/figures ./internal/compile ./internal/sweep ./internal/resultstore ./internal/fault
+	$(GO) test -race ./internal/machine ./internal/figures ./internal/compile ./internal/sweep ./internal/resultstore ./internal/fault ./internal/telemetry
 	$(GO) test -run 'TestVerifierMatrix|TestMutation' ./internal/compile
 	$(GO) test -run 'Differential|DispatchEquivalence' .
+	$(MAKE) telemetry-smoke
 	$(MAKE) audit
 	$(MAKE) soak
 	$(MAKE) docs-verify
@@ -97,15 +101,29 @@ bench:
 	$(GO) test -bench 'Mem|NVM|Proxy|Path' -benchmem -run '^$$' ./internal/mem ./internal/proxy
 	$(GO) test -bench 'SimulatorThroughput' -run '^$$' .
 
-# perf regenerates BENCH_sim.json for the current tree, gated against the
-# committed report: a >10% inst/s regression on any timed sweep fails the
-# target (the fresh report is still written for inspection). The sweep is
-# sharded across JOBS workers and backed by PERF_STORE; the gate judges
-# simulated-only inst/s, so replayed (stored) cells never skew it — a warm
-# run gates only the always-sequential fig8-refstore figure. Regenerate the
-# *committed* reference from a cold store (`rm -rf $(PERF_STORE)` first) so
-# its fig8/fig9 rates are real measurements, not replay zeros.
+# telemetry-smoke proves the live bus end to end: an OpenMetrics endpoint
+# on an ephemeral port is scraped over real HTTP while machine and sweep
+# work runs, and the JSONL heartbeat stream is parsed back.
+telemetry-smoke:
+	$(GO) test -run 'TestTelemetrySmoke' ./internal/telemetry
+
+# perf regenerates a fresh multi-sample report (SAMPLES runs of every timed
+# sweep; median ± MAD per figure, schema capri/bench-sim/v5) and gates it
+# against the committed BENCH_sim.json with capristat's variance-aware
+# Mann-Whitney test: a figure fails only when its slowdown is both
+# statistically significant (p < 0.05) and at least 1%. Multi-sample runs
+# never attach the result store (replayed cells carry no timing signal).
+# Reports without samples arrays fall back per figure to the old 10% point
+# cliff, which `make perf-single` still applies directly.
+SAMPLES ?= 5
 perf:
+	$(GO) run ./cmd/capribench -perf -scale 1 -jobs $(JOBS) -samples $(SAMPLES) -perfout /tmp/BENCH_sim.new.json
+	$(GO) run ./cmd/capristat -gate BENCH_sim.json /tmp/BENCH_sim.new.json
+
+# perf-single is the documented single-sample fallback: one run of each
+# sweep, backed by PERF_STORE, judged by the old 10% point-cliff -perfgate.
+# Useful for a quick signal when the 5-sample methodology is too slow.
+perf-single:
 	$(GO) run ./cmd/capribench -perf -scale 1 -jobs $(JOBS) -store $(PERF_STORE) -perfgate BENCH_sim.json
 
 # perf-seed additionally measures the growth seed's binary (built from git)
@@ -122,5 +140,5 @@ perf-seed:
 	/tmp/capribench-new -perf -scale 1 -seedwall $$(awk "BEGIN{print $$SEED_WALL/1000}")
 
 clean:
-	rm -f capri.test /tmp/capribench-seed /tmp/capribench-new /tmp/BENCH_sim.smoke.json
+	rm -f capri.test /tmp/capribench-seed /tmp/capribench-new /tmp/BENCH_sim.smoke.json /tmp/BENCH_sim.new.json
 	rm -rf $(PERF_STORE) $(PERF_STORE)-soak

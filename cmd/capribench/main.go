@@ -24,11 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"capri/internal/figures"
 	"capri/internal/machine"
 	"capri/internal/resultstore"
 	"capri/internal/stats"
+	"capri/internal/telemetry"
 	"capri/internal/workload"
 )
 
@@ -41,6 +43,7 @@ func main() {
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		chart    = flag.String("chart", "", "additionally render one column as an ASCII bar chart (e.g. \"256\" for fig 8, \"+licm\" for fig 9)")
 		perf     = flag.Bool("perf", false, "time the figure sweeps and write a perf-regression report")
+		samples  = flag.Int("samples", 1, "with -perf, repeat the timed pipeline this many times and record every sample (variance-aware gating via capristat)")
 		perfOut  = flag.String("perfout", "BENCH_sim.json", "perf report output path (with -perf)")
 		perfRef  = flag.Bool("perfref", true, "with -perf, also time the Figure-8 sweep on the map-backed reference store and record the speedup")
 		seedWall = flag.Float64("seedwall", 0, "with -perf, record this externally measured seed-binary `capribench -fig 8` wall-clock (seconds); see `make perf-seed`")
@@ -53,8 +56,22 @@ func main() {
 		jobs     = flag.Int("jobs", 1, "parallel sweep workers (0 = GOMAXPROCS); see README \"Running parallel sweeps\"")
 		storeDir = flag.String("store", "", "content-addressed result store `dir`; stored configurations replay instead of simulating")
 		sweepChk = flag.Bool("sweepcheck", false, "assert the sweep determinism contract: parallel tables byte-identical to sequential, warm store rerun does zero simulations; with -verify FILE, also byte-check the embedded accounting block")
+		listen   = flag.String("listen", "", "serve live OpenMetrics telemetry on this `addr` (e.g. :9090) while the command runs")
+		hbOut    = flag.String("heartbeat-out", "", "append JSONL telemetry heartbeats to this `file` (\"-\" = stderr)")
+		hbEvery  = flag.Duration("heartbeat-interval", time.Second, "heartbeat sampling interval (with -heartbeat-out)")
 	)
 	flag.Parse()
+
+	bus, err := telemetry.Start(telemetry.Options{
+		Listen:        *listen,
+		HeartbeatPath: *hbOut,
+		Interval:      *hbEvery,
+	})
+	check(err)
+	defer bus.Stop()
+	if addr := bus.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving OpenMetrics on http://%s/metrics\n", addr)
+	}
 
 	if *sweepChk {
 		check(runSweepCheck(*scale, *jobs, *verify))
@@ -67,7 +84,7 @@ func main() {
 	}
 
 	if *perf {
-		check(runPerf(*scale, *jobs, *storeDir, *perfRef, *seedWall, *perfOut, *perfGate))
+		check(runPerf(*scale, *jobs, *samples, *storeDir, *perfRef, *seedWall, *perfOut, *perfGate))
 		return
 	}
 

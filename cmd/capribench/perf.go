@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"capri/internal/compile"
 	"capri/internal/figures"
 	"capri/internal/machine"
 	"capri/internal/resultstore"
+	"capri/internal/stats"
 	"capri/internal/workload"
 )
 
@@ -22,13 +24,40 @@ import (
 // records the sweep's job count and result-store traffic; v4 adds the
 // multi-core figures (fig8-mt4 and its lockstep control) with their
 // mt_inst_per_sec throughput, quantum grant/abort counters, and run-queue
-// traffic. Older
-// reports remain readable for gating — figures they lack are skipped.
-const BenchSchema = "capri/bench-sim/v4"
+// traffic; v5 adds the multi-sample methodology (-samples N): a per-figure
+// samples array with median/MAD summary rates, the host fingerprint, and
+// the degenerate-rate guard. Older reports remain readable for gating —
+// figures and fields they lack are skipped.
+const BenchSchema = "capri/bench-sim/v5"
 
 // gateTolerance is the fractional inst/s regression `-perfgate` tolerates
-// before failing (wall-clock noise allowance).
+// before failing (wall-clock noise allowance). This single-sample point
+// cliff is the documented fallback only — `make perf` gates through
+// `capristat`, which judges the v5 samples arrays with a rank test
+// instead (see cmd/capristat).
 const gateTolerance = 0.10
+
+// minMeasurableSeconds is the guard below which a wall or simulated
+// duration carries no rate signal: a sub-millisecond sweep at a tiny
+// -scale divides a handful of instructions by timer jitter. Rates over
+// such durations are reported as 0 with Degenerate set instead of a
+// huge or +Inf value.
+const minMeasurableSeconds = 1e-3
+
+// safeRate returns inst/secs, guarding the degenerate cases: no
+// instructions or no elapsed time yield (0, false) — nothing measured —
+// while a positive duration under minMeasurableSeconds with work done
+// yields (0, true): there WAS a measurement, but it is too short to be a
+// rate.
+func safeRate(inst uint64, secs float64) (rate float64, degenerate bool) {
+	if inst == 0 || secs <= 0 {
+		return 0, false
+	}
+	if secs < minMeasurableSeconds {
+		return 0, true
+	}
+	return float64(inst) / secs, false
+}
 
 // perfFigure is one timed sweep in the perf report.
 type perfFigure struct {
@@ -79,6 +108,62 @@ type perfFigure struct {
 	QuantumGrants uint64 `json:"quantum_grants,omitempty"`
 	QuantumAborts uint64 `json:"quantum_aborts,omitempty"`
 	SchedQueueOps uint64 `json:"sched_queue_ops,omitempty"`
+	// Degenerate marks a figure whose duration fell below the measurable
+	// floor (minMeasurableSeconds) while it did simulate work: its rates
+	// are reported as 0 rather than a jitter-derived number.
+	Degenerate bool `json:"degenerate,omitempty"`
+	// Samples holds every per-sample measurement when the report was
+	// produced with -samples N (schema v5); the figure's top-level fields
+	// are the median sample's, so they stay internally consistent. The
+	// median/MAD summarize the samples' sim_inst_per_sec.
+	Samples             []perfSample `json:"samples,omitempty"`
+	MedianSimInstPerSec float64      `json:"median_sim_inst_per_sec,omitempty"`
+	MADSimInstPerSec    float64      `json:"mad_sim_inst_per_sec,omitempty"`
+}
+
+// perfSample is one of a figure's -samples N measurements: the timing
+// signal capristat's rank test consumes, without the per-sweep counters
+// (identical across samples by determinism).
+type perfSample struct {
+	WallSeconds   float64 `json:"wall_seconds"`
+	Instructions  uint64  `json:"instructions"`
+	SimSeconds    float64 `json:"sim_seconds"`
+	SimInstPerSec float64 `json:"sim_inst_per_sec"`
+	Degenerate    bool    `json:"degenerate,omitempty"`
+}
+
+// sampleOf extracts a figure measurement's timing sample.
+func sampleOf(f perfFigure) perfSample {
+	return perfSample{
+		WallSeconds:   f.WallSeconds,
+		Instructions:  f.Instructions,
+		SimSeconds:    f.SimSeconds,
+		SimInstPerSec: f.SimInstPerSec,
+		Degenerate:    f.Degenerate,
+	}
+}
+
+// hostInfo fingerprints the machine a report was produced on: rate
+// comparisons between different hosts are not regressions, and capristat
+// warns when the fingerprints differ.
+type hostInfo struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// currentHost captures the running machine's fingerprint.
+func currentHost() *hostInfo {
+	name, _ := os.Hostname()
+	return &hostInfo{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Hostname:   name,
+	}
 }
 
 // perfReport is the BENCH_sim.json payload.
@@ -94,7 +179,12 @@ type perfReport struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	// Jobs is the sweep worker count (-jobs); wall-clock comparisons only
 	// mean something between reports with the same value.
-	Jobs             int          `json:"jobs,omitempty"`
+	Jobs int `json:"jobs,omitempty"`
+	// Samples is the -samples count the report was produced with (v5);
+	// 0 or 1 means single-sample. Host fingerprints the producing
+	// machine.
+	Samples          int          `json:"samples,omitempty"`
+	Host             *hostInfo    `json:"host,omitempty"`
 	Figures          []perfFigure `json:"figures"`
 	TotalWallSeconds float64      `json:"total_wall_seconds"`
 	// ResultStore snapshots the attached store's traffic at the end of the
@@ -152,13 +242,13 @@ func measure(name string, h *figures.Harness, fn func() error) (perfFigure, erro
 		StoreHits:    hits1 - hits0,
 		SimSeconds:   h.SimSeconds() - sec0,
 	}
-	if wall > 0 && pf.Instructions > 0 {
-		pf.InstPerSec = float64(pf.Instructions) / wall
+	if pf.Instructions > 0 {
 		pf.MallocsPerKInst = 1000 * float64(pf.Mallocs) / float64(pf.Instructions)
 	}
-	if pf.SimSeconds > 0 && pf.Instructions > 0 {
-		pf.SimInstPerSec = float64(pf.Instructions) / pf.SimSeconds
-	}
+	var degWall, degSim bool
+	pf.InstPerSec, degWall = safeRate(pf.Instructions, wall)
+	pf.SimInstPerSec, degSim = safeRate(pf.Instructions, pf.SimSeconds)
+	pf.Degenerate = degWall || degSim
 	return pf, nil
 }
 
@@ -203,14 +293,12 @@ func runMTFigure(name string, scale int, noExt bool) (perfFigure, error) {
 	pf.BytesAlloc = after.TotalAlloc - before.TotalAlloc
 	if pf.Instructions > 0 {
 		pf.MallocsPerKInst = 1000 * float64(pf.Mallocs) / float64(pf.Instructions)
-		if pf.WallSeconds > 0 {
-			pf.InstPerSec = float64(pf.Instructions) / pf.WallSeconds
-		}
-		if pf.SimSeconds > 0 {
-			pf.SimInstPerSec = float64(pf.Instructions) / pf.SimSeconds
-			pf.MTInstPerSec = pf.SimInstPerSec
-		}
 	}
+	var degWall, degSim bool
+	pf.InstPerSec, degWall = safeRate(pf.Instructions, pf.WallSeconds)
+	pf.SimInstPerSec, degSim = safeRate(pf.Instructions, pf.SimSeconds)
+	pf.MTInstPerSec = pf.SimInstPerSec
+	pf.Degenerate = degWall || degSim
 	return pf, nil
 }
 
@@ -297,42 +385,23 @@ func gatePerf(rep *perfReport, ref *perfReport) error {
 	return nil
 }
 
-// runPerf times the full figure pipeline and writes BENCH_sim.json. jobs
-// shards the sweeps; a non-empty storeDir attaches the result store to the
-// figure harnesses (never to the reference-store harness: its wall-clock IS
-// the measurement). withRef additionally times the Figure-8 sweep on the
-// map-backed reference store to record the paged store's wall-clock speedup.
-// A non-empty gatePath names a committed reference report to regress
-// against: the fresh report is still written, then an error is returned if
-// throughput fell beyond tolerance.
-func runPerf(scale, jobs int, storeDir string, withRef bool, seedWall float64, outPath, gatePath string) error {
-	var gateRef *perfReport
-	if gatePath != "" {
-		// Read the reference up front — outPath may overwrite it.
-		ref, err := loadPerfRef(gatePath)
-		if err != nil {
-			return fmt.Errorf("perf gate: %w", err)
-		}
-		gateRef = ref
-	}
-	rep := perfReport{
-		Schema:     BenchSchema,
-		Generated:  time.Now().UTC(),
-		Scale:      scale,
-		GoVersion:  runtime.Version(),
-		Dispatch:   machine.DefaultConfig().Dispatch.String(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Jobs:       max(jobs, 1),
-	}
-	var store *resultstore.Store
-	if storeDir != "" {
-		s, err := resultstore.Open(storeDir)
-		if err != nil {
-			return err
-		}
-		store = s
-		defer store.Close()
-	}
+// perfPass is one full timed pass over the figure pipeline — one sample
+// of every figure, plus the pass's compile-cache and store accounting.
+type perfPass struct {
+	figures []perfFigure
+	ref     *perfFigure
+	fig8CC  compile.CacheStats
+	figCC   compile.CacheStats
+	store   *resultstore.Stats
+}
+
+// runPerfPass times the full figure pipeline once on fresh harnesses.
+// jobs shards the sweeps; a non-nil store attaches the result store to
+// the figure harnesses (never to the reference-store harness: its
+// wall-clock IS the measurement). withRef additionally times the
+// Figure-8 sweep on the map-backed reference store.
+func runPerfPass(scale, jobs int, store *resultstore.Store, withRef bool) (perfPass, error) {
+	var pass perfPass
 
 	// Figure 8 on a fresh harness: the headline sweep (21 benchmarks x 6
 	// thresholds, plus baselines).
@@ -343,9 +412,9 @@ func runPerf(scale, jobs int, storeDir string, withRef bool, seedWall float64, o
 	}
 	pf, err := measure("fig8", h8, func() error { _, err := h8.Fig8(nil); return err })
 	if err != nil {
-		return err
+		return pass, err
 	}
-	rep.Figures = append(rep.Figures, pf)
+	pass.figures = append(pass.figures, pf)
 
 	// Figures 9-11 and the headline share one harness (as capribench -all
 	// does): fig9 pays the level sweep, 10/11 replay its cache.
@@ -365,38 +434,32 @@ func runPerf(scale, jobs int, storeDir string, withRef bool, seedWall float64, o
 	} {
 		pf, err := measure(f.name, h, f.run)
 		if err != nil {
-			return err
+			return pass, err
 		}
-		rep.Figures = append(rep.Figures, pf)
+		pass.figures = append(pass.figures, pf)
 	}
 	// The multi-core figures: the 4-thread Splash-3 suite with the quantum
 	// extension (the default scheduler) and pinned to strict lockstep. Their
 	// simulated results are identical; the mt_inst_per_sec ratio is the
 	// scheduler speedup on lockstep-heavy workloads.
-	var mtExt, mtLock perfFigure
 	for _, mt := range []struct {
 		name  string
 		noExt bool
-		out   *perfFigure
 	}{
-		{"fig8-mt4", false, &mtExt},
-		{"fig8-mt4-lockstep", true, &mtLock},
+		{"fig8-mt4", false},
+		{"fig8-mt4-lockstep", true},
 	} {
 		pf, err := runMTFigure(mt.name, scale, mt.noExt)
 		if err != nil {
-			return err
+			return pass, err
 		}
-		*mt.out = pf
-		rep.Figures = append(rep.Figures, pf)
+		pass.figures = append(pass.figures, pf)
 	}
-	for _, f := range rep.Figures {
-		rep.TotalWallSeconds += f.WallSeconds
-	}
-	rep.Fig8CompileCache = h8.CompileCacheStats()
-	rep.FigureCompileCache = h.CompileCacheStats()
+	pass.fig8CC = h8.CompileCacheStats()
+	pass.figCC = h.CompileCacheStats()
 	if store != nil {
 		st := store.Stats()
-		rep.ResultStore = &st
+		pass.store = &st
 	}
 
 	if withRef {
@@ -407,21 +470,146 @@ func runPerf(scale, jobs int, storeDir string, withRef bool, seedWall float64, o
 		href.RefStore = true
 		pf, err := measure("fig8-refstore", href, func() error { _, err := href.Fig8(nil); return err })
 		if err != nil {
+			return pass, err
+		}
+		pass.ref = &pf
+	}
+	return pass, nil
+}
+
+// medianIndex returns the index of the lower-median element of xs.
+func medianIndex(xs []float64) int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx[(len(idx)-1)/2]
+}
+
+// summarize folds one figure's per-pass measurements into the reported
+// figure: the median pass's measurement (by simulated rate, so every
+// reported counter comes from one internally consistent pass) carrying
+// the full samples array and the median/MAD summary.
+func summarize(samples []perfFigure) perfFigure {
+	rates := make([]float64, len(samples))
+	for i, s := range samples {
+		rates[i] = s.SimInstPerSec
+	}
+	f := samples[medianIndex(rates)]
+	if len(samples) > 1 {
+		for _, s := range samples {
+			f.Samples = append(f.Samples, sampleOf(s))
+		}
+		f.MedianSimInstPerSec = stats.Median(rates)
+		f.MADSimInstPerSec = stats.MAD(rates)
+	}
+	return f
+}
+
+// runPerf times the full figure pipeline `samples` times and writes
+// BENCH_sim.json. With samples > 1 the result store is never attached —
+// a warm store replays configurations without simulating, so repeated
+// passes would measure disk replay, not the simulator — and each
+// figure's report carries the per-sample array `capristat` judges. A
+// non-empty gatePath names a committed reference report to regress
+// against with the single-sample point gate (the documented fallback;
+// `make perf` gates through capristat instead): the fresh report is
+// still written, then an error is returned if throughput fell beyond
+// tolerance.
+func runPerf(scale, jobs, samples int, storeDir string, withRef bool, seedWall float64, outPath, gatePath string) error {
+	if samples < 1 {
+		samples = 1
+	}
+	var gateRef *perfReport
+	if gatePath != "" {
+		// Read the reference up front — outPath may overwrite it.
+		ref, err := loadPerfRef(gatePath)
+		if err != nil {
+			return fmt.Errorf("perf gate: %w", err)
+		}
+		gateRef = ref
+	}
+	rep := perfReport{
+		Schema:     BenchSchema,
+		Generated:  time.Now().UTC(),
+		Scale:      scale,
+		GoVersion:  runtime.Version(),
+		Dispatch:   machine.DefaultConfig().Dispatch.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Jobs:       max(jobs, 1),
+		Samples:    samples,
+		Host:       currentHost(),
+	}
+	var store *resultstore.Store
+	if storeDir != "" {
+		if samples > 1 {
+			fmt.Printf("perf: -samples %d ignores -store %s (warm replays carry no timing signal)\n", samples, storeDir)
+		} else {
+			s, err := resultstore.Open(storeDir)
+			if err != nil {
+				return err
+			}
+			store = s
+			defer store.Close()
+		}
+	}
+
+	passes := make([]perfPass, samples)
+	for s := 0; s < samples; s++ {
+		pass, err := runPerfPass(scale, jobs, store, withRef)
+		if err != nil {
 			return err
 		}
-		rep.RefFig8 = &pf
+		passes[s] = pass
+		if samples > 1 {
+			fmt.Printf("perf: sample %d/%d  fig8 %.3fs  (%.0f sim inst/s)\n",
+				s+1, samples, pass.figures[0].WallSeconds, pass.figures[0].SimInstPerSec)
+		}
+	}
+
+	for i := range passes[0].figures {
+		col := make([]perfFigure, samples)
+		for s := range passes {
+			col[s] = passes[s].figures[i]
+		}
+		rep.Figures = append(rep.Figures, summarize(col))
+	}
+	for _, f := range rep.Figures {
+		rep.TotalWallSeconds += f.WallSeconds
+	}
+	rep.Fig8CompileCache = passes[0].fig8CC
+	rep.FigureCompileCache = passes[0].figCC
+	rep.ResultStore = passes[samples-1].store
+
+	if withRef {
+		col := make([]perfFigure, samples)
+		for s := range passes {
+			col[s] = *passes[s].ref
+		}
+		ref := summarize(col)
+		rep.RefFig8 = &ref
 		// Wall-vs-wall ratios are only honest when fig8 simulated everything
 		// sequentially: a store replay would be compared against the
 		// reference harness's full simulation cost, and a parallel sweep's
 		// wall reflects scheduling, not per-run simulator speed.
 		if fig8 := rep.Figures[0]; fig8.WallSeconds > 0 && fig8.StoreHits == 0 && rep.Jobs <= 1 {
-			rep.SpeedupVsRefStore = pf.WallSeconds / fig8.WallSeconds
+			rep.SpeedupVsRefStore = ref.WallSeconds / fig8.WallSeconds
 		}
 	}
 	if seedWall > 0 {
 		rep.SeedFig8WallSeconds = seedWall
 		if fig8 := rep.Figures[0]; fig8.WallSeconds > 0 && fig8.StoreHits == 0 && rep.Jobs <= 1 {
 			rep.SpeedupVsSeed = seedWall / fig8.WallSeconds
+		}
+	}
+	var mtExt, mtLock perfFigure
+	for _, f := range rep.Figures {
+		switch f.Figure {
+		case "fig8-mt4":
+			mtExt = f
+		case "fig8-mt4-lockstep":
+			mtLock = f
 		}
 	}
 
@@ -434,10 +622,19 @@ func runPerf(scale, jobs int, storeDir string, withRef bool, seedWall float64, o
 		return err
 	}
 
-	fmt.Printf("perf: wrote %s (scale %d, %s dispatch, %d job(s))\n", outPath, scale, rep.Dispatch, rep.Jobs)
+	fmt.Printf("perf: wrote %s (scale %d, %s dispatch, %d job(s), %d sample(s))\n",
+		outPath, scale, rep.Dispatch, rep.Jobs, rep.Samples)
 	for _, f := range rep.Figures {
 		fmt.Printf("  %-10s %8.3fs  %9d inst  %10.0f sim inst/s  %6.1f mallocs/kinst\n",
 			f.Figure, f.WallSeconds, f.Instructions, f.SimInstPerSec, f.MallocsPerKInst)
+		if len(f.Samples) > 1 {
+			fmt.Printf("  %-10s median %.0f ± %.0f MAD sim inst/s over %d samples\n",
+				"", f.MedianSimInstPerSec, f.MADSimInstPerSec, len(f.Samples))
+		}
+		if f.Degenerate {
+			fmt.Printf("  %-10s DEGENERATE: duration below %.0fms, rates reported as 0\n",
+				"", 1000*minMeasurableSeconds)
+		}
 		if f.SimRuns+f.StoreHits > 0 {
 			fmt.Printf("  %-10s %d simulated, %d replayed from the result store\n",
 				"", f.SimRuns, f.StoreHits)

@@ -32,12 +32,14 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"time"
 
 	"capri/internal/audit"
 	"capri/internal/compile"
 	"capri/internal/machine"
 	"capri/internal/progen"
 	"capri/internal/recovery"
+	"capri/internal/telemetry"
 	"capri/internal/workload"
 )
 
@@ -64,8 +66,24 @@ func main() {
 		planIn    = flag.String("plan", "", "replay one capri/fault-plan/v1 JSON fault plan and exit")
 		jobs      = flag.Int("jobs", 1, "campaign targets to run in parallel (with -campaign; 0 = GOMAXPROCS)")
 		storeDir  = flag.String("store", "", "content-addressed result store `dir` (with -campaign); stored target outcomes replay instead of re-running")
+		listen    = flag.String("listen", "", "serve live OpenMetrics telemetry on this `addr` (e.g. :9090) while the command runs")
+		hbOut     = flag.String("heartbeat-out", "", "append JSONL telemetry heartbeats to this `file` (\"-\" = stderr)")
+		hbEvery   = flag.Duration("heartbeat-interval", time.Second, "heartbeat sampling interval (with -heartbeat-out)")
 	)
 	flag.Parse()
+
+	bus, err := telemetry.Start(telemetry.Options{
+		Listen:        *listen,
+		HeartbeatPath: *hbOut,
+		Interval:      *hbEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer bus.Stop()
+	if addr := bus.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving OpenMetrics on http://%s/metrics\n", addr)
+	}
 
 	if *planIn != "" {
 		runPlanReplay(*planIn, *recordOut)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	capriinspect summary run.json            # identity, verdict, event census
+//	capriinspect summary run.json            # identity, verdict, percentiles, event census
 //	capriinspect line 0x1040 run.json        # one cache line's event history
 //	capriinspect regions run.json [core]     # per-region commit/drain timeline
 //	capriinspect diff a.json b.json          # record-vs-record stat diff
@@ -28,6 +28,8 @@ import (
 
 	"capri/internal/audit"
 	"capri/internal/fault"
+	"capri/internal/machine"
+	"capri/internal/stats"
 )
 
 func main() {
@@ -105,6 +107,9 @@ func runSummary(w io.Writer, args []string) error {
 			}
 		}
 	}
+	if err := summarizeMetrics(w, r.Metrics); err != nil {
+		return err
+	}
 	events := r.DecodedEvents()
 	if len(events) > 0 {
 		fmt.Fprintf(w, "cycle span   %d .. %d (retained tail)\n", events[0].Cycle, events[len(events)-1].Cycle)
@@ -114,6 +119,45 @@ func runSummary(w io.Writer, args []string) error {
 		if n > 0 {
 			fmt.Fprintf(w, "  %-14s %10d\n", audit.Kind(k), n)
 		}
+	}
+	return nil
+}
+
+// summarizeMetrics renders the tail-latency report from the record's
+// embedded histogram payload (caprisim -record-out collects it): p50/p99/
+// p999 of commit latency and the buffer occupancies. Records without a
+// metrics payload (older records, capricrash records) print nothing.
+func summarizeMetrics(w io.Writer, raw json.RawMessage) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	var m machine.Metrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("capriinspect: unreadable metrics payload: %w", err)
+	}
+	rows := []struct {
+		name string
+		h    *stats.Hist
+	}{
+		{"commit latency", &m.CommitLat},
+		{"front-end occupancy", &m.FrontOcc},
+		{"back-end occupancy", &m.BackOcc},
+		{"path in flight", &m.PathInFlight},
+		{"WPQ depth", &m.WPQDepth},
+		{"drain-bank depth", &m.DrainQueue},
+	}
+	printed := false
+	for _, r := range rows {
+		if r.h.Count == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Fprintf(w, "percentiles  (power-of-two bucket upper bounds)\n")
+			fmt.Fprintf(w, "  %-20s %10s %8s %8s %8s %8s\n", "metric", "samples", "p50", "p99", "p999", "max")
+			printed = true
+		}
+		fmt.Fprintf(w, "  %-20s %10d %8d %8d %8d %8d\n", r.name, r.h.Count,
+			r.h.Percentile(50), r.h.Percentile(99), r.h.Percentile(99.9), r.h.Max)
 	}
 	return nil
 }

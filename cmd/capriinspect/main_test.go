@@ -10,6 +10,7 @@ import (
 
 	"capri/internal/audit"
 	"capri/internal/fault"
+	"capri/internal/machine"
 )
 
 // writeRecord builds a deterministic capri/run-record/v1 file from a
@@ -97,6 +98,56 @@ event census (retained tail):
 `, r.Digest)
 	if got := out.String(); got != want {
 		t.Errorf("summary golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSummaryRendersPercentiles: a record carrying a histogram payload gets
+// the p50/p99/p999 table; histograms with no samples are omitted from it.
+func TestSummaryRendersPercentiles(t *testing.T) {
+	path := writeTestRecord(t, t.TempDir(), "m.json", testEvents(), nil)
+	r, err := audit.ReadRunRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m machine.Metrics
+	for i := uint64(1); i <= 1000; i++ {
+		m.CommitLat.Record(i)
+	}
+	m.WPQDepth.Record(3)
+	if err := r.SetMetrics(&m); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := runSummary(&out, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// 1..1000: p50 falls in bucket [256,512) -> upper bound 511; p99 and
+	// p999 in [512,1024) -> clamped to Max=1000.
+	wantLat := fmt.Sprintf("  %-20s %10d %8d %8d %8d %8d\n", "commit latency", 1000, 511, 1000, 1000, 1000)
+	if !strings.Contains(got, wantLat) {
+		t.Errorf("summary missing commit-latency percentile row %q:\n%s", wantLat, got)
+	}
+	wantWPQ := fmt.Sprintf("  %-20s %10d %8d %8d %8d %8d\n", "WPQ depth", 1, 3, 3, 3, 3)
+	if !strings.Contains(got, wantWPQ) {
+		t.Errorf("summary missing WPQ percentile row %q:\n%s", wantWPQ, got)
+	}
+	if strings.Contains(got, "front-end occupancy") {
+		t.Errorf("empty histogram rendered a percentile row:\n%s", got)
+	}
+
+	// Records without a metrics payload print no percentile section.
+	bare := writeTestRecord(t, t.TempDir(), "bare.json", testEvents(), nil)
+	out.Reset()
+	if err := runSummary(&out, []string{bare}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "percentiles") {
+		t.Errorf("metrics-less record rendered a percentile section:\n%s", out.String())
 	}
 }
 

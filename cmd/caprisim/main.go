@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"capri/internal/asm"
 	"capri/internal/audit"
@@ -25,6 +26,7 @@ import (
 	"capri/internal/machine"
 	"capri/internal/prog"
 	"capri/internal/stats"
+	"capri/internal/telemetry"
 	"capri/internal/trace"
 	"capri/internal/workload"
 )
@@ -41,8 +43,24 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "collect and print occupancy/latency histograms")
 		auditRun  = flag.Bool("audit", false, "run the online Fig. 7 invariant auditor; exit non-zero on any violation")
 		recordOut = flag.String("record-out", "", "write a capri/run-record/v1 provenance record (\"-\" for stdout; inspect with capriinspect)")
+		listen    = flag.String("listen", "", "serve live OpenMetrics telemetry on this `addr` (e.g. :9090) while the command runs")
+		hbOut     = flag.String("heartbeat-out", "", "append JSONL telemetry heartbeats to this `file` (\"-\" = stderr)")
+		hbEvery   = flag.Duration("heartbeat-interval", time.Second, "heartbeat sampling interval (with -heartbeat-out)")
 	)
 	flag.Parse()
+
+	bus, err := telemetry.Start(telemetry.Options{
+		Listen:        *listen,
+		HeartbeatPath: *hbOut,
+		Interval:      *hbEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer bus.Stop()
+	if addr := bus.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving OpenMetrics on http://%s/metrics\n", addr)
+	}
 
 	if *config {
 		fmt.Print(machine.DefaultConfig().Table1())
@@ -115,18 +133,27 @@ func main() {
 				return audit.Tee(flight, aud)
 			}
 		}
-		m, err := h.RunTapped(b, level, *threshold, tr, tap, *metrics)
+		// A run record always collects the histograms: they are
+		// deterministic observers (no effect on simulated state), and
+		// `capriinspect summary` derives its percentile report from them.
+		collect := *metrics || *recordOut != ""
+		m, err := h.RunTapped(b, level, *threshold, tr, tap, collect)
 		if err != nil {
 			fatal(err)
 		}
 		s = m.Stats()
 		norm = float64(s.Cycles) / float64(base)
-		hist = m.Metrics()
+		if *metrics {
+			hist = m.Metrics()
+		}
 		if *recordOut != "" {
 			fp := m.Program().Fingerprint()
 			rr, err := audit.NewRunRecordFull(flight, aud, b.Name,
 				fmt.Sprintf("%x", fp[:]), m.Config(), m.Stats())
 			if err != nil {
+				fatal(err)
+			}
+			if err := rr.SetMetrics(m.Metrics()); err != nil {
 				fatal(err)
 			}
 			if err := rr.WriteFile(*recordOut); err != nil {

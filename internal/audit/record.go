@@ -72,7 +72,12 @@ type RunRecord struct {
 	// run was a fault-campaign trial — opaque here so this leaf package
 	// needs no fault types; capriinspect renders it and diff treats it as
 	// part of the run's identity.
-	Faults      json.RawMessage `json:"faults,omitempty"`
+	Faults json.RawMessage `json:"faults,omitempty"`
+	// Metrics is the run's occupancy/latency histogram set
+	// (machine.Metrics JSON) when the run collected them — opaque here
+	// like Config/Stats; capriinspect summary derives its percentile
+	// report from it. Set with SetMetrics.
+	Metrics     json.RawMessage `json:"metrics,omitempty"`
 	EventsTotal uint64          `json:"events_total"`
 	EventsKept  int             `json:"events_kept"`
 	Dropped     uint64          `json:"events_dropped"`
@@ -132,6 +137,22 @@ func NewRunRecordFull(rec *FlightRecorder, aud *Auditor, name, fingerprint strin
 		r.Stats = b
 	}
 	return r, nil
+}
+
+// SetMetrics attaches the run's histogram payload (any JSON-marshalable
+// value; in practice *machine.Metrics) to the record. A nil value clears
+// it.
+func (r *RunRecord) SetMetrics(v any) error {
+	if v == nil {
+		r.Metrics = nil
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("run record metrics: %w", err)
+	}
+	r.Metrics = b
+	return nil
 }
 
 // DecodedEvents returns the record's retained events, skipping any with

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"capri/internal/prog"
+	"capri/internal/telemetry"
 )
 
 // Cache is a concurrency-safe, content-addressed compile cache. The key is
@@ -88,11 +89,13 @@ func (c *Cache) Compile(p *prog.Program, opts Options) (*Result, error) {
 			if raw, ok := persist.Get(pk); ok {
 				if res, ok := decodeStored(raw, opts); ok {
 					c.diskHits.Add(1)
+					telemetry.Caches.CompileDiskHits.Add(1)
 					e.res = res
 					return
 				}
 			}
 			c.misses.Add(1)
+			telemetry.Caches.CompileMisses.Add(1)
 			e.res, e.err = Compile(p, opts)
 			if e.err == nil {
 				if raw, err := encodeStored(e.res); err == nil {
@@ -102,10 +105,12 @@ func (c *Cache) Compile(p *prog.Program, opts Options) (*Result, error) {
 			return
 		}
 		c.misses.Add(1)
+		telemetry.Caches.CompileMisses.Add(1)
 		e.res, e.err = Compile(p, opts)
 	})
 	if !won {
 		c.hits.Add(1)
+		telemetry.Caches.CompileHits.Add(1)
 	}
 	return e.res, e.err
 }

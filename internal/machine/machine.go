@@ -9,6 +9,7 @@ import (
 	"capri/internal/mem"
 	"capri/internal/prog"
 	"capri/internal/proxy"
+	"capri/internal/telemetry"
 )
 
 // Memory map conventions for compiled programs. Workloads allocate heap data
@@ -187,6 +188,12 @@ type Machine struct {
 
 	crashed bool
 	fatal   error
+
+	// Live telemetry (telemetry.go): the armed snapshot for the current
+	// run segment (nil when telemetry is off) and the last-published
+	// delta base. run() captures the arming once per entry.
+	tele    *telemetry.MachineTelemetry
+	telePub telePub
 
 	tracer  Tracer
 	tap     audit.Sink  // nil: provenance event emission off
@@ -416,6 +423,13 @@ func (m *Machine) run(crashAt uint64) error {
 	// defined at instruction granularity on the reference schedule's global
 	// retired-instruction order, which extended quanta reorder.
 	m.extOK = threaded && !m.cfg.NoQuantumExt && crashAt == ^uint64(0)
+	// Live telemetry arming, read once per run segment (telemetry.go).
+	// The conditional defer means a disarmed run pays exactly one atomic
+	// pointer load here and one nil check per scheduler pop below.
+	if t := telemetry.ArmedMachine(); t != nil {
+		m.telemetryEnter(t)
+		defer m.telemetryExit()
+	}
 	// The run queue orders runnable cores by (cycle, coreID) — the reference
 	// per-instruction schedule. Rebuilt per entry: cores may have been
 	// resumed, recovered, or left stale by a crash/fatal exit.
@@ -431,6 +445,9 @@ func (m *Machine) run(crashAt uint64) error {
 	for !m.Done() {
 		if m.fatal != nil {
 			return m.fatal
+		}
+		if m.tele != nil && m.steps-m.telePub.steps >= telePublishEvery {
+			m.publishTelemetry(false)
 		}
 		if m.retired >= crashAt {
 			m.crashed = true

@@ -117,6 +117,17 @@ func (n *NVM) BookLineWrite(now, writeCost uint64) uint64 {
 	return (n.writeFree - now + writeCost - 1) / writeCost
 }
 
+// PendingLineWrites reports the write-pending queue's current depth at
+// cycle now without booking anything: the number of 64B line writes still
+// queued ahead of the device, given the per-line write latency. Read-only
+// — the telemetry sampler's WPQ-depth gauge is built on it.
+func (n *NVM) PendingLineWrites(now, writeCost uint64) uint64 {
+	if writeCost == 0 || n.writeFree <= now {
+		return 0
+	}
+	return (n.writeFree - now + writeCost - 1) / writeCost
+}
+
 // page returns the page containing word index wi, or nil if absent.
 func (n *NVM) page(wi uint64) *nvmPage {
 	pi := wi >> pageWordShift

@@ -30,6 +30,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"capri/internal/telemetry"
 )
 
 // Key is a 32-byte content address. Keys are derived with KeyOf so distinct
@@ -274,11 +276,13 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	defer s.mu.Unlock()
 	if v, ok := s.pending[k]; ok {
 		s.stats.Hits++
+		telemetry.Caches.StoreHits.Add(1)
 		return append([]byte(nil), v...), true
 	}
 	ref, ok := s.index[k]
 	if !ok {
 		s.stats.Misses++
+		telemetry.Caches.StoreMisses.Add(1)
 		return nil, false
 	}
 	buf := make([]byte, int(ref.len)+sha256.Size)
@@ -286,6 +290,7 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 		delete(s.index, k)
 		s.stats.CorruptRecords++
 		s.stats.Misses++
+		telemetry.Caches.StoreMisses.Add(1)
 		return nil, false
 	}
 	payload, sum := buf[:ref.len], buf[ref.len:]
@@ -293,9 +298,11 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 		delete(s.index, k)
 		s.stats.CorruptRecords++
 		s.stats.Misses++
+		telemetry.Caches.StoreMisses.Add(1)
 		return nil, false
 	}
 	s.stats.Hits++
+	telemetry.Caches.StoreHits.Add(1)
 	return payload, true
 }
 
@@ -323,6 +330,7 @@ func (s *Store) Put(k Key, v []byte) {
 	}
 	s.pending[k] = append([]byte(nil), v...)
 	s.stats.Puts++
+	telemetry.Caches.StorePuts.Add(1)
 }
 
 // Flush seals the pending batch into a new immutable segment (a no-op when

@@ -55,6 +55,80 @@ func TestHistPercentileBounds(t *testing.T) {
 	}
 }
 
+func TestHistPercentileEmpty(t *testing.T) {
+	// Every quantile of an empty histogram is 0, including the q=0/q=1
+	// boundaries and out-of-range inputs.
+	var h Hist
+	for _, p := range []float64{-5, 0, 50, 99.9, 100, 250} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %d, want 0", p, got)
+		}
+	}
+}
+
+func TestHistPercentileSingleSample(t *testing.T) {
+	// With one sample, every quantile is that sample — the clamp to
+	// [Min, Max] must collapse the bucket bound to the exact value.
+	for _, v := range []uint64{0, 1, 7, 1 << 40} {
+		var h Hist
+		h.Record(v)
+		for _, p := range []float64{0, 25, 50, 99, 99.9, 100} {
+			if got := h.Percentile(p); got != v {
+				t.Errorf("single-sample(%d) Percentile(%v) = %d, want %d", v, p, got, v)
+			}
+		}
+	}
+}
+
+func TestHistPercentileBoundaries(t *testing.T) {
+	// q=0 must land in the lowest occupied bucket (clamped up to Min) and
+	// q=100 must return exactly Max; out-of-range p clamps to [0, 100].
+	var h Hist
+	for _, v := range []uint64{5, 6, 7, 900, 1000} {
+		h.Record(v)
+	}
+	if got := h.Percentile(0); got != 7 {
+		// rank 0 falls in bucket 3 ([4,7]), whose top is below Max and
+		// above Min, so the documented upper bound is 7.
+		t.Errorf("Percentile(0) = %d, want bucket top 7", got)
+	}
+	if got := h.Percentile(100); got != 1000 {
+		t.Errorf("Percentile(100) = %d, want Max 1000", got)
+	}
+	if h.Percentile(-3) != h.Percentile(0) {
+		t.Errorf("negative p must clamp to 0")
+	}
+	if h.Percentile(1000) != h.Percentile(100) {
+		t.Errorf("p>100 must clamp to 100")
+	}
+}
+
+func TestHistPercentileAfterMerge(t *testing.T) {
+	// Quantiles of a merged histogram must equal quantiles of a histogram
+	// that recorded the union directly — Merge preserves the quantile
+	// contract, not just the counts.
+	var lo, hi, all Hist
+	for v := uint64(1); v <= 100; v++ {
+		all.Record(v)
+		if v <= 50 {
+			lo.Record(v)
+		} else {
+			hi.Record(v)
+		}
+	}
+	merged := lo
+	merged.Merge(&hi)
+	for _, p := range []float64{0, 50, 90, 99, 99.9, 100} {
+		if got, want := merged.Percentile(p), all.Percentile(p); got != want {
+			t.Errorf("merged Percentile(%v) = %d, want %d", p, got, want)
+		}
+	}
+	// Merge must also preserve the exact Min/Max clamp inputs.
+	if merged.Min != 1 || merged.Max != 100 {
+		t.Errorf("merged Min/Max = %d/%d, want 1/100", merged.Min, merged.Max)
+	}
+}
+
 func TestHistMerge(t *testing.T) {
 	// Merging two histograms must equal recording the union of samples.
 	rng := rand.New(rand.NewSource(11))

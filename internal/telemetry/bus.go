@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Options configures Start. Both outputs are optional; when neither is
+// set, Start returns a nil bus and the process runs with telemetry fully
+// disarmed.
+type Options struct {
+	// Listen is the TCP address for the OpenMetrics endpoint
+	// (e.g. ":9090" or "127.0.0.1:0"). Empty disables the endpoint.
+	Listen string
+	// HeartbeatPath is the file the JSONL heartbeat stream appends to;
+	// "-" writes to stderr. Empty disables heartbeats.
+	HeartbeatPath string
+	// Interval is the heartbeat sampling interval (default 1s).
+	Interval time.Duration
+	// Registry overrides the default registry (global machine, sweep,
+	// and campaign snapshots). Nil uses NewRegistry().
+	Registry *Registry
+}
+
+// Bus is a running telemetry exposition: an optional HTTP /metrics
+// endpoint plus an optional JSONL heartbeat sampler. Stop for a clean
+// shutdown (final heartbeat flushed, listener closed, machine publishing
+// disarmed).
+type Bus struct {
+	reg      *Registry
+	srv      *http.Server
+	listener net.Listener
+	hb       *os.File
+	hbOwned  bool
+	stop     chan struct{}
+	done     sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// Start arms machine telemetry and begins serving the configured
+// outputs. It returns (nil, nil) when Options enables neither output,
+// so callers can unconditionally `defer bus.Stop()` via a nil-safe
+// receiver.
+func Start(o Options) (*Bus, error) {
+	if o.Listen == "" && o.HeartbeatPath == "" {
+		return nil, nil
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	reg := o.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	b := &Bus{reg: reg, stop: make(chan struct{})}
+	if o.Listen != "" {
+		ln, err := net.Listen("tcp", o.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: listen %s: %w", o.Listen, err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", Handler(reg))
+		b.listener = ln
+		b.srv = &http.Server{Handler: mux}
+		b.done.Add(1)
+		go func() {
+			defer b.done.Done()
+			_ = b.srv.Serve(ln) // returns on Shutdown/Close
+		}()
+	}
+	if o.HeartbeatPath != "" {
+		if o.HeartbeatPath == "-" {
+			b.hb = os.Stderr
+		} else {
+			f, err := os.OpenFile(o.HeartbeatPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				if b.listener != nil {
+					b.listener.Close()
+				}
+				return nil, fmt.Errorf("telemetry: heartbeat: %w", err)
+			}
+			b.hb = f
+			b.hbOwned = true
+		}
+		b.done.Add(1)
+		go func() {
+			defer b.done.Done()
+			tick := time.NewTicker(o.Interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					b.heartbeat()
+				case <-b.stop:
+					return
+				}
+			}
+		}()
+	}
+	EnableMachine()
+	return b, nil
+}
+
+// heartbeat appends one JSONL record — a timestamp plus a flat
+// name→value map of every gathered sample — to the heartbeat stream.
+// json.Marshal sorts map keys, so records are field-order deterministic.
+func (b *Bus) heartbeat() {
+	ms := b.reg.Gather()
+	vals := make(map[string]float64, len(ms))
+	for _, m := range ms {
+		name := m.Name
+		if m.Kind == Counter {
+			name += "_total"
+		}
+		vals[name] = m.Value
+	}
+	rec := struct {
+		TS      string             `json:"ts"`
+		Metrics map[string]float64 `json:"metrics"`
+	}{time.Now().UTC().Format(time.RFC3339Nano), vals}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	_, _ = b.hb.Write(append(line, '\n'))
+}
+
+// Addr returns the metrics endpoint's bound address ("" when no listener
+// is configured); with Options.Listen ":0" this is how tests and scripts
+// learn the ephemeral port.
+func (b *Bus) Addr() string {
+	if b == nil || b.listener == nil {
+		return ""
+	}
+	return b.listener.Addr().String()
+}
+
+// Stop disarms machine telemetry, emits one final heartbeat, and shuts
+// both outputs down. Safe on a nil bus and safe to call more than once.
+func (b *Bus) Stop() {
+	if b == nil {
+		return
+	}
+	b.stopOnce.Do(func() {
+		DisableMachine()
+		close(b.stop)
+		if b.hb != nil {
+			b.heartbeat()
+		}
+		if b.srv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = b.srv.Shutdown(ctx)
+			cancel()
+		}
+		b.done.Wait()
+		if b.hbOwned {
+			_ = b.hb.Close()
+		}
+	})
+}

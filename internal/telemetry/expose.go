@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ContentType is the OpenMetrics text exposition content type served by
+// the /metrics endpoint.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics encodes one gathered sample set in the OpenMetrics
+// text format: `# HELP` and `# TYPE` lines per family, one sample per
+// family (counters get the `_total` suffix), terminated by `# EOF`.
+func WriteOpenMetrics(w io.Writer, ms []Metric) error {
+	for _, m := range ms {
+		kind := "gauge"
+		name := m.Name
+		if m.Kind == Counter {
+			kind = "counter"
+		}
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(m.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind); err != nil {
+			return err
+		}
+		sample := name
+		if m.Kind == Counter {
+			sample += "_total"
+		}
+		if _, err := fmt.Fprintf(w, "%s %v\n", sample, m.Value); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// escapeHelp escapes the characters the OpenMetrics text format reserves
+// in HELP text (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry's current samples
+// as an OpenMetrics text page. Each scrape gathers live — there is no
+// scrape-side caching, so a prometheus poll or a curl in a terminal sees
+// the simulator's progress as of that instant.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = WriteOpenMetrics(w, r.Gather())
+	})
+}
