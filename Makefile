@@ -11,7 +11,7 @@ GO ?= go
 JOBS ?= 4
 PERF_STORE ?= /tmp/capri-resultstore
 
-.PHONY: all build test check lint audit soak soak-long docs-verify bench telemetry-smoke perf perf-single perf-seed clean
+.PHONY: all build test check lint audit soak soak-mt soak-long docs-verify bench telemetry-smoke perf perf-single perf-seed clean
 
 all: build
 
@@ -26,7 +26,7 @@ test:
 # no external linters).
 lint:
 	$(GO) vet ./...
-	$(GO) run ./tools/doccheck internal/sweep internal/resultstore internal/fault internal/audit internal/figures internal/compile internal/machine internal/telemetry cmd/capristat
+	$(GO) run ./tools/doccheck internal/sweep internal/resultstore internal/fault internal/audit internal/figures internal/compile internal/machine internal/telemetry internal/workload internal/recovery cmd/capristat
 
 # check is the pre-merge tier: lint (vet + godoc coverage), the
 # race-sensitive packages under the race detector (compile carries the
@@ -49,6 +49,7 @@ check:
 	$(MAKE) telemetry-smoke
 	$(MAKE) audit
 	$(MAKE) soak
+	$(MAKE) soak-mt
 	$(MAKE) docs-verify
 	$(GO) run ./cmd/capribench -perf -scale 1 -perfout /tmp/BENCH_sim.smoke.json
 
@@ -72,6 +73,20 @@ audit:
 soak:
 	$(GO) test ./internal/fault
 	$(GO) run ./cmd/capricrash -campaign -seed 1 -trials 4 -corpus 52 -benches -jobs $(JOBS)
+
+# soak-mt is the fixed-seed multi-core contention campaign: the cross-core
+# contention workloads (shared fetch-and-add counters, the MPMC persistent
+# queue, lock-protected records) at 2- and 4-core geometries, crash points
+# landing inside atomic two-phase commits and mid-drain, every run checked
+# against the workloads' conservation invariants, the detectability
+# contract, and recovery-order commutativity. The contention-specific
+# mutation and permutation tests run first — they prove the cross-core
+# auditor rules bite (dropped fence ordering, unguarded cross-core drains,
+# non-commuting recovery each caught with a shrunk plan) — then the
+# campaign itself sweeps all three workload families at both geometries.
+soak-mt:
+	$(GO) test -run 'TestContention|TestCampaignContention|TestMutationSync|TestMutationDrainNoGuard|TestMutationReplayNoGuard|TestRecoveryOrderCommutes' ./internal/fault
+	$(GO) run ./cmd/capricrash -campaign -seed 1 -trials 4 -corpus 0 -cores 2,4 -jobs $(JOBS)
 
 # soak-long is the open-ended variant: more trials over the whole corpus,
 # bounded by a wall-clock budget. Override the seed/budget per run, e.g.

@@ -19,10 +19,16 @@ import (
 // auditor and verified against its golden state. Any failure is shrunk to a
 // minimal reproducible fault plan and written as JSON for `-plan` replay.
 func runCampaign(seed uint64, trials, maxFaults, corpus, threshold, scale, jobs int,
-	benches bool, duration time.Duration, planOut, recordOut, storeDir string) {
+	benches bool, cores []int, duration time.Duration, planOut, recordOut, storeDir string) {
 	targets := append(fault.SynthTargets(threshold), fault.CorpusTargets(corpus, threshold)...)
 	if benches {
 		targets = append(targets, fault.BenchTargets(scale, threshold)...)
+	}
+	if len(cores) > 0 {
+		// -cores 2,4,8: the cross-core contention workloads at each geometry,
+		// each target pinned to its own core count (Plan.Target.Cores), so a
+		// shrunk failing plan replays on the exact machine that produced it.
+		targets = append(targets, fault.ContentionTargets(scale, threshold, cores...)...)
 	}
 	var store *resultstore.Store
 	if storeDir != "" {

@@ -10,6 +10,7 @@
 //	capricrash -bench genome -audit -record-out crash.json
 //	capricrash -fuzz 100 [-threads 2]   # random-program campaign
 //	capricrash -campaign -seed 1 -trials 3 -corpus 12 -benches
+//	capricrash -campaign -cores 2,4,8            # add cross-core contention targets
 //	capricrash -plan fault-plan-min.json         # replay one fault plan
 //
 // With -audit, every crashed run is observed end-to-end (run → crash →
@@ -25,6 +26,12 @@
 // synthetic fault workloads, a slice of the progen corpus, and optionally all
 // paper benchmarks. Every failure is shrunk to a minimal reproducible plan
 // (written to -plan-out) that -plan replays exactly.
+//
+// With -cores, the campaign additionally targets the cross-core contention
+// workloads (shared counters, the MPMC persistent queue, lock-protected
+// records) at each listed core geometry, with crash points landing inside
+// atomic two-phase commits and mid-drain; outside -campaign a single core
+// count overrides the sweep machine's geometry.
 package main
 
 import (
@@ -32,6 +39,8 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"strconv"
+	"strings"
 	"time"
 
 	"capri/internal/audit"
@@ -61,6 +70,7 @@ func main() {
 		maxFaults = flag.Int("max-faults", 3, "max faults per plan (with -campaign)")
 		corpus    = flag.Int("corpus", 12, "progen corpus programs to target (with -campaign)")
 		benches   = flag.Bool("benches", false, "include all paper benchmarks as campaign targets (with -campaign)")
+		coreList  = flag.String("cores", "", "comma-separated core counts (e.g. 2,4,8): with -campaign adds the cross-core contention workloads at those geometries; otherwise a single count overrides the sweep machine")
 		duration  = flag.Duration("duration", 0, "stop starting new campaign targets after this long (with -campaign; 0 = no budget)")
 		planOut   = flag.String("plan-out", "", "where -campaign writes the minimal failing fault plan (default fault-plan-min.json)")
 		planIn    = flag.String("plan", "", "replay one capri/fault-plan/v1 JSON fault plan and exit")
@@ -85,13 +95,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "telemetry: serving OpenMetrics on http://%s/metrics\n", addr)
 	}
 
+	cores, err := parseCores(*coreList)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *planIn != "" {
 		runPlanReplay(*planIn, *recordOut)
 		return
 	}
 	if *campaign {
 		runCampaign(*seed, *trials, *maxFaults, *corpus, *threshold, *scale, *jobs,
-			*benches, *duration, *planOut, *recordOut, *storeDir)
+			*benches, cores, *duration, *planOut, *recordOut, *storeDir)
 		return
 	}
 
@@ -113,6 +128,15 @@ func main() {
 	cfg.Threshold = *threshold
 	cfg.L2Size = 2 << 20
 	cfg.DRAMSize = 16 << 20
+	if len(cores) > 1 {
+		fatal(fmt.Errorf("-cores outside -campaign takes a single core count, got %q", *coreList))
+	}
+	if len(cores) == 1 {
+		cfg.Cores = cores[0]
+	}
+	if n := src.NumThreads(); cfg.Cores < n {
+		cfg.Cores = n
+	}
 
 	fmt.Printf("golden run of %s ...\n", b.Name)
 	golden, err := machine.New(res.Program, cfg)
@@ -182,9 +206,23 @@ func main() {
 			fatal(fmt.Errorf("crash@%d resume: %w", crashAt, err))
 		}
 		good := rep.ConflictingUndo == 0
-		for t := 0; t < src.NumThreads(); t++ {
-			if !reflect.DeepEqual(r.Output(t), goldenOut[t]) {
+		if b.Check != nil {
+			// Interleaving-dependent workload (the contention suite): verify
+			// the conservation invariants and exactly-once I/O instead of
+			// comparing outputs word-for-word (see workload.Benchmark.Check).
+			if err := b.Check(*scale, r.MemSnapshot()); err != nil {
 				good = false
+			}
+			for t := 0; t < src.NumThreads(); t++ {
+				if len(r.Output(t)) != len(goldenOut[t]) {
+					good = false
+				}
+			}
+		} else {
+			for t := 0; t < src.NumThreads(); t++ {
+				if !reflect.DeepEqual(r.Output(t), goldenOut[t]) {
+					good = false
+				}
 			}
 		}
 		if aud != nil {
@@ -279,6 +317,23 @@ func runFuzz(n int, seed uint64, threads, threshold, points int, barriers, audit
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// parseCores parses the -cores flag: a comma-separated list of positive core
+// counts ("" parses to nil).
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cores: %q is not a positive core count", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -120,7 +120,58 @@ func runSummary(w io.Writer, args []string) error {
 			fmt.Fprintf(w, "  %-14s %10d\n", audit.Kind(k), n)
 		}
 	}
+	perCoreBreakdown(w, events)
 	return nil
+}
+
+// perCoreBreakdown prints one row per core: total events plus the columns
+// that show how the protocol load was spread — stores, region commits,
+// phase-2 drains and their NVM writes, synchronizing stores, and recovery
+// redo/undo work. On a multi-core contention run this is where cross-core
+// skew (one core draining far more than its peers) becomes visible.
+func perCoreBreakdown(w io.Writer, events []audit.Event) {
+	type row struct {
+		total, stores, commits, drains, drainWr, syncs, recov uint64
+	}
+	rows := map[int32]*row{}
+	for _, e := range events {
+		r := rows[e.Core]
+		if r == nil {
+			r = &row{}
+			rows[e.Core] = r
+		}
+		r.total++
+		switch e.Kind {
+		case audit.EvStore:
+			r.stores++
+		case audit.EvCommit:
+			r.commits++
+		case audit.EvDrain:
+			r.drains++
+		case audit.EvDrainWrite, audit.EvTornDrainWrite:
+			r.drainWr++
+		case audit.EvSync:
+			r.syncs++
+		case audit.EvRecoveryRedoWrite, audit.EvRecoveryRedo, audit.EvRecoveryUndo:
+			r.recov++
+		}
+	}
+	if len(rows) < 2 {
+		return // single-core runs: the global census already says it all
+	}
+	cores := make([]int32, 0, len(rows))
+	for c := range rows {
+		cores = append(cores, c)
+	}
+	sort.Slice(cores, func(i, j int) bool { return cores[i] < cores[j] })
+	fmt.Fprintf(w, "per-core events (retained tail):\n")
+	fmt.Fprintf(w, "  %-5s %10s %10s %10s %10s %10s %10s %10s\n",
+		"core", "total", "stores", "commits", "drains", "drain-wr", "syncs", "recovery")
+	for _, c := range cores {
+		r := rows[c]
+		fmt.Fprintf(w, "  %-5d %10d %10d %10d %10d %10d %10d %10d\n",
+			c, r.total, r.stores, r.commits, r.drains, r.drainWr, r.syncs, r.recov)
+	}
 }
 
 // summarizeMetrics renders the tail-latency report from the record's

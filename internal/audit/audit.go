@@ -93,6 +93,12 @@ const (
 	// EvDrainWrite (FlagApplied is the sequence guard's verdict); the
 	// entry remains in the battery-backed back-end for recovery to replay.
 	EvTornDrainWrite
+	// EvSync: a synchronizing store (atomic RMW, lock, unlock) executed.
+	// Addr/Seq identify the store, Val the new value, Val2 the old, Region
+	// the region the op commits atomically with. Emitted before the sealing
+	// EvCommit — a sync with no commit following it is a protocol violation
+	// (the cross-core detectability contract depends on that commit).
+	EvSync
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -116,6 +122,7 @@ var kindNames = [NumKinds]string{
 	EvRecoveryDone:      "rec-done",
 	EvTornWriteback:     "torn-wb",
 	EvTornDrainWrite:    "torn-drain",
+	EvSync:              "sync",
 }
 
 // String returns the kind's wire name (stable: run records serialize it).
@@ -231,7 +238,8 @@ func (e Event) Line() uint64 { return e.Addr &^ 63 }
 func (e Event) HasAddr() bool {
 	switch e.Kind {
 	case EvStore, EvWriteback, EvWritebackWord, EvDrainWrite, EvNVMRead,
-		EvRecoveryRedoWrite, EvRecoveryUndo, EvTornWriteback, EvTornDrainWrite:
+		EvRecoveryRedoWrite, EvRecoveryUndo, EvTornWriteback, EvTornDrainWrite,
+		EvSync:
 		return true
 	case EvLaunch, EvBackArrive:
 		return !e.Flags.Has(FlagBoundary)
@@ -279,6 +287,8 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" addr=%#x restored=%d seq=%d torn=%d", e.Addr, e.Val, e.Seq, e.Val2)
 	case EvTornDrainWrite:
 		s += fmt.Sprintf(" addr=%#x seq=%d region=%d redo=%d", e.Addr, e.Seq, e.Region, e.Val)
+	case EvSync:
+		s += fmt.Sprintf(" addr=%#x seq=%d region=%d new=%d old=%d", e.Addr, e.Seq, e.Region, e.Val, e.Val2)
 	}
 	if e.Flags != 0 {
 		s += " [" + e.Flags.String() + "]"

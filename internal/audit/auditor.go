@@ -47,11 +47,14 @@ type storeRec struct {
 	region uint64
 	undo   uint64
 	redo   uint64
+	sync   bool // store is a synchronizing op (atomic RMW, lock, unlock)
 }
 
 type seqVal struct {
-	seq uint64
-	val uint64
+	seq       uint64
+	val       uint64
+	core      int32
+	committed bool // version persisted by a drain-family write of a committed region
 }
 
 type winEntry struct {
@@ -93,6 +96,20 @@ const maxKeptViolations = 16
 //   - undo-unknown-store / undo-open-region / undo-guard-mismatch:
 //     recovery rolls back exactly the interrupted region's stores, with the
 //     undo images captured at issue, under the FirstSeq guard.
+//   - sync-unordered-commit / sync-unknown-store: a synchronizing store
+//     (atomic RMW, lock, unlock) commits atomically with its own region —
+//     the very next event the issuing core may contribute after the sync is
+//     that region's commit marker; a store slipping in first means the sync
+//     is still rollback-able while other cores can already observe it.
+//   - sync-persist-order: applied NVM persists of synchronizing stores to
+//     one word must follow execution (sequence) order — concurrent per-core
+//     drains must not reorder same-line atomics on their way to NVM.
+//   - line-version-chain: a committed region's drain-family write must never
+//     clobber a newer committed version another core persisted — the
+//     cross-core diagnosis layered on seq-guard-mismatch.
+//   - undo-clobbers-committed: recovery's rollback of one core's
+//     uncommitted store must never destroy a committed NVM version another
+//     core persisted (the cross-core detectability contract at crash).
 //   - torn-outside-crash / torn-ownership / torn-forward /
 //     torn-uncommitted-region / torn-drained-region /
 //     nested-crash-outside-recovery: the fault model's legality rules — a
@@ -125,6 +142,9 @@ type Auditor struct {
 	lastCommit map[int32]uint64
 	lastDrain  map[int32]uint64
 
+	pendingSync map[int32]uint64  // core -> region whose sync awaits its sealing commit
+	syncPersist map[uint64]uint64 // word addr -> newest applied sync-store sequence
+
 	crashed       bool
 	commitAtCrash map[int32]uint64
 	drainAtCrash  map[int32]uint64
@@ -145,6 +165,9 @@ func NewAuditor(opt Options) *Auditor {
 		order:      map[int32][]uint64{},
 		lastCommit: map[int32]uint64{},
 		lastDrain:  map[int32]uint64{},
+
+		pendingSync: map[int32]uint64{},
+		syncPersist: map[uint64]uint64{},
 	}
 }
 
@@ -228,6 +251,8 @@ func (a *Auditor) Tap(e Event) {
 		a.onTornWriteback(e)
 	case EvTornDrainWrite:
 		a.onTornDrainWrite(e)
+	case EvSync:
+		a.onSync(e)
 	}
 	a.idx++
 }
@@ -241,9 +266,28 @@ func (a *Auditor) onStore(e Event) {
 	if e.Region != open {
 		a.violate(e, "store-open-region", "store tagged region %d, core %d's open region is %d", e.Region, e.Core, open)
 	}
+	if p, ok := a.pendingSync[e.Core]; ok {
+		a.violate(e, "sync-unordered-commit",
+			"core %d issued store addr %#x seq %d before region %d's sync sealed its commit",
+			e.Core, e.Addr, e.Seq, p)
+		delete(a.pendingSync, e.Core) // one violation per dropped commit
+	}
 	a.stores[e.Seq] = &storeRec{core: e.Core, addr: e.Addr, region: e.Region, undo: e.Val2, redo: e.Val}
 	a.byAddr[e.Addr] = append(a.byAddr[e.Addr], e.Seq)
 	a.order[e.Core] = append(a.order[e.Core], e.Seq)
+}
+
+// onSync records a synchronizing store. Its data entry (EvStore, same
+// sequence) precedes it and its sealing commit marker must be the issuing
+// core's very next contribution to the stream — tracked via pendingSync.
+func (a *Auditor) onSync(e Event) {
+	if s := a.stores[e.Seq]; s != nil && s.core == e.Core && s.addr == e.Addr {
+		s.sync = true
+	} else {
+		a.violate(e, "sync-unknown-store",
+			"sync addr %#x seq %d matches no issued store of core %d", e.Addr, e.Seq, e.Core)
+	}
+	a.pendingSync[e.Core] = e.Region
 }
 
 func (a *Auditor) onCommit(e Event) {
@@ -252,6 +296,9 @@ func (a *Auditor) onCommit(e Event) {
 	}
 	if e.Region > a.lastCommit[e.Core] {
 		a.lastCommit[e.Core] = e.Region
+	}
+	if p, ok := a.pendingSync[e.Core]; ok && e.Region >= p {
+		delete(a.pendingSync, e.Core)
 	}
 }
 
@@ -292,7 +339,7 @@ func (a *Auditor) onArrive(e Event) {
 }
 
 func (a *Auditor) onWritebackWord(e Event) {
-	a.checkGuard(e, "writeback")
+	a.checkGuard(e, "writeback", false)
 	if a.opt.Windows {
 		a.noteWriteback(e.Addr, e.Seq, e.Cycle)
 	}
@@ -316,24 +363,49 @@ func (a *Auditor) noteWriteback(addr, seq, now uint64) {
 }
 
 // checkGuard asserts the NVM write's applied/dropped outcome matches the
-// sequence-guard prediction and folds the write into the shadow.
-func (a *Auditor) checkGuard(e Event, what string) {
-	expected := e.Seq > a.shadow(e.Addr).seq
+// sequence-guard prediction and folds the write into the shadow. committed
+// marks drain-family writes (the version they install is a committed
+// region's) — the cross-core rules key off it.
+func (a *Auditor) checkGuard(e Event, what string, committed bool) {
+	sv := a.shadow(e.Addr)
+	expected := e.Seq > sv.seq
 	applied := e.Flags.Has(FlagApplied)
 	if applied != expected {
 		if applied {
 			a.violate(e, "seq-guard-mismatch",
 				"stale %s persisted: addr %#x seq %d overwrote shadow seq %d",
-				what, e.Addr, e.Seq, a.shadow(e.Addr).seq)
+				what, e.Addr, e.Seq, sv.seq)
 		} else {
 			a.violate(e, "seq-guard-mismatch",
 				"%s addr %#x seq %d dropped though shadow holds older seq %d",
-				what, e.Addr, e.Seq, a.shadow(e.Addr).seq)
+				what, e.Addr, e.Seq, sv.seq)
 		}
 	}
-	if applied {
-		a.nvm[e.Addr] = seqVal{seq: e.Seq, val: e.Val}
+	if applied && committed && sv.committed && e.Seq < sv.seq && e.Core != sv.core {
+		a.violate(e, "line-version-chain",
+			"core %d's %s addr %#x seq %d clobbered core %d's newer committed version (seq %d) — concurrent per-core drains broke the line's version chain",
+			e.Core, what, e.Addr, e.Seq, sv.core, sv.seq)
 	}
+	if applied {
+		a.nvm[e.Addr] = seqVal{seq: e.Seq, val: e.Val, core: e.Core, committed: committed}
+	}
+}
+
+// checkSyncPersist asserts that applied NVM persists of synchronizing stores
+// to one word occur in execution (sequence) order: same-line atomics must
+// reach NVM in the order they executed, whichever core's drain carries them.
+func (a *Auditor) checkSyncPersist(e Event) {
+	s := a.stores[e.Seq]
+	if s == nil || !s.sync || !e.Flags.Has(FlagApplied) {
+		return
+	}
+	if last := a.syncPersist[e.Addr]; e.Seq < last {
+		a.violate(e, "sync-persist-order",
+			"sync store addr %#x seq %d persisted after newer sync seq %d — atomic persist order diverged from execution order",
+			e.Addr, e.Seq, last)
+		return
+	}
+	a.syncPersist[e.Addr] = e.Seq
 }
 
 func (a *Auditor) onDrain(e Event) {
@@ -406,7 +478,8 @@ func (a *Auditor) matchStore(e Event, rule string) {
 
 func (a *Auditor) onDrainWrite(e Event) {
 	a.matchStore(e, "drain")
-	a.checkGuard(e, "redo")
+	a.checkSyncPersist(e)
+	a.checkGuard(e, "redo", true)
 }
 
 func (a *Auditor) onNVMRead(e Event) {
@@ -451,6 +524,8 @@ func (a *Auditor) onCrash(e Event) {
 	a.commitAtCrash = copyMap(a.lastCommit)
 	a.drainAtCrash = copyMap(a.lastDrain)
 	a.lastReplay = map[int32]uint64{}
+	// Execution stopped: a sync awaiting its commit cannot misorder anymore.
+	a.pendingSync = map[int32]uint64{}
 }
 
 // onTornWriteback checks a torn dirty-line writeback: tearing may only
@@ -473,7 +548,7 @@ func (a *Auditor) onTornWriteback(e Event) {
 			"torn writeback moved word %#x forward: restored seq %d above shadow seq %d",
 			e.Addr, e.Seq, sv.seq)
 	}
-	a.nvm[e.Addr] = seqVal{seq: e.Seq, val: e.Val}
+	a.nvm[e.Addr] = seqVal{seq: e.Seq, val: e.Val, core: e.Core}
 }
 
 // onTornDrainWrite checks a torn phase-2 drain prefix: only a committed but
@@ -497,7 +572,8 @@ func (a *Auditor) onTornDrainWrite(e Event) {
 			"torn drain pushed redo of region %d, already drained through %d",
 			e.Region, dr)
 	}
-	a.checkGuard(e, "torn drain")
+	a.checkSyncPersist(e)
+	a.checkGuard(e, "torn drain", true)
 }
 
 func (a *Auditor) onReplayWrite(e Event) {
@@ -508,7 +584,8 @@ func (a *Auditor) onReplayWrite(e Event) {
 	if e.Region <= a.drainAtCrash[e.Core] && a.drainAtCrash[e.Core] != 0 {
 		a.violate(e, "replay-drained-region", "recovery replayed redo of region %d, already drained through %d", e.Region, a.drainAtCrash[e.Core])
 	}
-	a.checkGuard(e, "recovery redo")
+	a.checkSyncPersist(e)
+	a.checkGuard(e, "recovery redo", true)
 }
 
 func (a *Auditor) onReplayMarker(e Event) {
@@ -543,19 +620,25 @@ func (a *Auditor) onUndo(e Event) {
 			"undone store addr %#x firstseq %d belongs to region %d, not the interrupted region %d",
 			e.Addr, e.Seq, s.region, open)
 	}
-	expected := a.shadow(e.Addr).seq >= e.Seq
+	sv := a.shadow(e.Addr)
+	expected := sv.seq >= e.Seq
 	applied := e.Flags.Has(FlagApplied)
 	if applied != expected {
 		a.violate(e, "undo-guard-mismatch",
 			"undo of addr %#x firstseq %d applied=%v, shadow seq %d predicts %v",
-			e.Addr, e.Seq, applied, a.shadow(e.Addr).seq, expected)
+			e.Addr, e.Seq, applied, sv.seq, expected)
+	}
+	if applied && sv.committed && sv.core != e.Core {
+		a.violate(e, "undo-clobbers-committed",
+			"undo of core %d's uncommitted store addr %#x firstseq %d destroyed core %d's committed NVM version (seq %d) — the detectability contract let a rollback-able value escape",
+			e.Core, e.Addr, e.Seq, sv.core, sv.seq)
 	}
 	if applied {
 		newSeq := uint64(0)
 		if e.Seq > 0 {
 			newSeq = e.Seq - 1
 		}
-		a.nvm[e.Addr] = seqVal{seq: newSeq, val: e.Val}
+		a.nvm[e.Addr] = seqVal{seq: newSeq, val: e.Val, core: e.Core}
 	}
 }
 
@@ -580,6 +663,7 @@ func (a *Auditor) onRecoveryDone(Event) {
 	a.order = map[int32][]uint64{}
 	// The recovered machine's proxy paths start with empty windows.
 	a.window = map[uint64]winEntry{}
+	a.pendingSync = map[int32]uint64{}
 	a.crashed = false
 	a.commitAtCrash, a.drainAtCrash, a.lastReplay = nil, nil, nil
 }

@@ -38,6 +38,32 @@ func BenchTargets(scale, threshold int) []Target {
 	return out
 }
 
+// ContentionTargets returns one target per cross-core contention workload
+// whose thread count is in cores (nil: all of them), each pinned to its own
+// geometry. These are the campaign's multi-core stress set: shared
+// fetch-and-add lines, an MPMC persistent queue, and lock-protected record
+// updates, with crash points landing inside atomic two-phase commits and
+// mid-drain.
+func ContentionTargets(scale, threshold int, cores ...int) []Target {
+	var out []Target
+	for _, b := range workload.Contention() {
+		if len(cores) > 0 {
+			keep := false
+			for _, c := range cores {
+				if b.Threads == c {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		out = append(out, Target{Bench: b.Name, Scale: scale, Threshold: threshold, Cores: b.Threads})
+	}
+	return out
+}
+
 // CampaignConfig parameterizes a fault campaign.
 type CampaignConfig struct {
 	Seed      uint64        // base seed; trial seeds derive deterministically

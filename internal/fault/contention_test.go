@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"testing"
+
+	"capri/internal/machine"
+	"capri/internal/workload"
+)
+
+// TestContentionTargets: the generator covers every contention workload,
+// pins each target to its own core geometry, and filters by core count.
+func TestContentionTargets(t *testing.T) {
+	all := ContentionTargets(1, 64)
+	if want := len(workload.Contention()); len(all) != want {
+		t.Fatalf("got %d targets, want %d", len(all), want)
+	}
+	for _, tgt := range all {
+		b, err := workload.ByName(tgt.Bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tgt.Cores != b.Threads {
+			t.Errorf("%s: target cores %d, workload threads %d", tgt.Bench, tgt.Cores, b.Threads)
+		}
+		_, cfg, err := tgt.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Cores != tgt.Cores {
+			t.Errorf("%s: built config has %d cores, target pins %d", tgt.Bench, cfg.Cores, tgt.Cores)
+		}
+	}
+	small := ContentionTargets(1, 64, 2, 4)
+	if len(small) != 6 {
+		t.Fatalf("2/4-core filter kept %d targets, want 6", len(small))
+	}
+	for _, tgt := range small {
+		if tgt.Cores != 2 && tgt.Cores != 4 {
+			t.Errorf("%s leaked through the 2/4-core filter (cores %d)", tgt.Bench, tgt.Cores)
+		}
+	}
+}
+
+// TestCampaignContentionCleanTree: the fixed-seed multi-core campaign over
+// all three contention workloads at 2, 4, and 8 cores — crash points land
+// inside atomic two-phase commits and mid-drain — passes with zero
+// unexplained auditor violations, and recovery commutes (RunPlan re-recovers
+// every crash image with the core order reversed and compares the images
+// byte-for-byte).
+func TestCampaignContentionCleanTree(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{
+		Seed: 1, Trials: 3, MaxFaults: 3,
+		Targets: ContentionTargets(1, 64),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		f := res.Failures[0]
+		t.Fatalf("clean tree failed: plan %s shrunk to %s: %s",
+			f.Plan.Summary(), f.Shrunk.Summary(), f.Err)
+	}
+	if res.Crashes == 0 || res.Faults == 0 || res.EventsAudited == 0 {
+		t.Fatalf("campaign exercised nothing: %+v", res)
+	}
+	if res.Recoveries < res.Crashes {
+		t.Fatalf("crashed %d times but only recovered %d", res.Crashes, res.Recoveries)
+	}
+}
+
+// mutationCampaignContention arms one cross-core protocol mutation and runs
+// the fixed-seed contention campaign; the mutation must be caught with a
+// minimal (<= 3 fault) reproducer that replays from its JSON alone.
+func mutationCampaignContention(t *testing.T, flag *bool) Failure {
+	t.Helper()
+	*flag = true
+	defer func() { *flag = false }()
+	res, err := RunCampaign(CampaignConfig{
+		Seed: 1, Trials: 4, MaxFaults: 3,
+		Targets: ContentionTargets(1, 64, 2, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("mutated cross-core protocol survived the contention campaign undetected")
+	}
+	f := res.Failures[0]
+	if len(f.Shrunk.Faults) > 3 {
+		t.Fatalf("shrunk plan still has %d faults (> 3): %s", len(f.Shrunk.Faults), f.Shrunk.Summary())
+	}
+	outc, err := ReplayPlan(f.Shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outc.Err == nil {
+		t.Fatalf("shrunk plan %s does not reproduce", f.Shrunk.Summary())
+	}
+	return f
+}
+
+// TestMutationSyncNoCommit: dropping the commit that seals a synchronizing
+// store's region (the dropped-fence-ordering bug) is caught — the auditor's
+// sync-unordered-commit rule fires on the core's next store.
+func TestMutationSyncNoCommit(t *testing.T) {
+	f := mutationCampaignContention(t, &machine.Mutations.SyncNoCommit)
+	t.Logf("sync-no-commit caught: %s (%s)", f.Shrunk.Summary(), f.Err)
+}
+
+// TestMutationDrainNoGuard: phase-2 drains bypassing the NVM sequence guard
+// (reordered cross-core drains) are caught — a slow core's stale drain
+// clobbers a newer committed value and the line-version-chain /
+// sync-persist-order rules fire.
+func TestMutationDrainNoGuard(t *testing.T) {
+	f := mutationCampaignContention(t, &machine.Mutations.DrainNoGuard)
+	t.Logf("drain-no-guard caught: %s (%s)", f.Shrunk.Summary(), f.Err)
+}
+
+// TestMutationReplayNoGuard: recovery redo writes bypassing the sequence
+// guard (non-commuting recovery) are caught — either the auditor flags the
+// stale replay or RunPlan's reversed-order re-recovery diverges.
+func TestMutationReplayNoGuard(t *testing.T) {
+	f := mutationCampaignContention(t, &machine.Mutations.ReplayNoGuard)
+	t.Logf("replay-no-guard caught: %s (%s)", f.Shrunk.Summary(), f.Err)
+}

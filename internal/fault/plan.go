@@ -90,6 +90,10 @@ type Target struct {
 	ProgenSeed  uint64 `json:"progen_seed,omitempty"`
 	ProgenShape int    `json:"progen_shape,omitempty"`
 	Threshold   int    `json:"threshold,omitempty"`
+	// Cores pins the machine geometry (0: the default, bumped to the
+	// program's thread count). Recorded in the plan so a multi-core
+	// campaign's plans are self-describing and replayable byte-for-byte.
+	Cores int `json:"cores,omitempty"`
 }
 
 // Name returns a stable human-readable target identity.
@@ -161,6 +165,9 @@ func (t Target) Build() (*prog.Program, machine.Config, error) {
 		cfg.L2Size = 512
 		cfg.L2Ways = 1
 		cfg.DRAMSize = 1 << 14
+	}
+	if t.Cores > 0 {
+		cfg.Cores = t.Cores
 	}
 	if n := src.NumThreads(); n > cfg.Cores {
 		cfg.Cores = n

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"sort"
 
 	"capri/internal/audit"
@@ -157,17 +158,41 @@ func RecoverInstrumented(img *CrashImage, tr Tracer, tap audit.Sink, devices ...
 // restartable from any such point, converging to the same final image as an
 // uninterrupted recovery.
 func RecoverInterrupted(img *CrashImage, tap audit.Sink, stopAfter uint64, devices ...OutputDevice) (*Machine, *RecoveryReport, *CrashImage, error) {
-	return recoverCore(img, tap, stopAfter, devices...)
+	return recoverCore(img, tap, stopAfter, nil, devices...)
+}
+
+// RecoverOrdered is RecoverInstrumented-style recovery with an explicit core
+// order for phase A's per-stream replay. order must be a permutation of the
+// core indices (nil: identity). Recovery is order-independent — the sequence
+// guard makes cross-core redo applications commute, and phase B's undo pass
+// is globally sorted — so every order must converge to the same persistent
+// image; the permutation tests pin exactly that.
+func RecoverOrdered(img *CrashImage, order []int, tap audit.Sink, devices ...OutputDevice) (*Machine, *RecoveryReport, error) {
+	if order != nil {
+		seen := make([]bool, len(img.Streams))
+		if len(order) != len(img.Streams) {
+			return nil, nil, fmt.Errorf("machine: recovery order has %d cores, image has %d", len(order), len(img.Streams))
+		}
+		for _, t := range order {
+			if t < 0 || t >= len(img.Streams) || seen[t] {
+				return nil, nil, fmt.Errorf("machine: recovery order %v is not a permutation of %d cores", order, len(img.Streams))
+			}
+			seen[t] = true
+		}
+	}
+	m, rep, _, err := recoverCore(img, tap, 0, order, devices...)
+	return m, rep, err
 }
 
 func recoverWithTap(img *CrashImage, tap audit.Sink, devices ...OutputDevice) (*Machine, *RecoveryReport, error) {
-	m, rep, _, err := recoverCore(img, tap, 0, devices...)
+	m, rep, _, err := recoverCore(img, tap, 0, nil, devices...)
 	return m, rep, err
 }
 
 // recoverCore is the one implementation of the recovery protocol. stopAfter
-// is the nested-crash fault injection point (0: run to completion).
-func recoverCore(img *CrashImage, tap audit.Sink, stopAfter uint64, devices ...OutputDevice) (*Machine, *RecoveryReport, *CrashImage, error) {
+// is the nested-crash fault injection point (0: run to completion); order is
+// phase A's stream replay order (nil: core index order).
+func recoverCore(img *CrashImage, tap audit.Sink, stopAfter uint64, order []int, devices ...OutputDevice) (*Machine, *RecoveryReport, *CrashImage, error) {
 	m, err := New(img.Prog, img.Cfg)
 	if err != nil {
 		return nil, nil, nil, err
@@ -195,7 +220,15 @@ func recoverCore(img *CrashImage, tap audit.Sink, stopAfter uint64, devices ...O
 		core int
 	}
 	var uncommitted []undoEntry
-	for t, stream := range img.Streams {
+	streamOrder := order
+	if streamOrder == nil {
+		streamOrder = make([]int, len(img.Streams))
+		for t := range streamOrder {
+			streamOrder[t] = t
+		}
+	}
+	for _, t := range streamOrder {
+		stream := img.Streams[t]
 		var pending []proxy.Entry
 		for i := range stream {
 			e := &stream[i]
@@ -208,7 +241,15 @@ func recoverCore(img *CrashImage, tap audit.Sink, stopAfter uint64, devices ...O
 			for _, d := range pending {
 				if d.Valid {
 					rep.EntriesRedone++
-					applied := m.nvm.Write(d.Addr, d.Redo, d.Seq)
+					var applied bool
+					if Mutations.ReplayNoGuard {
+						// MUTATION: the redo bypasses the sequence guard, so
+						// replay order across cores becomes visible in NVM.
+						m.nvm.Restore(d.Addr, d.Redo, d.Seq)
+						applied = true
+					} else {
+						applied = m.nvm.Write(d.Addr, d.Redo, d.Seq)
+					}
 					if m.tap != nil {
 						ev := audit.Event{
 							Kind: audit.EvRecoveryRedoWrite, Core: int32(t),

@@ -5,6 +5,7 @@ import (
 	"capri/internal/isa"
 	"capri/internal/mem"
 	"capri/internal/prog"
+	"capri/internal/proxy"
 )
 
 // Fixed per-opcode issue costs in cycles (beyond memory stalls).
@@ -371,6 +372,29 @@ func (m *Machine) doSyncStore(c *core, in *isa.Inst, addr, newVal uint64, rd isa
 	if d, ok := in.Def(); ok {
 		c.regs[d] = old
 		c.front.StageCkpt(d, old)
+	}
+	// Stage the detectability descriptor: it travels with the boundary entry
+	// and lands in the core's recovery record when the boundary drains, so a
+	// recovered image always proves the sync either complete (descriptor
+	// present, write persisted at Seq) or absent (neither survives).
+	c.front.StageSync(proxy.SyncRec{
+		Op: uint8(in.Op), Addr: addr, Old: old, New: newVal, Seq: m.seq,
+	})
+	if m.tap != nil {
+		// The sync's persist-order event, emitted before its commit marker:
+		// the cross-core audit rules require the very next commit on this
+		// core to seal this region (audit package, sync-unordered-commit).
+		m.tap.Tap(audit.Event{
+			Kind: audit.EvSync, Core: int32(c.id), Cycle: c.cycle,
+			Addr: addr, Seq: m.seq, Region: c.regionSeq + 1, Val: newVal, Val2: old,
+		})
+	}
+	if Mutations.SyncNoCommit {
+		// Seeded protocol corruption (fault_test mutation campaigns): the sync
+		// write stays in the open region instead of committing atomically with
+		// its own marker — the dropped-fence-ordering bug the auditor's
+		// sync-unordered-commit rule must catch.
+		return true
 	}
 	// Atomic commit: the marker follows the data entry indivisibly; resume
 	// point is the instruction after the sync.

@@ -181,6 +181,19 @@ var Mutations struct {
 	// so a torn writeback can destroy committed data recovery cannot
 	// rebuild.
 	DropTornPrefix bool
+	// SyncNoCommit drops the commit that a synchronizing store (atomic,
+	// lock, unlock) must seal its region with: the sync op's write stays in
+	// an open region, so a crash can roll it back after another core
+	// observed it — the cross-core detectability contract is gone.
+	SyncNoCommit bool
+	// DrainNoGuard makes phase-2 drain writes bypass the NVM sequence
+	// guard: a slow core's stale drain can clobber a newer committed value,
+	// breaking the per-line version chain across cores.
+	DrainNoGuard bool
+	// ReplayNoGuard makes recovery's phase A redo writes bypass the NVM
+	// sequence guard, so replaying crash streams in a different core order
+	// yields different NVM images — recovery no longer commutes.
+	ReplayNoGuard bool
 }
 
 // DrainExhaustedError is the structured report of a drain whose transient

@@ -40,6 +40,13 @@ type CoreRecord struct {
 	Idx    int32
 	Region uint64
 	Halted bool
+	// Sync is the detectability descriptor of the most recently committed
+	// synchronization operation (zero Op: none yet). Because a sync op
+	// commits atomically with its own region, a recovered record either
+	// carries the descriptor with its write persisted at Sync.Seq, or
+	// predates the sync entirely — never an in-between (the complete-or-
+	// absent contract of Ben-David et al.; see VerifyDetectable).
+	Sync proxy.SyncRec
 }
 
 // core is one hardware thread plus its private persistence plumbing.
@@ -387,6 +394,32 @@ func (m *Machine) Output(t int) []uint64 {
 
 // MemSnapshot returns the architectural memory image (golden comparisons).
 func (m *Machine) MemSnapshot() map[uint64]uint64 { return m.mem.Snapshot() }
+
+// Records returns a copy of the NVM-resident per-core recovery records.
+func (m *Machine) Records() []CoreRecord {
+	return append([]CoreRecord(nil), m.records...)
+}
+
+// NVMWord returns the persisted word (value and version) at addr.
+func (m *Machine) NVMWord(addr uint64) mem.Word { return m.nvm.Peek(addr) }
+
+// VerifyDetectable checks the detectability contract on the machine's
+// recovery records: every record carrying a sync descriptor must have the
+// descriptor's write persisted in NVM at a version at least Sync.Seq — the
+// "complete" half of complete-or-absent. (The "absent" half needs no check:
+// a descriptor that did not survive constrains nothing.) It returns the
+// first violated record's core index, or -1.
+func (m *Machine) VerifyDetectable() int {
+	for i, rec := range m.records {
+		if rec.Sync.Op == 0 {
+			continue
+		}
+		if m.nvm.Peek(rec.Sync.Addr).Seq < rec.Sync.Seq {
+			return i
+		}
+	}
+	return -1
+}
 
 // NVMSnapshot returns the persisted NVM image.
 func (m *Machine) NVMSnapshot() map[uint64]uint64 { return m.nvm.Snapshot() }

@@ -384,7 +384,15 @@ func (m *Machine) applyPhase2(c *core, region proxy.CommittedRegion) {
 			c.back.SkippedInvalid++
 			continue
 		}
-		applied := m.nvm.Write(e.Addr, e.Redo, e.Seq)
+		var applied bool
+		if Mutations.DrainNoGuard {
+			// Mutation: bypass the sequence guard, letting a slow core's
+			// stale drain clobber a newer committed value.
+			m.nvm.Restore(e.Addr, e.Redo, e.Seq)
+			applied = true
+		} else {
+			applied = m.nvm.Write(e.Addr, e.Redo, e.Seq)
+		}
 		m.nvm.Writes++
 		if m.flt != nil {
 			// Applied or elided, this drain write orders any journaled earlier
@@ -430,6 +438,12 @@ func (m *Machine) applyMarker(t int, e *proxy.Entry) {
 	rec.Regs[isa.SP] = e.SP
 	rec.Fn, rec.Blk, rec.Idx = e.PCFunc, e.PCBlk, e.PCIdx
 	rec.Region = e.Region
+	if e.Sync.Op != 0 {
+		// The boundary sealed a synchronizing store: its operation descriptor
+		// becomes part of the durable recovery record (detectability — the op
+		// is now provably complete; before this fold it was provably absent).
+		rec.Sync = e.Sync
+	}
 	if e.Halt {
 		rec.Halted = true
 	}

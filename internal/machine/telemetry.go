@@ -41,6 +41,10 @@ type telePub struct {
 	path    uint64
 	drain   uint64
 	wpq     uint64
+	// drainCore is the per-core drain-queue delta base; cores at or
+	// beyond the gauge bound fold into the last slot, mirroring the
+	// snapshot's layout.
+	drainCore [telemetry.MaxCoreGauges]uint64
 }
 
 // telemetryEnter marks the machine live on the armed snapshot. The delta
@@ -50,6 +54,7 @@ type telePub struct {
 func (m *Machine) telemetryEnter(t *telemetry.MachineTelemetry) {
 	m.tele = t
 	t.Active.Add(1)
+	t.NoteCores(len(m.cores))
 }
 
 // telemetryExit publishes the machine's final counter state, retires its
@@ -93,15 +98,21 @@ func (m *Machine) publishTelemetry(final bool) {
 	pubCounter(&t.QuantumGrants, m.qGrants, &p.qGrants)
 	pubCounter(&t.QuantumAborts, m.qAborts, &p.qAborts)
 	var front, back, path, drain, wpq uint64
+	var drainCore [telemetry.MaxCoreGauges]uint64
 	if !final {
-		for _, c := range m.cores {
+		for i, c := range m.cores {
 			if c.front == nil {
 				continue
 			}
 			front += uint64(c.front.Len())
 			back += uint64(c.back.Len())
 			path += uint64(c.path.InFlight())
-			drain += uint64(len(c.drainDone))
+			d := uint64(len(c.drainDone))
+			drain += d
+			if i >= telemetry.MaxCoreGauges {
+				i = telemetry.MaxCoreGauges - 1
+			}
+			drainCore[i] += d
 		}
 		wpq = m.nvm.PendingLineWrites(cycles, m.cfg.NVMWrite)
 	}
@@ -110,4 +121,7 @@ func (m *Machine) publishTelemetry(final bool) {
 	pubGauge(&t.PathInFlight, path, &p.path)
 	pubGauge(&t.DrainQueue, drain, &p.drain)
 	pubGauge(&t.WPQDepth, wpq, &p.wpq)
+	for i := range drainCore {
+		pubGauge(&t.DrainQueueCore[i], drainCore[i], &p.drainCore[i])
+	}
 }

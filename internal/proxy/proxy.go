@@ -65,12 +65,33 @@ type Entry struct {
 	Ckpts  []RegCkpt
 	Emits  []uint64 // program output staged during the committed region
 	Halt   bool     // final marker of a halted thread
+	// Sync is the synchronization-operation descriptor of the region this
+	// boundary commits (zero Op: none). It persists into the core's recovery
+	// record when the boundary completes phase 2.
+	Sync SyncRec
 }
 
 // RegCkpt is one staged register checkpoint travelling with a boundary entry.
 type RegCkpt struct {
 	Reg isa.Reg
 	Val uint64
+}
+
+// SyncRec is the per-core synchronization-operation descriptor travelling
+// with a boundary entry (detectable recovery semantics, after Ben-David et
+// al.'s detectability contract): the opcode, address, old and new memory
+// values, and the store sequence number of the synchronization operation
+// that committed the region. Because a sync op commits atomically with its
+// own region, the descriptor's post-crash state is provably complete-or-
+// absent: either the boundary drained and the recovery record holds the
+// descriptor with its write persisted at Seq, or neither survives. Op zero
+// means "no descriptor".
+type SyncRec struct {
+	Op   uint8
+	Addr uint64
+	Old  uint64
+	New  uint64
+	Seq  uint64
 }
 
 // FrontEnd is the front-end proxy buffer. Capacity is in entries (Table 1:
@@ -91,6 +112,12 @@ type FrontEnd struct {
 
 	// Register-file checkpoint staging for the current (uncommitted) region.
 	staged []RegCkpt
+
+	// stagedSync is the synchronization descriptor staged for the current
+	// region (zero Op: none). Like staged register checkpoints, it lives in
+	// the dedicated storage beside the front-end and travels with the
+	// boundary entry.
+	stagedSync SyncRec
 
 	// Bounded freelists for boundary-entry slice backings. AddBoundary is the
 	// simulator's hottest allocation site (one Ckpts and/or Emits slice per
@@ -189,6 +216,12 @@ func (f *FrontEnd) StageCkpt(r isa.Reg, val uint64) {
 // StagedLen returns the number of staged register checkpoints.
 func (f *FrontEnd) StagedLen() int { return len(f.staged) }
 
+// StageSync records the synchronization-operation descriptor of the current
+// region. A region holds at most one sync op (every sync op is a mandatory
+// region boundary), so a second stage before the boundary is a protocol
+// error the machine never commits.
+func (f *FrontEnd) StageSync(s SyncRec) { f.stagedSync = s }
+
 // AddBoundary commits the current region: it appends a boundary entry
 // carrying the staged register checkpoints, the staged output emits, and the
 // next region's PC/SP. Store-free regions with no staged checkpoints and no
@@ -198,7 +231,7 @@ func (f *FrontEnd) StagedLen() int { return len(f.staged) }
 //
 // hadStores reports whether the region allocated any data entries.
 func (f *FrontEnd) AddBoundary(region uint64, pcFunc, pcBlk, pcIdx int32, sp uint64, emits []uint64, hadStores, force, halt bool) (ok, elided bool) {
-	if !hadStores && len(f.staged) == 0 && len(emits) == 0 && !force && !f.NoElide {
+	if !hadStores && len(f.staged) == 0 && len(emits) == 0 && f.stagedSync.Op == 0 && !force && !f.NoElide {
 		f.ElidedBds++
 		return true, true
 	}
@@ -209,7 +242,9 @@ func (f *FrontEnd) AddBoundary(region uint64, pcFunc, pcBlk, pcIdx int32, sp uin
 	e := Entry{
 		Kind: KindBoundary, Region: region,
 		PCFunc: pcFunc, PCBlk: pcBlk, PCIdx: pcIdx, SP: sp, Halt: halt,
+		Sync: f.stagedSync,
 	}
+	f.stagedSync = SyncRec{}
 	if len(emits) > 0 {
 		if n := len(f.emitPool); n > 0 {
 			e.Emits = append(f.emitPool[n-1][:0], emits...)
@@ -250,7 +285,10 @@ func (f *FrontEnd) Recycle(ckpts []RegCkpt, emits []uint64) {
 // region commits — the staging storage is logically part of the uncommitted
 // region). The staged values are non-volatile but recovery ignores them, so
 // the machine clears them when rebuilding.
-func (f *FrontEnd) DiscardStaged() { f.staged = f.staged[:0] }
+func (f *FrontEnd) DiscardStaged() {
+	f.staged = f.staged[:0]
+	f.stagedSync = SyncRec{}
+}
 
 // Peek returns the oldest buffered entry without removing it. The pointer is
 // valid until the next mutation; callers must not retain it. Peeking an empty

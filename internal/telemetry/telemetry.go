@@ -16,6 +16,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -126,11 +127,48 @@ type MachineTelemetry struct {
 	PathInFlight atomic.Uint64
 	DrainQueue   atomic.Uint64
 	WPQDepth     atomic.Uint64
+	// DrainQueueCore breaks DrainQueue down by core index, so cross-core
+	// drain skew (one core's phase-2 bank backed up while its peers idle)
+	// is visible live. Cores at or beyond MaxCoreGauges fold into the last
+	// slot. DrainCores is the high-water mark of core counts seen on any
+	// armed machine; Collect exposes exactly that many per-core families,
+	// so single-core runs add no extra scrape noise.
+	DrainQueueCore [MaxCoreGauges]atomic.Uint64
+	DrainCores     atomic.Int64
+}
+
+// MaxCoreGauges bounds the per-core gauge families a snapshot exposes.
+// Machines with more cores fold the excess into the last gauge.
+const MaxCoreGauges = 16
+
+// drainCoreNames are the per-core family names, precomputed so Collect
+// stays allocation-free apart from the dst append. Zero-padded so the
+// sorted exposition lists cores in numeric order.
+var drainCoreNames = func() [MaxCoreGauges]string {
+	var n [MaxCoreGauges]string
+	for i := range n {
+		n[i] = fmt.Sprintf("capri_machine_drain_queue_core%02d", i)
+	}
+	return n
+}()
+
+// NoteCores raises the per-core gauge high-water mark to n (clamped to
+// MaxCoreGauges). Machines call it once at run entry when armed.
+func (t *MachineTelemetry) NoteCores(n int) {
+	if n > MaxCoreGauges {
+		n = MaxCoreGauges
+	}
+	for {
+		cur := t.DrainCores.Load()
+		if int64(n) <= cur || t.DrainCores.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
 }
 
 // Collect implements Source.
 func (t *MachineTelemetry) Collect(dst []Metric) []Metric {
-	return append(dst,
+	dst = append(dst,
 		Metric{"capri_machine_active", "Machines currently inside Run.", Gauge, float64(t.Active.Load())},
 		Metric{"capri_machine_runs", "Completed machine runs.", Counter, float64(t.Runs.Load())},
 		Metric{"capri_machine_cycles", "Simulated cycles across all runs.", Counter, float64(t.Cycles.Load())},
@@ -143,6 +181,16 @@ func (t *MachineTelemetry) Collect(dst []Metric) []Metric {
 		Metric{"capri_machine_drain_queue", "Drain-ready queue entries, summed over running machines.", Gauge, float64(t.DrainQueue.Load())},
 		Metric{"capri_machine_wpq_depth", "NVM write-pending-queue depth, summed over running machines.", Gauge, float64(t.WPQDepth.Load())},
 	)
+	n := int(t.DrainCores.Load())
+	if n > MaxCoreGauges {
+		n = MaxCoreGauges
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, Metric{drainCoreNames[i],
+			"Drain-ready queue entries on this core, summed over running machines.",
+			Gauge, float64(t.DrainQueueCore[i].Load())})
+	}
+	return dst
 }
 
 // SweepTelemetry is the sweep orchestrator's snapshot struct: unit

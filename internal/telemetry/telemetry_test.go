@@ -35,7 +35,7 @@ func TestWriteOpenMetrics(t *testing.T) {
 		"# HELP capri_runs Completed runs.\n",
 		"capri_runs_total 3\n", // counters carry the _total sample suffix
 		"# TYPE capri_occ gauge\n",
-		"capri_occ 7.5\n",                      // gauges do not
+		"capri_occ 7.5\n",                     // gauges do not
 		"# HELP capri_occ Live \\\\ multi\\n", // help text escaped per OpenMetrics
 	} {
 		if !strings.Contains(got, want) {
@@ -103,5 +103,40 @@ func TestStartDisabledReturnsNilBus(t *testing.T) {
 	}
 	if ArmedMachine() != nil {
 		t.Error("disabled Start armed machine telemetry")
+	}
+}
+
+func TestPerCoreDrainGauges(t *testing.T) {
+	// A fresh snapshot exposes no per-core families: single-core and idle
+	// processes pay no scrape noise for the multi-core breakdown.
+	mt := &MachineTelemetry{}
+	base := len(mt.Collect(nil))
+	mt.NoteCores(4)
+	ms := mt.Collect(nil)
+	if len(ms) != base+4 {
+		t.Fatalf("4-core snapshot exposes %d families, want %d", len(ms), base+4)
+	}
+	mt.DrainQueueCore[2].Add(7)
+	found := false
+	for _, m := range mt.Collect(nil) {
+		if m.Name == "capri_machine_drain_queue_core02" {
+			found = true
+			if m.Kind != Gauge || m.Value != 7 {
+				t.Errorf("core02 gauge = %+v, want gauge 7", m)
+			}
+		}
+	}
+	if !found {
+		t.Error("capri_machine_drain_queue_core02 missing from exposition")
+	}
+	// The high-water mark is monotone and clamped: a later 2-core machine
+	// must not hide the 4-core families, and absurd counts fold.
+	mt.NoteCores(2)
+	if n := len(mt.Collect(nil)); n != base+4 {
+		t.Errorf("high-water regressed: %d families, want %d", n, base+4)
+	}
+	mt.NoteCores(1 << 20)
+	if n := len(mt.Collect(nil)); n != base+MaxCoreGauges {
+		t.Errorf("unclamped core count: %d families, want %d", n, base+MaxCoreGauges)
 	}
 }

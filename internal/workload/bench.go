@@ -29,6 +29,13 @@ type Benchmark struct {
 	// Build constructs the program at the given scale (1 = default figure
 	// scale; tests use smaller).
 	Build func(scale int) *prog.Program
+	// Check, when non-nil, validates a final memory image against the
+	// workload's own conservation invariants. Contention workloads set it:
+	// their per-thread outputs are interleaving-dependent (a fetch-and-add's
+	// old value depends on who got there first), so crash/recovery runs
+	// cannot be compared output-for-output against a golden run — the
+	// invariants hold under every legal interleaving instead.
+	Check func(scale int, snap map[uint64]uint64) error
 }
 
 var registry []Benchmark

@@ -1,0 +1,443 @@
+package workload
+
+import (
+	"fmt"
+
+	"capri/internal/isa"
+	"capri/internal/machine"
+	"capri/internal/prog"
+)
+
+// Contention workloads: multi-threaded kernels that deliberately collide on
+// shared persistent state, so fences and atomics form *cross-core* region
+// boundaries (the paper's §4.1 multi-core correctness lever, ROADMAP item 3).
+// Three families, each at 2/4/8-core geometries with a contention-skew knob:
+//
+//   - mt-counter-cN: a fetch-and-add counter array packed into a single 64-byte
+//     NVM line (atomic-vs-atomic persist order on one line), plus a private
+//     store journal fenced every few iterations (fence-vs-remote-store order).
+//   - mt-queue-cN: an MPMC persistent queue. Producers claim ring slots with a
+//     ticket fetch-and-add, write the payload with a plain store, and publish
+//     with an atomic ready increment — the recoverable publication idiom: the
+//     payload commits atomically with its ready flag, so a consumer can never
+//     observe (and persist) a value whose producing region could still be
+//     rolled back. Consumers claim slots with a head-ticket fetch-and-add and
+//     spin on the committed ready word.
+//   - mt-lockrec-cN: lock-protected multi-word record updates maintaining the
+//     invariant f3 == f1 + f2. The three stores sit between Lock and Unlock,
+//     so the unlock commits them atomically — recovery can never expose a
+//     half-updated record.
+//
+// All shared communication goes through sync operations (atomics, locks),
+// which the machine commits atomically with their own region (see
+// exec.go doSyncStore): a cross-core reader only ever observes committed —
+// hence durable — values, the detectability contract of Ben-David et al.
+
+// SuiteContention labels the cross-core contention workloads. They are
+// registered separately from the 21 paper stand-ins so the figure tables
+// remain exactly the paper's benchmark set.
+const SuiteContention Suite = "contention"
+
+var contention []Benchmark
+
+func registerContention(b Benchmark) { contention = append(contention, b) }
+
+// Contention returns the cross-core contention workload set.
+func Contention() []Benchmark {
+	out := make([]Benchmark, len(contention))
+	copy(out, contention)
+	return out
+}
+
+// contentionSpec shapes one contention workload instance.
+type contentionSpec struct {
+	// cores is the number of contending hardware threads.
+	cores int
+	// skew is the number of AND-folds applied to the hashed slot index:
+	// each fold ANDs in another uniform bit extract, biasing the choice
+	// toward low-numbered slots (skew 0 is uniform; higher is hotter).
+	skew int
+}
+
+// contentionGeometries are the benchmark geometries the families register:
+// core count plus a skew that grows with the geometry, so wider machines
+// also contend harder per slot.
+var contentionGeometries = []contentionSpec{
+	{cores: 2, skew: 0},
+	{cores: 4, skew: 1},
+	{cores: 8, skew: 2},
+}
+
+// Shared memory layout (per program; programs never coexist):
+//
+//	heapAt(39)   start/phase barrier [count, generation]
+//	heapAt(40)   family-specific shared state (counter line / tickets / records)
+//	heapAt(41)   family-specific shared state (total / ring base)
+//	heapAt(42)   global result accumulator
+//	heapAt(43+t) per-thread private journal partitions
+const (
+	ctnBarrierMB = 39
+	ctnSharedMB  = 40
+	ctnShared2MB = 41
+	ctnTotalMB   = 42
+	ctnPrivMB    = 43
+)
+
+// Per-thread operation counts at scale 1 (the invariants below conserve
+// them across every legal interleaving).
+const (
+	ctnCounterIters = 192
+	ctnQueueItems   = 48
+	ctnLockIters    = 128
+)
+
+func init() {
+	for _, g := range contentionGeometries {
+		g := g
+		registerContention(Benchmark{
+			Name: ctnName("mt-counter", g.cores), Suite: SuiteContention, Threads: g.cores,
+			Build: func(scale int) *prog.Program { return buildMTCounter(g, scale) },
+			Check: checkMTCounter(g.cores),
+		})
+		registerContention(Benchmark{
+			Name: ctnName("mt-queue", g.cores), Suite: SuiteContention, Threads: g.cores,
+			Build: func(scale int) *prog.Program { return buildMTQueue(g, scale) },
+			Check: checkMTQueue(g.cores),
+		})
+		registerContention(Benchmark{
+			Name: ctnName("mt-lockrec", g.cores), Suite: SuiteContention, Threads: g.cores,
+			Build: func(scale int) *prog.Program { return buildMTLockRec(g, scale) },
+			Check: checkMTLockRec(g.cores),
+		})
+	}
+}
+
+// checkMTCounter: the eight slots of the shared counter line must sum to the
+// total number of fetch-and-adds issued, whichever slots the skewed hash hit.
+func checkMTCounter(cores int) func(int, map[uint64]uint64) error {
+	return func(scale int, snap map[uint64]uint64) error {
+		var sum uint64
+		for s := uint64(0); s < 8; s++ {
+			sum += snap[heapAt(ctnSharedMB)+8*s]
+		}
+		if want := uint64(cores) * ctnCounterIters * uint64(scale); sum != want {
+			return fmt.Errorf("counter line sums to %d, want %d", sum, want)
+		}
+		return nil
+	}
+}
+
+// checkMTQueue: both tickets reach exactly the item count (everything
+// enqueued was dequeued), and the consumed total equals the sum published
+// into the ring — whoever produced or consumed each slot.
+func checkMTQueue(cores int) func(int, map[uint64]uint64) error {
+	return func(scale int, snap map[uint64]uint64) error {
+		items := uint64(cores) * ctnQueueItems * uint64(scale)
+		if got := snap[heapAt(ctnSharedMB)]; got != items {
+			return fmt.Errorf("tail ticket = %d, want %d", got, items)
+		}
+		if got := snap[heapAt(ctnSharedMB)+8]; got != items {
+			return fmt.Errorf("head ticket = %d, want %d", got, items)
+		}
+		var published uint64
+		for s := uint64(0); s < items; s++ {
+			published += snap[heapAt(ctnShared2MB)+16*s]
+		}
+		if got := snap[heapAt(ctnTotalMB)]; got != published {
+			return fmt.Errorf("consumed total %d, published total %d", got, published)
+		}
+		return nil
+	}
+}
+
+// checkMTLockRec: every record satisfies f3 == f1 + f2 (no half-updated
+// record ever became durable) and the f1 fields count every lock-protected
+// update exactly once.
+func checkMTLockRec(cores int) func(int, map[uint64]uint64) error {
+	return func(scale int, snap map[uint64]uint64) error {
+		var updates uint64
+		for rec := uint64(0); rec < 4; rec++ {
+			base := heapAt(ctnSharedMB) + 64*rec
+			f1, f2, f3 := snap[base+8], snap[base+16], snap[base+24]
+			if f1+f2 != f3 {
+				return fmt.Errorf("record %d broken: f1=%d f2=%d f3=%d", rec, f1, f2, f3)
+			}
+			updates += f1
+		}
+		if want := uint64(cores) * ctnLockIters * uint64(scale); updates != want {
+			return fmt.Errorf("%d updates recorded, want %d", updates, want)
+		}
+		return nil
+	}
+}
+
+func ctnName(family string, cores int) string {
+	return fmt.Sprintf("%s-c%d", family, cores)
+}
+
+// emitSkewedIndex computes a contention-skewed index in [0, 2^bits) into rd
+// from the induction variable rI and a per-thread constant: a multiplicative
+// hash extract, AND-folded skew times with further extracts. Branch-free, so
+// every thread's region shape is identical regardless of the slot it hits.
+// Clobbers rd and rScr+0.
+func emitSkewedIndex(f *prog.FuncBuilder, rd isa.Reg, thread, skew, bits int) {
+	f.MulI(rd, rI, 2654435761)
+	f.AddI(rd, rd, int64(thread)*7919+17)
+	mask := int64(1)<<bits - 1
+	f.OpI(isa.OpShrI, rScr+0, rd, 8)
+	f.AndI(rScr+0, rScr+0, mask)
+	for k := 0; k < skew; k++ {
+		f.OpI(isa.OpShrI, rd, rd, int64(16+8*k))
+		f.AndI(rd, rd, mask)
+		f.Op3(isa.OpAnd, rScr+0, rScr+0, rd)
+	}
+	f.Mov(rd, rScr+0)
+}
+
+// buildMTCounter: every thread hammers a fetch-and-add counter array whose
+// eight slots share one 64-byte line, journals the observed old values into a
+// private partition, and fences every fourth iteration — so atomic persist
+// order on the hot line and fence-vs-remote-store order are both exercised
+// continuously across cores.
+func buildMTCounter(g contentionSpec, scale int) *prog.Program {
+	bd := prog.NewBuilder(ctnName("mt-counter", g.cores))
+	iters := int64(scale) * ctnCounterIters
+	var workers []*prog.FuncBuilder
+	for t := 0; t < g.cores; t++ {
+		f := bd.Func("counter-worker")
+		f.Block()
+		f.MovI(isa.SP, int64(machine.StackBase(t)))
+		f.MovI(rAcc, 0)
+		emitBarrier(f, heapAt(ctnBarrierMB), int64(g.cores))
+
+		f.MovI(rI, 0)
+		f.MovI(rN, iters)
+		f.MovI(rBase, int64(heapAt(ctnSharedMB))) // 8 counters, one 64B line
+		f.MovI(rPtr, int64(heapAt(ctnPrivMB+t)))  // private journal
+		f.MovI(rVal, 1)                           // FAA increment
+		f.MovI(rMask, 255)                        // journal wraps over 256 words
+		f.MovI(rScr+5, 0)                         // zero for branch compares
+
+		pre := f.Cur()
+		header := f.Block()
+		body := f.Block()
+		fence := f.Block()
+		latch := f.Block()
+		exit := f.Block()
+		f.SetBlock(pre)
+		f.Br(header)
+
+		f.SetBlock(header)
+		f.BrIf(rI, isa.CondGE, rN, exit, body)
+
+		f.SetBlock(body)
+		emitSkewedIndex(f, rTmp2, t, g.skew, 3) // slot in [0,8)
+		f.OpI(isa.OpShlI, rTmp2, rTmp2, 3)
+		f.Add(rTmp2, rTmp2, rBase)
+		f.AtomicAdd(rTmp, rTmp2, 0, rVal) // old value -> rTmp
+		f.Add(rAcc, rAcc, rTmp)
+		// Journal the observation into the private partition.
+		f.Op3(isa.OpAnd, rScr+1, rI, rMask)
+		f.OpI(isa.OpShlI, rScr+1, rScr+1, 3)
+		f.Add(rScr+1, rScr+1, rPtr)
+		f.Store(rScr+1, 0, rTmp)
+		// Fence every fourth iteration: the journal stores must be durable
+		// before the next atomic's region can commit past them.
+		f.AndI(rScr+1, rI, 3)
+		f.BrIf(rScr+1, isa.CondEQ, rScr+5, fence, latch)
+
+		f.SetBlock(fence)
+		f.Fence()
+		f.Br(latch)
+
+		f.SetBlock(latch)
+		f.AddI(rI, rI, 1)
+		f.Br(header)
+
+		f.SetBlock(exit)
+		f.MovI(rTmp2, int64(heapAt(ctnTotalMB)))
+		f.AtomicAdd(rTmp, rTmp2, 0, rAcc)
+		f.Emit(rAcc)
+		f.Halt()
+		workers = append(workers, f)
+	}
+	bd.SetThreadEntries(workers...)
+	return bd.Program()
+}
+
+// buildMTQueue: a multi-producer multi-consumer persistent queue. Every
+// thread enqueues its items (ticket FAA on the tail, plain payload store,
+// atomic ready publication), crosses the phase barrier, then dequeues the
+// same number of items (ticket FAA on the head, spin on the committed ready
+// word, payload load). The ring never wraps: capacity equals the total item
+// count, so a slot is written exactly once and the recovery argument stays
+// local to one slot.
+func buildMTQueue(g contentionSpec, scale int) *prog.Program {
+	bd := prog.NewBuilder(ctnName("mt-queue", g.cores))
+	items := int64(scale) * ctnQueueItems
+	var workers []*prog.FuncBuilder
+	for t := 0; t < g.cores; t++ {
+		f := bd.Func("queue-worker")
+		f.Block()
+		f.MovI(isa.SP, int64(machine.StackBase(t)))
+		f.MovI(rAcc, 0)
+		emitBarrier(f, heapAt(ctnBarrierMB), int64(g.cores))
+
+		f.MovI(rI, 0)
+		f.MovI(rN, items)
+		f.MovI(rBase, int64(heapAt(ctnSharedMB))) // tickets: [tail, head]
+		f.MovI(rPtr, int64(heapAt(ctnShared2MB))) // ring of 16B slots [val, ready]
+		f.MovI(rVal, 1)
+		f.MovI(rScr+5, 0)
+
+		pre := f.Cur()
+		eHdr := f.Block()
+		eBody := f.Block()
+		eLatch := f.Block()
+		mid := f.Block()
+		dHdr := f.Block()
+		dBody := f.Block()
+		spin := f.Block()
+		spinChk := f.Block()
+		take := f.Block()
+		dLatch := f.Block()
+		exit := f.Block()
+		f.SetBlock(pre)
+		f.Br(eHdr)
+
+		// Enqueue phase.
+		f.SetBlock(eHdr)
+		f.BrIf(rI, isa.CondGE, rN, mid, eBody)
+
+		f.SetBlock(eBody)
+		f.AtomicAdd(rTmp, rBase, 0, rVal) // claim slot = old tail
+		f.OpI(isa.OpShlI, rTmp2, rTmp, 4)
+		f.Add(rTmp2, rTmp2, rPtr) // slot address
+		f.MulI(rScr+1, rTmp, 7)
+		f.AddI(rScr+1, rScr+1, 13)
+		f.Store(rTmp2, 0, rScr+1)           // payload (plain store, region open)
+		f.AtomicAdd(rScr+2, rTmp2, 8, rVal) // publish: commits payload + flag
+		f.Br(eLatch)
+
+		f.SetBlock(eLatch)
+		f.AddI(rI, rI, 1)
+		f.Br(eHdr)
+
+		// Phase barrier: all slots published before any consumer runs.
+		f.SetBlock(mid)
+		emitBarrier(f, heapAt(ctnBarrierMB), int64(g.cores))
+		f.MovI(rI, 0)
+		f.Br(dHdr)
+
+		// Dequeue phase.
+		f.SetBlock(dHdr)
+		f.BrIf(rI, isa.CondGE, rN, exit, dBody)
+
+		f.SetBlock(dBody)
+		f.AtomicAdd(rTmp, rBase, 8, rVal) // claim slot = old head
+		f.OpI(isa.OpShlI, rTmp2, rTmp, 4)
+		f.Add(rTmp2, rTmp2, rPtr)
+		f.Br(spin)
+
+		f.SetBlock(spin)
+		f.Load(rScr+1, rTmp2, 8) // ready flag (atomically published)
+		f.BrIf(rScr+1, isa.CondEQ, rScr+5, spinChk, take)
+		f.SetBlock(spinChk)
+		f.Br(spin)
+
+		f.SetBlock(take)
+		f.Load(rScr+1, rTmp2, 0)
+		f.Add(rAcc, rAcc, rScr+1)
+		f.Br(dLatch)
+
+		f.SetBlock(dLatch)
+		f.AddI(rI, rI, 1)
+		f.Br(dHdr)
+
+		f.SetBlock(exit)
+		f.MovI(rTmp2, int64(heapAt(ctnTotalMB)))
+		f.AtomicAdd(rTmp, rTmp2, 0, rAcc)
+		f.Emit(rAcc)
+		f.Halt()
+		workers = append(workers, f)
+	}
+	bd.SetThreadEntries(workers...)
+	return bd.Program()
+}
+
+// buildMTLockRec: lock-protected multi-word record updates. Each thread picks
+// a (skewed) record, takes its lock, bumps f1 and f2, rewrites f3 = f1 + f2,
+// and releases — the release commits the three stores atomically, so the
+// invariant holds at every region boundary and therefore in every recovered
+// image. A fenced private journal rides along every fourth iteration.
+func buildMTLockRec(g contentionSpec, scale int) *prog.Program {
+	bd := prog.NewBuilder(ctnName("mt-lockrec", g.cores))
+	iters := int64(scale) * ctnLockIters
+	var workers []*prog.FuncBuilder
+	for t := 0; t < g.cores; t++ {
+		f := bd.Func("lockrec-worker")
+		f.Block()
+		f.MovI(isa.SP, int64(machine.StackBase(t)))
+		f.MovI(rAcc, 0)
+		emitBarrier(f, heapAt(ctnBarrierMB), int64(g.cores))
+
+		f.MovI(rI, 0)
+		f.MovI(rN, iters)
+		f.MovI(rBase, int64(heapAt(ctnSharedMB))) // 4 records x 64B: [lock,f1,f2,f3]
+		f.MovI(rPtr, int64(heapAt(ctnPrivMB+t)))
+		f.MovI(rMask, 255)
+		f.MovI(rScr+5, 0)
+
+		pre := f.Cur()
+		header := f.Block()
+		body := f.Block()
+		fence := f.Block()
+		latch := f.Block()
+		exit := f.Block()
+		f.SetBlock(pre)
+		f.Br(header)
+
+		f.SetBlock(header)
+		f.BrIf(rI, isa.CondGE, rN, exit, body)
+
+		f.SetBlock(body)
+		emitSkewedIndex(f, rTmp2, t, g.skew, 2) // record in [0,4)
+		f.OpI(isa.OpShlI, rTmp2, rTmp2, 6)
+		f.Add(rTmp2, rTmp2, rBase)
+		f.Lock(rTmp2, 0)
+		f.Load(rTmp, rTmp2, 8)    // f1
+		f.Load(rScr+1, rTmp2, 16) // f2
+		f.AddI(rTmp, rTmp, 1)
+		f.AddI(rScr+1, rScr+1, 2)
+		f.Store(rTmp2, 8, rTmp)
+		f.Store(rTmp2, 16, rScr+1)
+		f.Add(rScr+2, rTmp, rScr+1)
+		f.Store(rTmp2, 24, rScr+2) // f3 = f1 + f2, atomically with the release
+		f.Unlock(rTmp2, 0)
+		f.Add(rAcc, rAcc, rScr+2)
+		// Fenced private journal every fourth iteration.
+		f.Op3(isa.OpAnd, rScr+1, rI, rMask)
+		f.OpI(isa.OpShlI, rScr+1, rScr+1, 3)
+		f.Add(rScr+1, rScr+1, rPtr)
+		f.Store(rScr+1, 0, rScr+2)
+		f.AndI(rScr+1, rI, 3)
+		f.BrIf(rScr+1, isa.CondEQ, rScr+5, fence, latch)
+
+		f.SetBlock(fence)
+		f.Fence()
+		f.Br(latch)
+
+		f.SetBlock(latch)
+		f.AddI(rI, rI, 1)
+		f.Br(header)
+
+		f.SetBlock(exit)
+		f.MovI(rTmp2, int64(heapAt(ctnTotalMB)))
+		f.AtomicAdd(rTmp, rTmp2, 0, rAcc)
+		f.Emit(rAcc)
+		f.Halt()
+		workers = append(workers, f)
+	}
+	bd.SetThreadEntries(workers...)
+	return bd.Program()
+}

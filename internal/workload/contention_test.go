@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"capri/internal/compile"
+	"capri/internal/machine"
+	"capri/internal/prog"
+)
+
+func TestContentionRegistry(t *testing.T) {
+	cs := Contention()
+	if len(cs) != 9 {
+		t.Fatalf("contention registry = %d benchmarks, want 9", len(cs))
+	}
+	wantCores := map[string]int{
+		"mt-counter-c2": 2, "mt-counter-c4": 4, "mt-counter-c8": 8,
+		"mt-queue-c2": 2, "mt-queue-c4": 4, "mt-queue-c8": 8,
+		"mt-lockrec-c2": 2, "mt-lockrec-c4": 4, "mt-lockrec-c8": 8,
+	}
+	for _, b := range cs {
+		if wantCores[b.Name] != b.Threads {
+			t.Errorf("%s: threads = %d, want %d", b.Name, b.Threads, wantCores[b.Name])
+		}
+		delete(wantCores, b.Name)
+	}
+	for name := range wantCores {
+		t.Errorf("missing contention benchmark %s", name)
+	}
+	// Contention workloads must not leak into the paper figure set.
+	for _, b := range All() {
+		if b.Suite == SuiteContention {
+			t.Errorf("contention %s leaked into All()", b.Name)
+		}
+	}
+	// But ByName finds them (fault plans reference them by name).
+	if _, err := ByName("mt-queue-c4"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContentionBuildAndVerify(t *testing.T) {
+	for _, b := range Contention() {
+		p := b.Build(1)
+		if err := p.Verify(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if p.NumThreads() != b.Threads {
+			t.Errorf("%s: program threads = %d, registry says %d", b.Name, p.NumThreads(), b.Threads)
+		}
+		if _, err := compile.Compile(p, compile.DefaultOptions()); err != nil {
+			t.Errorf("%s: compile: %v", b.Name, err)
+		}
+	}
+}
+
+// checkContentionInvariants asserts the workloads' own conservation laws on
+// a final memory image. Unlike the partition-parallel Splash stand-ins, the
+// contention workloads' per-thread outputs are interleaving-dependent (a
+// fetch-and-add's old value depends on who got there first), so baseline and
+// Capri runs cannot be compared output-for-output; the invariants below hold
+// under every legal interleaving.
+func checkContentionInvariants(t *testing.T, name string, scale int, snap map[uint64]uint64) {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Check == nil {
+		t.Fatalf("%s registers no invariant checker", name)
+	}
+	if err := b.Check(scale, snap); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+// TestContentionInvariants runs every contention workload on the baseline
+// machine and on the Capri-compiled machine and checks the conservation
+// invariants on both final images, plus per-machine output determinism
+// (two identical runs must produce identical output tapes).
+func TestContentionInvariants(t *testing.T) {
+	for _, b := range Contention() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			src := b.Build(1)
+			cfgB := machine.DefaultConfig()
+			cfgB.Capri = false
+			cfgB.L2Size = 512 << 10
+			cfgB.DRAMSize = 4 << 20
+			run := func(p *machine.Machine) *machine.Machine {
+				if err := p.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return p
+			}
+			newM := func(cfg machine.Config, pg *prog.Program) *machine.Machine {
+				m, err := machine.New(pg, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			m1 := run(newM(cfgB, src))
+			m2 := run(newM(cfgB, src))
+			checkContentionInvariants(t, b.Name, 1, m1.MemSnapshot())
+
+			opts := compile.DefaultOptions()
+			res, err := compile.Compile(src, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgC := cfgB
+			cfgC.Capri = true
+			cfgC.Threshold = opts.Threshold
+			mc1 := run(newM(cfgC, res.Program))
+			mc2 := run(newM(cfgC, res.Program))
+			checkContentionInvariants(t, b.Name, 1, mc1.MemSnapshot())
+
+			for th := 0; th < src.NumThreads(); th++ {
+				if len(m1.Output(th)) == 0 {
+					t.Fatalf("thread %d produced no output", th)
+				}
+				if !reflect.DeepEqual(m1.Output(th), m2.Output(th)) {
+					t.Fatalf("baseline thread %d output nondeterministic", th)
+				}
+				if !reflect.DeepEqual(mc1.Output(th), mc2.Output(th)) {
+					t.Fatalf("capri thread %d output nondeterministic", th)
+				}
+			}
+		})
+	}
+}

@@ -82,5 +82,10 @@ func byNameAll(name string) (Benchmark, bool) {
 			return b, true
 		}
 	}
+	for _, b := range contention {
+		if b.Name == name {
+			return b, true
+		}
+	}
 	return Benchmark{}, false
 }
